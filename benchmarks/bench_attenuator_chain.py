@@ -1,0 +1,32 @@
+"""Benchmark (extension): NF consistency across attenuator settings.
+
+The figure-4 chain (generator -> programmable attenuator) must return
+the same DUT NF at every setting once the calibrated hot temperature
+tracks the attenuation — a calibration-transfer self-check.
+"""
+
+from conftest import run_once
+
+from repro.experiments.attenuator_chain import run_attenuator_chain
+from repro.reporting.tables import render_table
+
+
+def test_attenuator_chain(benchmark, emit):
+    result = run_once(benchmark, run_attenuator_chain, seed=2005)
+    emit(
+        "attenuator_chain",
+        render_table(
+            ["loss (dB)", "Th (K)", "ENR (dB)", "measured NF (dB)", "error (dB)"],
+            [
+                [r.loss_db, r.t_hot_k, r.enr_db, r.measured_nf_db, r.error_db]
+                for r in result.rows
+            ],
+            title=(
+                "Figure-4 chain - one DUT across attenuator settings "
+                f"(expected NF {result.expected_nf_db:.2f} dB)"
+            ),
+        ),
+    )
+    # All settings agree within the single-shot scatter envelope.
+    assert result.spread_db < 1.5
+    assert result.max_abs_error_db < 1.5

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate figure 10 (power-ratio error vs reference
+amplitude).
+
+The paper's guidance: amplitudes in the 10-40 % window give reasonable
+results; very small references drown in the floor, very large ones drive
+the limiter nonlinear.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig10 import run_fig10
+from repro.reporting.series import render_series
+
+
+def test_fig10(benchmark, emit):
+    result = run_once(benchmark, run_fig10, seed=2005)
+    ok_points = [p for p in result.points if not p.failed]
+    emit(
+        "fig10",
+        render_series(
+            [100 * p.reference_ratio for p in ok_points],
+            [p.error_pct for p in ok_points],
+            x_label="Vref/Vnoise (%)",
+            y_label="error in power ratio (%)",
+            title=(
+                "Figure 10 - power-ratio error vs reference amplitude "
+                "(failed points omitted: "
+                f"{[p.reference_ratio for p in result.points if p.failed]})"
+            ),
+        ),
+    )
+    # Shape: the 10-40 % window is accurate; the extremes are worse.
+    window_err = result.max_abs_error_in_window_pct()
+    assert window_err < 10.0
+    extremes = [
+        abs(p.error_pct)
+        for p in ok_points
+        if p.reference_ratio <= 0.05 or p.reference_ratio >= 0.65
+    ]
+    assert not extremes or max(extremes) > window_err

@@ -1,0 +1,35 @@
+"""Benchmark: regenerate figure 13 (prototype PSDs after normalization).
+
+The experimental counterpart of figure 9: a 3 kHz reference line, noise
+measured around 1 kHz, normalized floors separated by the measured Y.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig13 import run_fig13
+from repro.reporting.tables import render_table
+
+
+def test_fig13(benchmark, emit):
+    result = run_once(benchmark, run_fig13, n_samples=2**20, seed=2005)
+    emit(
+        "fig13",
+        render_table(
+            ["quantity", "value"],
+            [
+                ["reference frequency (Hz)", result.reference_frequency_hz],
+                ["noise band (Hz)", f"{result.noise_band_hz}"],
+                ["raw line power hot", result.line_power_hot_raw],
+                ["raw line power cold", result.line_power_cold_raw],
+                ["normalized floor hot (1/Hz)", result.floor_after_hot],
+                ["normalized floor cold (1/Hz)", result.floor_after_cold],
+                ["floor ratio (Y)", result.floor_ratio_after],
+                ["measured NF (dB)", result.bist.noise_figure_db],
+                ["expected NF (dB)", result.expected_nf_db],
+                ["NF error (dB)", result.nf_error_db],
+            ],
+            title="Figure 13 - prototype normalized PSD levels (OP27 DUT)",
+        ),
+    )
+    assert abs(result.nf_error_db) < 1.0
+    assert abs(result.floor_ratio_after - result.bist.y) < 0.3 * result.bist.y

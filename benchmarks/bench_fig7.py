@@ -1,0 +1,43 @@
+"""Benchmark: regenerate figure 7 (hot/cold noise + reference waveforms)."""
+
+from conftest import run_once
+
+from repro.experiments.fig7 import run_fig7
+from repro.reporting.tables import render_table
+
+
+def test_fig7(benchmark, emit):
+    result = run_once(benchmark, run_fig7, seed=2005)
+    emit(
+        "fig7",
+        render_table(
+            [
+                "state",
+                "noise RMS (V)",
+                "expected RMS (V)",
+                "ref amplitude (V)",
+                "composite RMS (V)",
+                "crest factor",
+            ],
+            [
+                [
+                    s.state,
+                    s.noise_rms,
+                    s.noise_rms_expected,
+                    s.reference_amplitude,
+                    s.composite_rms,
+                    s.crest_factor,
+                ]
+                for s in (result.hot, result.cold)
+            ],
+            title=(
+                "Figure 7 - digitizer input statistics "
+                f"(hot/cold power ratio {result.rms_ratio_squared:.4f})"
+            ),
+        ),
+    )
+    # Shape: constant reference, noise above reference, ratio ~3.49.
+    assert result.reference_is_constant
+    assert result.hot.noise_rms > result.hot.reference_amplitude
+    assert result.cold.noise_rms > result.cold.reference_amplitude
+    assert abs(result.rms_ratio_squared - 3.4931) < 0.05

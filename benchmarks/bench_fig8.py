@@ -1,0 +1,39 @@
+"""Benchmark: regenerate figure 8 (bitstream PSD before normalization).
+
+The paper's observation: "the noise levels remain similar, while
+amplitude levels of the reference square wave are larger" for the cold
+acquisition.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig8 import run_fig8
+from repro.reporting.tables import render_table
+
+
+def test_fig8(benchmark, emit):
+    result = run_once(benchmark, run_fig8, seed=2005)
+    emit(
+        "fig8",
+        render_table(
+            ["quantity", "hot", "cold", "ratio"],
+            [
+                [
+                    "reference line power (1-bit units)",
+                    result.line_power_hot,
+                    result.line_power_cold,
+                    result.line_ratio_cold_over_hot,
+                ],
+                [
+                    "noise floor density (1/Hz)",
+                    result.floor_density_hot,
+                    result.floor_density_cold,
+                    result.floor_ratio_hot_over_cold,
+                ],
+            ],
+            title="Figure 8 - raw bitstream spectrum levels (before normalization)",
+        ),
+    )
+    # Shape: floors nearly equal, cold line much larger.
+    assert abs(result.floor_ratio_hot_over_cold - 1.0) < 0.1
+    assert result.line_ratio_cold_over_hot > 2.0

@@ -1,0 +1,40 @@
+"""Benchmark: regenerate figure 9 (PSD after normalization, zoom at 60 Hz).
+
+The paper: floors nearly coincide before normalization; after scaling to
+equal reference-line power they separate by the true power ratio.
+"""
+
+from conftest import run_once
+
+from repro.experiments.fig9 import run_fig9
+from repro.reporting.tables import render_table
+
+
+def test_fig9(benchmark, emit):
+    result = run_once(benchmark, run_fig9, seed=2005)
+    emit(
+        "fig9",
+        render_table(
+            ["stage", "hot floor (1/Hz)", "cold floor (1/Hz)", "hot/cold ratio"],
+            [
+                [
+                    "before normalization",
+                    result.floor_before_hot,
+                    result.floor_before_cold,
+                    result.ratio_before,
+                ],
+                [
+                    "after normalization",
+                    result.floor_after_hot,
+                    result.floor_after_cold,
+                    result.ratio_after,
+                ],
+            ],
+            title=(
+                "Figure 9 - normalized floors around the 60 Hz reference "
+                f"(true power ratio {result.true_power_ratio:.4f})"
+            ),
+        ),
+    )
+    assert abs(result.ratio_before - 1.0) < 0.15
+    assert abs(result.ratio_after - result.true_power_ratio) < 0.12 * result.true_power_ratio

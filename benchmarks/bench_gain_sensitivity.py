@@ -1,0 +1,40 @@
+"""Benchmark: section 4.1 analysis — direct method vs Y-factor under
+conditioning-amplifier gain drift (paper eqs 10/11)."""
+
+from conftest import run_once
+
+from repro.experiments.gain_sensitivity import run_gain_sensitivity
+from repro.reporting.tables import render_table
+
+
+def test_gain_sensitivity(benchmark, emit):
+    result = run_once(benchmark, run_gain_sensitivity, n_samples=2**18, seed=2005)
+    emit(
+        "gain_sensitivity",
+        render_table(
+            [
+                "gain drift",
+                "direct err analytic (dB)",
+                "direct err simulated (dB)",
+                "y-factor err simulated (dB)",
+            ],
+            [
+                [
+                    p.gain_drift,
+                    p.direct_error_analytic_db,
+                    p.direct_error_simulated_db,
+                    p.yfactor_error_simulated_db,
+                ]
+                for p in result.points
+            ],
+            title=(
+                "Section 4.1 - NF estimation error under gain drift "
+                f"(expected NF {result.expected_nf_db:.2f} dB)"
+            ),
+        ),
+    )
+    # Shape: direct tracks the drift (eq 10), Y-factor is immune (eq 11).
+    assert result.max_direct_error_db > 1.0
+    assert result.max_yfactor_error_db < 0.4
+    for p in result.points:
+        assert abs(p.direct_error_simulated_db - p.direct_error_analytic_db) < 0.4

@@ -1,0 +1,52 @@
+"""Benchmark (extension): production screening guard-band tradeoff.
+
+A simulated lot straddling an 8 dB NF limit is measured once per device
+with the 1-bit BIST and screened at several guard bands: widening the
+band converts escapes into retests at some overkill cost — the
+production-economics knob behind BIST NF testing.
+"""
+
+from conftest import run_once
+
+from repro.experiments.production import run_production
+from repro.reporting.tables import render_table
+
+
+def test_production(benchmark, emit):
+    result = run_once(benchmark, run_production, seed=2005)
+    emit(
+        "production",
+        render_table(
+            [
+                "guardband (sigma)",
+                "guardband (dB)",
+                "pass",
+                "retest",
+                "fail",
+                "escapes",
+                "overkill",
+            ],
+            [
+                [
+                    r.guardband_sigmas,
+                    r.guardband_db,
+                    r.outcome.n_pass,
+                    r.outcome.n_retest,
+                    r.outcome.n_fail,
+                    r.outcome.n_escapes,
+                    r.outcome.n_overkill,
+                ]
+                for r in result.rows
+            ],
+            title=(
+                f"Production screen - {result.n_devices} devices, limit "
+                f"{result.limit_db} dB, measurement sigma "
+                f"{result.measurement_sigma_db} dB"
+            ),
+        ),
+    )
+    assert result.escapes_decrease_with_guardband()
+    # The widest guard band must not leak more than a device or two.
+    assert result.rows[-1].outcome.n_escapes <= max(
+        1, result.rows[0].outcome.n_escapes
+    )

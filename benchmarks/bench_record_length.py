@@ -1,0 +1,58 @@
+"""Benchmark (ablation): NF estimation accuracy vs record length.
+
+Quantifies why the paper captures 1e6 samples per state: the
+reference-line estimate dominates the Y-factor variance and averages
+down with the number of Welch segments.
+"""
+
+from conftest import run_once
+
+from repro.experiments.record_length import run_record_length
+from repro.reporting.tables import render_table
+
+
+def test_record_length(benchmark, emit):
+    result = run_once(
+        benchmark,
+        run_record_length,
+        lengths=(2**15, 2**16, 2**17, 2**18, 2**19),
+        n_trials=6,
+        seed=2005,
+    )
+    emit(
+        "record_length",
+        render_table(
+            ["samples/state", "trials", "NF mean (dB)", "NF std (dB)", "mean error (dB)"],
+            [
+                [p.n_samples, p.n_trials, p.nf_mean_db, p.nf_std_db, p.mean_error_db]
+                for p in result.points
+            ],
+            title=(
+                "Ablation - accuracy vs record length "
+                f"(expected NF {result.expected_nf_db:.2f} dB)"
+            ),
+        ),
+    )
+    assert result.std_is_decreasing()
+    # At the paper-scale record the scatter is a fraction of a dB.
+    assert result.points[-1].nf_std_db < 0.5
+
+
+def test_record_length_shape(benchmark, emit):
+    # Scatter at the longest record must be well below the shortest.
+    result = run_once(
+        benchmark,
+        run_record_length,
+        lengths=(2**15, 2**19),
+        n_trials=8,
+        seed=7,
+    )
+    emit(
+        "record_length_shape",
+        render_table(
+            ["samples/state", "NF std (dB)"],
+            [[p.n_samples, p.nf_std_db] for p in result.points],
+            title="Ablation - record-length end points",
+        ),
+    )
+    assert result.points[-1].nf_std_db < 0.5 * result.points[0].nf_std_db

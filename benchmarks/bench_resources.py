@@ -1,0 +1,34 @@
+"""Benchmark: the "low cost" claim — SoC resources of the 1-bit BIST vs
+a full-ADC capture of the same measurement."""
+
+from conftest import run_once
+
+from repro.experiments.resources import run_resources
+from repro.reporting.tables import render_table
+
+
+def test_resources(benchmark, emit):
+    result = run_once(benchmark, run_resources, n_samples=2**20, seed=2005)
+    report = result.report
+    emit(
+        "resources",
+        render_table(
+            ["resource", "value"],
+            [
+                ["capture memory, 1-bit packed (B)", result.onebit_memory_bytes],
+                ["capture memory, 12-bit ADC (B)", result.adc_memory_bytes_12bit],
+                ["capture memory, 8-bit ADC (B)", result.adc_memory_bytes_8bit],
+                ["streaming working set (B)", result.streaming_memory_bytes],
+                ["memory saving vs 12-bit", result.memory_saving_vs_12bit],
+                ["streaming saving vs full capture", result.streaming_saving_vs_capture],
+                ["DSP cycles", report.dsp_cycles],
+                ["DSP time @100 MHz (s)", report.dsp_time_s],
+                ["acquisition time (s)", report.acquisition_time_s],
+                ["total test time (s)", report.total_test_time_s],
+                ["measured NF (dB)", result.result.noise_figure_db],
+            ],
+            title="SoC resource accounting - one full NF measurement (2^20 samples/state)",
+        ),
+    )
+    assert result.memory_saving_vs_12bit > 11.9
+    assert report.memory_bytes_peak <= report.memory_bytes_capacity

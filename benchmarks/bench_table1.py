@@ -1,0 +1,22 @@
+"""Benchmark: regenerate paper Table 1 (reference NF / F values)."""
+
+from conftest import run_once
+
+from repro.experiments.table1 import run_table1
+from repro.reporting.tables import render_table
+
+
+def test_table1(benchmark, emit):
+    result = run_once(benchmark, run_table1)
+    emit(
+        "table1",
+        render_table(
+            ["NF (dB)", "F", "example"],
+            [[row.nf_db, row.noise_factor, row.example] for row in result.rows],
+            title="Table 1 - reference noise figure / noise factor values",
+        ),
+    )
+    factors = [row.noise_factor for row in result.rows]
+    assert factors[0] == 1.0
+    assert abs(factors[1] - 2.0) < 1e-3
+    assert abs(factors[2] - 10.0) < 1e-9

@@ -1,0 +1,39 @@
+"""Benchmark: regenerate paper Table 2 (noise power ratio, three methods).
+
+Paper values for Th=10000 K, Tc=1000 K (implied F=10 DUT):
+
+    Mean square ratio              3.4866   F=10.03   NF=10.01
+    PSD ratio                      3.4766   F=10.08   NF=10.03
+    1-bit PSD ratio (ref excl.)    3.5620   F= 9.66   NF= 9.85
+"""
+
+from conftest import run_once
+
+from repro.experiments.table2 import run_table2
+from repro.reporting.tables import render_table
+
+
+def test_table2(benchmark, emit):
+    # Paper parameters: 1e6 samples, FFT size 1e4.
+    result = run_once(benchmark, run_table2, seed=2005)
+    emit(
+        "table2",
+        render_table(
+            ["method", "noise power ratio", "F", "NF (dB)", "error vs true (%)"],
+            [
+                [r.method, r.power_ratio, r.noise_factor, r.nf_db, r.ratio_error_pct]
+                for r in result.rows
+            ],
+            title=(
+                "Table 2 - noise power ratio for Th=10000K, Tc=1000K "
+                f"(true ratio {result.true_power_ratio:.4f}, true NF "
+                f"{result.true_nf_db:.2f} dB)"
+            ),
+        ),
+    )
+    # Shape: every method recovers ~NF 10 dB; the 1-bit method stays
+    # within a few percent of the true ratio (paper: 2.5 %).
+    for row in result.rows:
+        assert abs(row.nf_db - 10.0) < 0.5, row.method
+    onebit = result.row("onebit_psd_ratio_excluding_reference")
+    assert abs(onebit.ratio_error_pct) < 3.0

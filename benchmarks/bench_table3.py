@@ -1,0 +1,86 @@
+"""Benchmark: regenerate paper Table 3 (four-opamp prototype NF).
+
+Paper values (T0=290 K, Th=2900 K):
+
+    Opamp    Expected   Measured
+    OP27     3.7        3.69
+    OP07     6.5        4.841
+    TL081    10.1       9.698
+    CA3140   16.2       14.02
+
+"paper" mode synthesizes opamps matching the published expected column
+(see DESIGN.md section 2) and re-measures them with the 1-bit BIST; the
+paper's own acceptance envelope is a 2 dB maximum absolute error.
+"""
+
+from conftest import run_once
+
+from repro.experiments.table3 import run_table3
+from repro.reporting.tables import render_table
+
+
+def test_table3_paper_mode(benchmark, emit):
+    result = run_once(
+        benchmark, run_table3, mode="paper", n_samples=2**20, seed=2005
+    )
+    emit(
+        "table3",
+        render_table(
+            [
+                "opamp",
+                "expected (dB)",
+                "measured (dB)",
+                "error (dB)",
+                "paper expected",
+                "paper measured",
+            ],
+            [
+                [
+                    r.opamp,
+                    r.expected_nf_db,
+                    r.measured_nf_db,
+                    r.error_db,
+                    r.paper_expected_nf_db,
+                    r.paper_measured_nf_db,
+                ]
+                for r in result.rows
+            ],
+            title="Table 3 - prototype NF, Th=2900K (paper-calibrated opamps)",
+        ),
+    )
+    # Shape: expected column equals the paper's; measured within the
+    # paper's 2 dB envelope; ordering preserved.
+    expected = [r.expected_nf_db for r in result.rows]
+    assert max(abs(e - p) for e, p in zip(expected, (3.7, 6.5, 10.1, 16.2))) < 0.05
+    assert result.max_abs_error_db < 2.0
+    measured = [r.measured_nf_db for r in result.rows]
+    assert measured == sorted(measured)
+
+
+def test_table3_datasheet_mode(benchmark, emit):
+    # The datasheet CA3140 model has a ~22 dB expected NF — beyond the
+    # paper's own highest device.  At such NF the Y factor approaches 1
+    # and errors amplify; the paper itself shows 2.18 dB of error on its
+    # CA3140 row (16.2 -> 14.02), so the acceptance envelope here is
+    # slightly wider than the headline 2 dB.
+    result = run_once(
+        benchmark, run_table3, mode="datasheet", n_samples=2**19, seed=2005
+    )
+    emit(
+        "table3_datasheet",
+        render_table(
+            ["opamp", "expected (dB)", "measured (dB)", "error (dB)"],
+            [
+                [r.opamp, r.expected_nf_db, r.measured_nf_db, r.error_db]
+                for r in result.rows
+            ],
+            title=(
+                "Table 3 (datasheet variant) - typical-datasheet opamp "
+                "models; expected differs from the paper's unpublished "
+                "circuit analysis but measured must track expected"
+            ),
+        ),
+    )
+    assert result.max_abs_error_db < 2.5
+    measured = [r.measured_nf_db for r in result.rows]
+    assert measured == sorted(measured)

@@ -1,0 +1,60 @@
+"""Benchmark: section 4.2 / ref [6] — hot-temperature uncertainty budget.
+
+Claim: a 5 % hot-temperature error keeps the NF error within about
++/-0.3 dB for 3 dB and 10 dB devices.
+"""
+
+from conftest import run_once
+
+from repro.experiments.uncertainty import run_uncertainty
+from repro.reporting.tables import render_table
+
+
+def test_uncertainty(benchmark, emit):
+    result = run_once(benchmark, run_uncertainty, seed=2005)
+    budget_table = render_table(
+        [
+            "NF (dB)",
+            "nominal Y",
+            "analytic sigma (dB)",
+            "Monte-Carlo std (dB)",
+            "within 0.3 dB",
+        ],
+        [
+            [
+                r.nf_db,
+                r.y_nominal,
+                r.sigma_nf_analytic_db,
+                r.nf_std_montecarlo_db,
+                r.within_p3db,
+            ]
+            for r in result.rows
+        ],
+        title=(
+            "Ref [6] budget - NF uncertainty for "
+            f"{100 * result.rel_sigma_t_hot:.0f}% hot-temperature error"
+        ),
+    )
+    e2e_table = render_table(
+        [
+            "target NF (dB)",
+            "measured unbiased (dB)",
+            "measured biased (dB)",
+            "systematic shift (dB)",
+        ],
+        [
+            [
+                r.nf_db_target,
+                r.measured_unbiased_db,
+                r.measured_biased_db,
+                r.bias_shift_db,
+            ]
+            for r in result.end_to_end
+        ],
+        title="End-to-end check - BIST with an actually 5% hotter source",
+    )
+    emit("uncertainty", budget_table + "\n\n" + e2e_table)
+    for row in result.rows:
+        assert row.within_p3db
+    for row in result.end_to_end:
+        assert -0.6 < row.bias_shift_db < 0.0

@@ -1,0 +1,40 @@
+"""Benchmark (ablation): Van Vleck arcsine correction vs the paper's
+linear-approximation shortcut, across reference amplitudes.
+
+Finding (recorded in EXPERIMENTS.md): the correction does not rescue
+large-reference operation because the composite input (noise + large
+deterministic reference) violates the Gaussian assumption behind the
+arcsine inversion — the paper's 10-40 % amplitude guideline stands.
+"""
+
+from conftest import run_once
+
+from repro.experiments.vanvleck import run_vanvleck
+from repro.reporting.tables import render_table
+
+
+def _fmt(value):
+    return "n/a" if value is None else value
+
+
+def test_vanvleck_ablation(benchmark, emit):
+    result = run_once(benchmark, run_vanvleck, max_lag=2500, seed=2005)
+    emit(
+        "vanvleck",
+        render_table(
+            ["Vref/Vnoise", "linear error (%)", "van-vleck error (%)"],
+            [
+                [p.reference_ratio, _fmt(p.error_linear_pct), _fmt(p.error_corrected_pct)]
+                for p in result.points
+            ],
+            title=(
+                "Ablation - linear (paper) vs Van Vleck-corrected Y "
+                f"estimation (true ratio {result.true_power_ratio:.4f})"
+            ),
+        ),
+    )
+    # Both paths stay usable inside the recommended window.
+    in_window = [p for p in result.points if p.reference_ratio <= 0.4]
+    for p in in_window:
+        assert p.error_linear_pct is not None
+        assert abs(p.error_linear_pct) < 12.0

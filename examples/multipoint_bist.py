@@ -1,0 +1,101 @@
+"""Simultaneous multi-test-point measurement (the paper's abstract claim).
+
+Two amplifier chains share the same calibrated noise source; each chain's
+output has its own permanently-connected 1-bit digitizer and all taps are
+captured during the *same* hot/cold states — no analog multiplexer, no
+re-run per test point.  The Y-factor math is gain-free, so the two taps
+can sit behind different conditioning gains.
+
+Run:  python examples/multipoint_bist.py
+"""
+
+import numpy as np
+
+from repro.analog.amplifier import NonInvertingAmplifier
+from repro.analog.noise_source import CalibratedNoiseSource
+from repro.analog.noise_analysis import expected_noise_figure_db
+from repro.analog.opamp import OPAMP_LIBRARY
+from repro.core.bist import BISTMeasurementConfig
+from repro.core.multipoint import MultiPointBIST, TestPoint
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.instruments.testbench import POST_AMP_OPAMP
+from repro.reporting import render_table
+from repro.signals.random import spawn_rngs
+from repro.signals.sources import SineSource
+
+FS = 32768.0
+N = 2**18
+BAND = (500.0, 1500.0)
+
+
+def build_chain(opamp_name: str) -> tuple:
+    """DUT (Av=101) + post-amplifier (Av=1156) for one test point."""
+    dut = NonInvertingAmplifier(
+        OPAMP_LIBRARY[opamp_name], 10000.0, 100.0, 600.0,
+        name=f"DUT[{opamp_name}]",
+    )
+    post = NonInvertingAmplifier(
+        POST_AMP_OPAMP, 115500.0, 100.0, 100.0, name="post",
+    )
+    return dut, post
+
+
+def main() -> None:
+    # A 20 dB-ENR source (Th = 29000 K): the shared source must keep the
+    # Y factor usable at every tap, including the noisy TL081 chain
+    # (Te ~ 13000 K).  See EXPERIMENTS.md on source ENR vs DUT NF.
+    source = CalibratedNoiseSource(600.0, t_hot_k=29000.0, t_cold_k=290.0)
+    chains = {"chain_OP27": build_chain("OP27"), "chain_TL081": build_chain("TL081")}
+
+    def acquire_state(state, rng):
+        """Render each tap's analog output for one shared source state."""
+        rngs = spawn_rngs(rng, 2 * len(chains) + 1)
+        source_wave = source.render(state, N, FS, rngs[0])
+        taps = {}
+        for i, (name, (dut, post)) in enumerate(chains.items()):
+            dut_out = dut.process(source_wave, rngs[2 * i + 1])
+            taps[name] = post.process(dut_out, rngs[2 * i + 2])
+        return taps
+
+    # Per-tap reference amplitudes: each BIST cell's local reference DAC
+    # is sized to ~25 % of that tap's cold noise RMS (figure 10 window).
+    # The amplitude only needs to be constant across hot/cold states.
+    cold_probe = acquire_state("cold", 999)
+    reference = {
+        name: SineSource(3000.0, 0.25 * wave.rms()).render(N, FS)
+        for name, wave in cold_probe.items()
+    }
+
+    config = BISTMeasurementConfig(
+        sample_rate_hz=FS,
+        n_samples=N,
+        nperseg=8192,
+        reference_frequency_hz=3000.0,
+        noise_band_hz=BAND,
+        harmonic_kind="all",
+    )
+    multipoint = MultiPointBIST(
+        [TestPoint(name, OneBitDigitizer()) for name in chains],
+        config,
+        t_hot_k=29000.0,
+        t_cold_k=290.0,
+    )
+
+    results = multipoint.measure(acquire_state, reference, rng=2005)
+
+    rows = []
+    for name, (dut, _) in chains.items():
+        expected = expected_noise_figure_db(dut, *BAND)
+        measured = results[name].noise_figure_db
+        rows.append([name, expected, measured, measured - expected])
+    print(
+        render_table(
+            ["test point", "expected NF (dB)", "measured NF (dB)", "error (dB)"],
+            rows,
+            title="Simultaneous two-point NF measurement (one hot/cold cycle)",
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,36 @@
+"""Behavioural analog substrate.
+
+Models everything between the noise source and the comparator in the
+paper's figures 3-5 and 11: two-port gain/noise abstractions with Friis
+cascading, passive components (resistors, attenuators), opamp noise models
+(including the four devices of Table 3), the non-inverting amplifier under
+test, datasheet-style noise analysis (the "expected" column of Table 3) and
+the calibrated hot/cold noise source required by the Y-factor method.
+"""
+
+from repro.analog.amplifier import NonInvertingAmplifier
+from repro.analog.components import Attenuator, Resistor
+from repro.analog.inverting import InvertingAmplifier
+from repro.analog.noise_analysis import (
+    NoiseBudget,
+    expected_noise_figure_db,
+    noise_budget,
+)
+from repro.analog.noise_source import CalibratedNoiseSource
+from repro.analog.opamp import OPAMP_LIBRARY, OpAmpNoiseModel
+from repro.analog.twoport import TwoPort, cascade
+
+__all__ = [
+    "TwoPort",
+    "cascade",
+    "Resistor",
+    "Attenuator",
+    "OpAmpNoiseModel",
+    "OPAMP_LIBRARY",
+    "NonInvertingAmplifier",
+    "InvertingAmplifier",
+    "NoiseBudget",
+    "noise_budget",
+    "expected_noise_figure_db",
+    "CalibratedNoiseSource",
+]

@@ -1,0 +1,184 @@
+"""Inverting amplifier model.
+
+The paper's DUT is non-inverting, but a BIST user will meet inverting
+stages too — and their noise behaviour differs in an instructive way:
+the *signal* gain is ``-Rf/Rin`` while the opamp's voltage noise sees the
+*noise gain* ``1 + Rf/Rin``.  At low gains the noise figure of an
+inverting stage is therefore markedly worse than a non-inverting stage
+built from the same opamp.
+
+Input-referred densities (referred to the driving source, in series with
+``Rin``):
+
+* source resistor: ``4kT*Rs`` (the NF reference; the source drives
+  ``Rin`` directly, so ``Rs`` is usually absorbed into ``Rin`` — here we
+  keep them separate and treat ``Rs + Rin`` as the total input leg);
+* input + feedback resistors: ``4kT*(Rin + Rf/G^2)`` with ``G = Rf/(Rs+Rin)``;
+* opamp voltage noise scaled by noise-gain over signal-gain:
+  ``en^2 * ((1+G)/G)^2``;
+* opamp current noise at the inverting node: ``in^2 * (Rf/G)^2``.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.analog.opamp import OpAmpNoiseModel
+from repro.constants import BOLTZMANN, T0_KELVIN
+from repro.errors import ConfigurationError
+from repro.signals.filters import single_pole_lowpass
+from repro.signals.random import GeneratorLike, make_rng
+from repro.signals.sources import GaussianNoiseSource, ShapedNoiseSource
+from repro.signals.waveform import Waveform
+
+
+class InvertingAmplifier:
+    """Inverting opamp amplifier with input-referred noise model.
+
+    Parameters
+    ----------
+    opamp:
+        Opamp noise model.
+    r_feedback_ohm / r_input_ohm:
+        Feedback network; signal gain magnitude is ``Rf / (Rs + Rin)``.
+    source_resistance_ohm:
+        Source resistance in series with the input resistor.
+    temperature_k:
+        Resistor temperature.
+    """
+
+    def __init__(
+        self,
+        opamp: OpAmpNoiseModel,
+        r_feedback_ohm: float,
+        r_input_ohm: float,
+        source_resistance_ohm: float,
+        temperature_k: float = T0_KELVIN,
+        name: Optional[str] = None,
+    ):
+        if not isinstance(opamp, OpAmpNoiseModel):
+            raise ConfigurationError(
+                f"opamp must be an OpAmpNoiseModel, got {type(opamp).__name__}"
+            )
+        if r_feedback_ohm <= 0 or r_input_ohm <= 0:
+            raise ConfigurationError(
+                f"need Rf > 0 and Rin > 0, got Rf={r_feedback_ohm}, "
+                f"Rin={r_input_ohm}"
+            )
+        if source_resistance_ohm <= 0:
+            raise ConfigurationError(
+                f"source resistance must be > 0, got {source_resistance_ohm}"
+            )
+        if temperature_k < 0:
+            raise ConfigurationError(
+                f"temperature must be >= 0 K, got {temperature_k}"
+            )
+        self.opamp = opamp
+        self.r_feedback_ohm = float(r_feedback_ohm)
+        self.r_input_ohm = float(r_input_ohm)
+        self.source_resistance_ohm = float(source_resistance_ohm)
+        self.temperature_k = float(temperature_k)
+        self.name = name or f"inv[{opamp.name}]x{self.gain_magnitude:g}"
+
+    # ------------------------------------------------------------------
+    @property
+    def total_input_leg_ohm(self) -> float:
+        """``Rs + Rin`` — the resistance the signal current flows through."""
+        return self.source_resistance_ohm + self.r_input_ohm
+
+    @property
+    def gain_magnitude(self) -> float:
+        """|signal gain| = ``Rf / (Rs + Rin)``."""
+        return self.r_feedback_ohm / self.total_input_leg_ohm
+
+    @property
+    def noise_gain(self) -> float:
+        """Noise gain ``1 + Rf/(Rs+Rin)`` seen by the opamp's en."""
+        return 1.0 + self.gain_magnitude
+
+    @property
+    def bandwidth_hz(self) -> float:
+        """Closed-loop bandwidth ``GBW / noise_gain``."""
+        return self.opamp.gbw_hz / self.noise_gain
+
+    # ------------------------------------------------------------------
+    def source_noise_density(self, temperature_k: Optional[float] = None) -> float:
+        """Johnson density of the source resistor, ``4kT*Rs``."""
+        temp = self.temperature_k if temperature_k is None else temperature_k
+        if temp < 0:
+            raise ConfigurationError(f"temperature must be >= 0 K, got {temp}")
+        return 4.0 * BOLTZMANN * temp * self.source_resistance_ohm
+
+    def amplifier_noise_density(self, freqs_hz) -> np.ndarray:
+        """Amplifier-only noise, input-referred to the source (V^2/Hz)."""
+        f = np.asarray(freqs_hz, dtype=float)
+        g = self.gain_magnitude
+        kt4 = 4.0 * BOLTZMANN * self.temperature_k
+        # Input resistor adds directly; feedback resistor referred by 1/G^2.
+        resistors = kt4 * (self.r_input_ohm + self.r_feedback_ohm / g**2)
+        # Opamp voltage noise is amplified by the noise gain but referred
+        # through the signal gain.
+        en2 = self.opamp.en_density(f) * (self.noise_gain / g) ** 2
+        # Inverting-node current noise flows through Rf; referred by 1/G.
+        in2 = self.opamp.in_density(f) * (self.r_feedback_ohm / g) ** 2
+        return resistors + en2 + in2
+
+    def spot_noise_factor(self, freq_hz: float) -> float:
+        """Spot noise factor at one frequency (source at T0)."""
+        amp = float(self.amplifier_noise_density(freq_hz))
+        return 1.0 + amp / self.source_noise_density(T0_KELVIN)
+
+    # ------------------------------------------------------------------
+    def render_input_noise(
+        self, n_samples: int, sample_rate: float, rng: GeneratorLike = None
+    ) -> Waveform:
+        """Time-domain synthesis of the input-referred amplifier noise."""
+        gen = make_rng(rng)
+        g = self.gain_magnitude
+        kt4 = 4.0 * BOLTZMANN * self.temperature_k
+        resistor_density = kt4 * (
+            self.r_input_ohm + self.r_feedback_ohm / g**2
+        )
+        total = GaussianNoiseSource.from_density(
+            resistor_density, sample_rate
+        ).render(n_samples, sample_rate, gen)
+        en_scale2 = (self.noise_gain / g) ** 2
+        en_source = ShapedNoiseSource.one_over_f(
+            self.opamp.en_v_per_rthz**2 * en_scale2, self.opamp.en_corner_hz
+        )
+        total = total + en_source.render(n_samples, sample_rate, gen)
+        if self.opamp.in_a_per_rthz > 0:
+            in_eq = self.opamp.in_a_per_rthz * self.r_feedback_ohm / g
+            in_source = ShapedNoiseSource.one_over_f(
+                in_eq**2, self.opamp.in_corner_hz
+            )
+            total = total + in_source.render(n_samples, sample_rate, gen)
+        return total
+
+    def process(
+        self,
+        input_wave: Waveform,
+        rng: GeneratorLike = None,
+        include_noise: bool = True,
+    ) -> Waveform:
+        """Amplify (and invert) a waveform with noise and band limiting."""
+        if not isinstance(input_wave, Waveform):
+            raise ConfigurationError(
+                f"input must be a Waveform, got {type(input_wave).__name__}"
+            )
+        total = input_wave
+        if include_noise:
+            total = total + self.render_input_noise(
+                input_wave.n_samples, input_wave.sample_rate, rng
+            )
+        if self.bandwidth_hz < input_wave.nyquist:
+            total = single_pole_lowpass(total, self.bandwidth_hz)
+        return total.scaled(-self.gain_magnitude)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"InvertingAmplifier({self.name}, G=-{self.gain_magnitude:g}, "
+            f"BW={self.bandwidth_hz:g} Hz)"
+        )

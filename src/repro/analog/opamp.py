@@ -1,0 +1,167 @@
+"""Opamp input-referred noise models and the Table 3 device library.
+
+Each opamp is described by its white input voltage-noise density ``en``
+(V/sqrt(Hz)) with a 1/f corner, its input current-noise density ``in``
+(A/sqrt(Hz)) with its own corner, and the gain-bandwidth product that sets
+the closed-loop pole.  The spot densities follow the standard datasheet
+model ``en^2(f) = en^2 * (1 + fce/f)``.
+
+Two construction paths exist, mirroring DESIGN.md section 2:
+
+* :data:`OPAMP_LIBRARY` — typical datasheet values for the four devices of
+  the paper's Table 3 (OP27, OP07, TL081, CA3140);
+* :meth:`OpAmpNoiseModel.from_expected_nf` — synthesize a device whose
+  *analytical* noise figure in a given circuit equals a target value, used
+  to reproduce the paper's "expected" column whose exact circuit-analysis
+  inputs are not published.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict
+
+import numpy as np
+
+from repro.constants import FOUR_K_T0, db_to_linear
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class OpAmpNoiseModel:
+    """Input-referred opamp noise model.
+
+    Parameters
+    ----------
+    name:
+        Device label.
+    en_v_per_rthz:
+        White input voltage noise density in V/sqrt(Hz).
+    in_a_per_rthz:
+        White input current noise density in A/sqrt(Hz) (both inputs).
+    en_corner_hz:
+        1/f corner of the voltage noise (0 disables the 1/f term).
+    in_corner_hz:
+        1/f corner of the current noise.
+    gbw_hz:
+        Gain-bandwidth product in Hz.
+    """
+
+    name: str
+    en_v_per_rthz: float
+    in_a_per_rthz: float
+    en_corner_hz: float = 0.0
+    in_corner_hz: float = 0.0
+    gbw_hz: float = 1e6
+
+    def __post_init__(self):
+        if self.en_v_per_rthz < 0:
+            raise ConfigurationError(f"en must be >= 0, got {self.en_v_per_rthz}")
+        if self.in_a_per_rthz < 0:
+            raise ConfigurationError(f"in must be >= 0, got {self.in_a_per_rthz}")
+        if self.en_corner_hz < 0 or self.in_corner_hz < 0:
+            raise ConfigurationError("1/f corners must be >= 0")
+        if self.gbw_hz <= 0:
+            raise ConfigurationError(f"GBW must be > 0, got {self.gbw_hz}")
+
+    # ------------------------------------------------------------------
+    def en_density(self, freqs_hz) -> np.ndarray:
+        """Voltage-noise PSD ``en^2 * (1 + fce/f)`` in V^2/Hz."""
+        f = np.maximum(np.asarray(freqs_hz, dtype=float), 1e-3)
+        return self.en_v_per_rthz**2 * (1.0 + self.en_corner_hz / f)
+
+    def in_density(self, freqs_hz) -> np.ndarray:
+        """Current-noise PSD ``in^2 * (1 + fci/f)`` in A^2/Hz."""
+        f = np.maximum(np.asarray(freqs_hz, dtype=float), 1e-3)
+        return self.in_a_per_rthz**2 * (1.0 + self.in_corner_hz / f)
+
+    def with_name(self, name: str) -> "OpAmpNoiseModel":
+        """Return a renamed copy."""
+        return replace(self, name=name)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_expected_nf(
+        cls,
+        nf_db: float,
+        source_resistance_ohm: float,
+        feedback_parallel_ohm: float = 0.0,
+        in_a_per_rthz: float = 0.0,
+        gbw_hz: float = 4e6,
+        name: str = "",
+    ) -> "OpAmpNoiseModel":
+        """Synthesize an opamp whose mid-band NF equals ``nf_db``.
+
+        Solves ``F = 1 + (en^2 + in^2*(Rs^2+Rp^2) + 4kT0*Rp) / (4kT0*Rs)``
+        for the white ``en``, ignoring 1/f corners (the synthesized model
+        is white).  Raises if the target is unreachable because the fixed
+        current-noise and feedback-network terms already exceed it.
+        """
+        if source_resistance_ohm <= 0:
+            raise ConfigurationError(
+                f"source resistance must be > 0, got {source_resistance_ohm}"
+            )
+        if feedback_parallel_ohm < 0:
+            raise ConfigurationError(
+                f"feedback parallel resistance must be >= 0, got "
+                f"{feedback_parallel_ohm}"
+            )
+        factor = db_to_linear(nf_db)
+        if factor < 1.0:
+            raise ConfigurationError(f"target NF must be >= 0 dB, got {nf_db}")
+        source_density = FOUR_K_T0 * source_resistance_ohm
+        fixed = (
+            in_a_per_rthz**2
+            * (source_resistance_ohm**2 + feedback_parallel_ohm**2)
+            + FOUR_K_T0 * feedback_parallel_ohm
+        )
+        en_squared = (factor - 1.0) * source_density - fixed
+        if en_squared < 0:
+            raise ConfigurationError(
+                f"target NF {nf_db} dB unreachable: fixed noise terms alone "
+                f"exceed the budget by {-en_squared:.3e} V^2/Hz"
+            )
+        label = name or f"synthetic_nf{nf_db:g}dB"
+        return cls(
+            name=label,
+            en_v_per_rthz=float(np.sqrt(en_squared)),
+            in_a_per_rthz=float(in_a_per_rthz),
+            gbw_hz=gbw_hz,
+        )
+
+
+#: Typical datasheet noise parameters for the paper's Table 3 devices.
+OPAMP_LIBRARY: Dict[str, OpAmpNoiseModel] = {
+    "OP27": OpAmpNoiseModel(
+        name="OP27",
+        en_v_per_rthz=3.0e-9,
+        in_a_per_rthz=0.4e-12,
+        en_corner_hz=2.7,
+        in_corner_hz=140.0,
+        gbw_hz=8e6,
+    ),
+    "OP07": OpAmpNoiseModel(
+        name="OP07",
+        en_v_per_rthz=9.6e-9,
+        in_a_per_rthz=0.12e-12,
+        en_corner_hz=10.0,
+        in_corner_hz=100.0,
+        gbw_hz=0.6e6,
+    ),
+    "TL081": OpAmpNoiseModel(
+        name="TL081",
+        en_v_per_rthz=18.0e-9,
+        in_a_per_rthz=0.01e-12,
+        en_corner_hz=300.0,
+        in_corner_hz=0.0,
+        gbw_hz=3e6,
+    ),
+    "CA3140": OpAmpNoiseModel(
+        name="CA3140",
+        en_v_per_rthz=35.0e-9,
+        in_a_per_rthz=0.002e-12,
+        en_corner_hz=200.0,
+        in_corner_hz=0.0,
+        gbw_hz=4.5e6,
+    ),
+}

@@ -1,0 +1,248 @@
+"""Command-line interface: run any paper experiment from the shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run table2
+    python -m repro run table3 --fast
+    python -m repro run fig10
+
+``--fast`` shrinks record lengths for a quick look; default sizes match
+the benchmark suite (paper scale).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.reporting.series import render_series
+from repro.reporting.tables import render_table
+
+
+def _run_table1(fast: bool) -> str:
+    from repro.experiments.table1 import run_table1
+
+    result = run_table1()
+    return render_table(
+        ["NF (dB)", "F", "example"],
+        [[r.nf_db, r.noise_factor, r.example] for r in result.rows],
+        title="Table 1",
+    )
+
+
+def _run_table2(fast: bool) -> str:
+    from repro.experiments.matlab_sim import MatlabSimConfig
+    from repro.experiments.table2 import run_table2
+
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    result = run_table2(config, seed=2005)
+    return render_table(
+        ["method", "ratio", "F", "NF (dB)", "error (%)"],
+        [
+            [r.method, r.power_ratio, r.noise_factor, r.nf_db, r.ratio_error_pct]
+            for r in result.rows
+        ],
+        title=f"Table 2 (true ratio {result.true_power_ratio:.4f})",
+    )
+
+
+def _run_table3(fast: bool) -> str:
+    from repro.experiments.table3 import run_table3
+
+    result = run_table3(
+        mode="paper", n_samples=2**17 if fast else 2**20, seed=2005
+    )
+    return render_table(
+        ["opamp", "expected (dB)", "measured (dB)", "error (dB)"],
+        [
+            [r.opamp, r.expected_nf_db, r.measured_nf_db, r.error_db]
+            for r in result.rows
+        ],
+        title=f"Table 3 ({result.mode} mode)",
+    )
+
+
+def _run_fig7(fast: bool) -> str:
+    from repro.experiments.fig7 import run_fig7
+    from repro.experiments.matlab_sim import MatlabSimConfig
+
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    result = run_fig7(config, seed=2005)
+    return render_table(
+        ["state", "noise RMS", "ref amplitude", "crest factor"],
+        [
+            [s.state, s.noise_rms, s.reference_amplitude, s.crest_factor]
+            for s in (result.hot, result.cold)
+        ],
+        title=f"Figure 7 (power ratio {result.rms_ratio_squared:.4f})",
+    )
+
+
+def _run_fig8(fast: bool) -> str:
+    from repro.experiments.fig8 import run_fig8
+    from repro.experiments.matlab_sim import MatlabSimConfig
+
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    result = run_fig8(config, seed=2005)
+    return render_table(
+        ["quantity", "hot", "cold"],
+        [
+            ["line power", result.line_power_hot, result.line_power_cold],
+            ["floor density", result.floor_density_hot, result.floor_density_cold],
+        ],
+        title="Figure 8 (raw bitstream levels)",
+    )
+
+
+def _run_fig9(fast: bool) -> str:
+    from repro.experiments.fig9 import run_fig9
+    from repro.experiments.matlab_sim import MatlabSimConfig
+
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    result = run_fig9(config, seed=2005)
+    return render_table(
+        ["stage", "hot/cold floor ratio"],
+        [
+            ["before normalization", result.ratio_before],
+            ["after normalization", result.ratio_after],
+            ["true power ratio", result.true_power_ratio],
+        ],
+        title="Figure 9",
+    )
+
+
+def _run_fig10(fast: bool) -> str:
+    from repro.experiments.fig10 import run_fig10
+
+    result = run_fig10(n_average=2 if fast else 4, seed=2005)
+    ok = [p for p in result.points if not p.failed]
+    return render_series(
+        [100 * p.reference_ratio for p in ok],
+        [p.error_pct for p in ok],
+        x_label="Vref/Vnoise (%)",
+        y_label="error (%)",
+        title="Figure 10",
+    )
+
+
+def _run_fig13(fast: bool) -> str:
+    from repro.experiments.fig13 import run_fig13
+
+    result = run_fig13(n_samples=2**17 if fast else 2**20, seed=2005)
+    return render_table(
+        ["quantity", "value"],
+        [
+            ["measured NF (dB)", result.bist.noise_figure_db],
+            ["expected NF (dB)", result.expected_nf_db],
+            ["Y (floor ratio)", result.floor_ratio_after],
+        ],
+        title="Figure 13",
+    )
+
+
+def _run_uncertainty(fast: bool) -> str:
+    from repro.experiments.uncertainty import run_uncertainty
+
+    result = run_uncertainty(
+        end_to_end_n_samples=2**16 if fast else 2**18, seed=2005
+    )
+    return render_table(
+        ["NF (dB)", "sigma analytic (dB)", "MC std (dB)", "within 0.3 dB"],
+        [
+            [r.nf_db, r.sigma_nf_analytic_db, r.nf_std_montecarlo_db, r.within_p3db]
+            for r in result.rows
+        ],
+        title="Uncertainty budget (5% hot-temperature error)",
+    )
+
+
+def _run_spot_nf(fast: bool) -> str:
+    from repro.experiments.spot_nf import run_spot_nf
+
+    result = run_spot_nf(n_samples=2**17 if fast else 2**19, seed=2005)
+    return render_table(
+        ["band (Hz)", "expected (dB)", "linear (dB)", "corrected (dB)"],
+        [
+            [
+                f"{r.f_low_hz:.0f}-{r.f_high_hz:.0f}",
+                r.expected_nf_db,
+                r.measured_nf_db,
+                r.corrected_nf_db,
+            ]
+            for r in result.rows
+        ],
+        title="Spot NF per octave band (flicker DUT)",
+    )
+
+
+def _run_resources(fast: bool) -> str:
+    from repro.experiments.resources import run_resources
+
+    result = run_resources(n_samples=2**16 if fast else 2**20, seed=2005)
+    return render_table(
+        ["resource", "value"],
+        [
+            ["1-bit capture memory (B)", result.onebit_memory_bytes],
+            ["12-bit ADC memory (B)", result.adc_memory_bytes_12bit],
+            ["saving", result.memory_saving_vs_12bit],
+            ["DSP cycles", result.report.dsp_cycles],
+            ["total test time (s)", result.report.total_test_time_s],
+        ],
+        title="SoC resources",
+    )
+
+
+EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+    "table1": _run_table1,
+    "table2": _run_table2,
+    "table3": _run_table3,
+    "fig7": _run_fig7,
+    "fig8": _run_fig8,
+    "fig9": _run_fig9,
+    "fig10": _run_fig10,
+    "fig13": _run_fig13,
+    "uncertainty": _run_uncertainty,
+    "resources": _run_resources,
+    "spot_nf": _run_spot_nf,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The argument parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce experiments from 'Noise Figure Evaluation "
+        "Using Low Cost BIST' (DATE 2005).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("list", help="list available experiments")
+    run = sub.add_parser("run", help="run one experiment and print its table")
+    run.add_argument("experiment", choices=sorted(EXPERIMENTS) + ["all"])
+    run.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced record lengths for a quick look",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for name in sorted(EXPERIMENTS):
+            print(name)
+        return 0
+    if args.experiment == "all":
+        for name in sorted(EXPERIMENTS):
+            print(EXPERIMENTS[name](args.fast))
+            print()
+        return 0
+    print(EXPERIMENTS[args.experiment](args.fast))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

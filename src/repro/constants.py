@@ -1,0 +1,55 @@
+"""Physical constants and dB/linear conversion helpers.
+
+All noise-figure math in the paper is anchored on the IEEE standard
+reference temperature ``T0 = 290 K`` and the Boltzmann constant ``k``
+(equation 4 of the paper).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: Boltzmann constant [J/K].
+BOLTZMANN: float = 1.380649e-23
+
+#: IEEE standard noise reference temperature [K] (290 K).
+T0_KELVIN: float = 290.0
+
+#: Convenience: 4*k*T0 [V^2/(Hz*ohm)] — Johnson noise density prefactor.
+FOUR_K_T0: float = 4.0 * BOLTZMANN * T0_KELVIN
+
+
+def linear_to_db(ratio):
+    """Convert a linear *power* ratio to decibels (``10*log10``).
+
+    Accepts scalars or arrays.  Raises ``ValueError`` for non-positive
+    scalar input because a power ratio must be positive.
+    """
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError(f"power ratio must be positive, got {ratio!r}")
+    out = 10.0 * np.log10(arr)
+    return float(out) if np.isscalar(ratio) or arr.ndim == 0 else out
+
+
+def db_to_linear(db):
+    """Convert decibels to a linear *power* ratio (``10**(db/10)``)."""
+    arr = np.asarray(db, dtype=float)
+    out = np.power(10.0, arr / 10.0)
+    return float(out) if np.isscalar(db) or arr.ndim == 0 else out
+
+
+def amplitude_to_db(ratio):
+    """Convert a linear *amplitude* ratio to decibels (``20*log10``)."""
+    arr = np.asarray(ratio, dtype=float)
+    if np.any(arr <= 0.0):
+        raise ValueError(f"amplitude ratio must be positive, got {ratio!r}")
+    out = 20.0 * np.log10(arr)
+    return float(out) if np.isscalar(ratio) or arr.ndim == 0 else out
+
+
+def db_to_amplitude(db):
+    """Convert decibels to a linear *amplitude* ratio (``10**(db/20)``)."""
+    arr = np.asarray(db, dtype=float)
+    out = np.power(10.0, arr / 20.0)
+    return float(out) if np.isscalar(db) or arr.ndim == 0 else out

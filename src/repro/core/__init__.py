@@ -1,0 +1,78 @@
+"""Noise-figure core: the paper's contribution.
+
+* :mod:`repro.core.definitions` — F/NF/SNR definitions and the Y-factor
+  equations (paper eqs 1-9).
+* :mod:`repro.core.direct` — the direct method (section 4.1) including its
+  gain-drift sensitivity (eq 10).
+* :mod:`repro.core.yfactor` — full-ADC Y-factor estimation (section 4.2).
+* :mod:`repro.core.normalization` — reference-line spectrum normalization
+  (section 5.2), the key enabling trick of the proposed method.
+* :mod:`repro.core.bist` — the end-to-end 1-bit BIST noise-figure pipeline
+  (section 4.3 + 5).
+* :mod:`repro.core.uncertainty` — error propagation (section 4.2 / ref [6]).
+* :mod:`repro.core.multipoint` — simultaneous multi-test-point measurement.
+* :mod:`repro.core.frequency_response` — frequency-response reuse of the
+  same BIST cell (ref [3], mentioned in section 7).
+"""
+
+from repro.core.averaging import AveragedResult, RepeatedMeasurement
+from repro.core.bist import (
+    BISTMeasurementConfig,
+    BISTResult,
+    OneBitNoiseFigureBIST,
+)
+from repro.core.definitions import (
+    YFactorResult,
+    enr_db,
+    f_to_nf,
+    friis_cascade_factor,
+    nf_to_f,
+    noise_factor_from_y,
+    noise_factor_from_y_powers,
+    noise_figure_from_y,
+    noise_temperature_from_factor,
+    snr_db_from_waveforms,
+    y_factor_expected,
+)
+from repro.core.direct import DirectMethod, direct_method_gain_error_db
+from repro.core.frequency_response import (
+    FrequencyResponseBIST,
+    FrequencyResponseResult,
+)
+from repro.core.multipoint import MultiPointBIST, TestPoint
+from repro.core.normalization import NormalizationResult, ReferenceNormalizer
+from repro.core.spot_nf import SpotNoiseFigureSweep, octave_bands
+from repro.core.uncertainty import UncertaintyBudget, nf_uncertainty_budget
+from repro.core.yfactor import YFactorMethod
+
+__all__ = [
+    "f_to_nf",
+    "nf_to_f",
+    "enr_db",
+    "noise_factor_from_y",
+    "noise_factor_from_y_powers",
+    "noise_figure_from_y",
+    "noise_temperature_from_factor",
+    "y_factor_expected",
+    "friis_cascade_factor",
+    "snr_db_from_waveforms",
+    "YFactorResult",
+    "DirectMethod",
+    "direct_method_gain_error_db",
+    "YFactorMethod",
+    "ReferenceNormalizer",
+    "NormalizationResult",
+    "OneBitNoiseFigureBIST",
+    "BISTMeasurementConfig",
+    "BISTResult",
+    "UncertaintyBudget",
+    "nf_uncertainty_budget",
+    "MultiPointBIST",
+    "TestPoint",
+    "SpotNoiseFigureSweep",
+    "octave_bands",
+    "FrequencyResponseBIST",
+    "FrequencyResponseResult",
+    "RepeatedMeasurement",
+    "AveragedResult",
+]

@@ -1,0 +1,104 @@
+"""Direct noise-figure measurement (paper section 4.1, eqs 4 and 10).
+
+The direct method measures the DUT's absolute output noise power with a
+matched load at 290 K on its input, then divides by ``k*T0*B*G``.  Its
+practical weakness — quantified here — is that any drift of the
+conditioning-amplifier gain enters the estimate directly (eq 10), whereas
+the Y-factor method cancels it (eq 11).
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.constants import BOLTZMANN, T0_KELVIN, linear_to_db
+from repro.core.definitions import f_to_nf
+from repro.dsp.power import mean_square
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.waveform import Waveform
+
+
+class DirectMethod:
+    """Direct-method estimator.
+
+    Parameters
+    ----------
+    assumed_power_gain:
+        The total *power* gain the estimator believes the chain has
+        (DUT * conditioning amplifier).  In the voltage-mode simulation
+        this is the voltage gain squared.
+    bandwidth_hz:
+        Equivalent noise bandwidth of the measurement.
+    source_power_n0:
+        Source noise power at T0 in the same units as the measured output
+        power.  Default uses ``k*T0*B`` (matched-power convention); for
+        voltage-mode simulations pass ``4kT0*Rs*B`` instead.
+    """
+
+    def __init__(
+        self,
+        assumed_power_gain: float,
+        bandwidth_hz: float,
+        source_power_n0: float = None,
+        t0_k: float = T0_KELVIN,
+    ):
+        if assumed_power_gain <= 0:
+            raise ConfigurationError(
+                f"assumed gain must be > 0, got {assumed_power_gain}"
+            )
+        if bandwidth_hz <= 0:
+            raise ConfigurationError(
+                f"bandwidth must be > 0 Hz, got {bandwidth_hz}"
+            )
+        self.assumed_power_gain = float(assumed_power_gain)
+        self.bandwidth_hz = float(bandwidth_hz)
+        self.t0_k = float(t0_k)
+        if source_power_n0 is None:
+            source_power_n0 = BOLTZMANN * self.t0_k * self.bandwidth_hz
+        if source_power_n0 <= 0:
+            raise ConfigurationError(
+                f"source power must be > 0, got {source_power_n0}"
+            )
+        self.source_power_n0 = float(source_power_n0)
+
+    # ------------------------------------------------------------------
+    def noise_factor_from_power(self, output_power: float) -> float:
+        """Estimate F from a measured output noise power (eq 4)."""
+        if output_power <= 0:
+            raise MeasurementError(
+                f"output power must be > 0, got {output_power}"
+            )
+        factor = output_power / (self.source_power_n0 * self.assumed_power_gain)
+        if factor < 1.0:
+            raise MeasurementError(
+                f"measured output power implies F={factor:.4f} < 1; the "
+                "assumed gain or bandwidth is too large"
+            )
+        return factor
+
+    def noise_figure_from_power(self, output_power: float) -> float:
+        """NF in dB from a measured output power."""
+        return f_to_nf(self.noise_factor_from_power(output_power))
+
+    def measure(self, output_record: Union[Waveform, np.ndarray]) -> float:
+        """NF in dB from a time-domain output noise record."""
+        return self.noise_figure_from_power(mean_square(output_record))
+
+
+def direct_method_gain_error_db(true_noise_factor: float, gain_drift: float) -> float:
+    """NF estimation error of the direct method under gain drift (eq 10).
+
+    If the actual chain power gain is ``drift`` times the assumed one, the
+    estimated factor is ``F * drift``; the NF error in dB is therefore
+    ``10*log10(drift)``, independent of the DUT.
+    """
+    if true_noise_factor < 1.0:
+        raise ConfigurationError(
+            f"noise factor must be >= 1, got {true_noise_factor}"
+        )
+    if gain_drift <= 0:
+        raise ConfigurationError(f"gain drift must be > 0, got {gain_drift}")
+    estimated = true_noise_factor * gain_drift
+    return linear_to_db(estimated) - linear_to_db(true_noise_factor)

@@ -1,0 +1,28 @@
+"""The paper's 1-bit digitizer (figures 5-6).
+
+A voltage comparator compares the analog test-point signal against a
+reference waveform; a flip-flop samples the comparator output.  Because of
+the arcsine law the statistics of the analog input survive the 1-bit
+quantization up to a known nonlinearity, which is the theoretical basis of
+the whole method (paper section 5.1, eq 12).
+"""
+
+from repro.digitizer.arcsine import (
+    arcsine_law,
+    corrected_psd,
+    line_coherent_gain,
+    van_vleck_inverse,
+)
+from repro.digitizer.comparator import Comparator
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.digitizer.sampler import SampledLatch
+
+__all__ = [
+    "Comparator",
+    "SampledLatch",
+    "OneBitDigitizer",
+    "arcsine_law",
+    "van_vleck_inverse",
+    "line_coherent_gain",
+    "corrected_psd",
+]

@@ -1,0 +1,97 @@
+"""Voltage comparator model.
+
+The ideal comparator outputs ``sign(signal - reference)``; the model adds
+the non-idealities that matter for a BIST cell on silicon: input-referred
+offset, input noise and hysteresis.  Hysteresis makes the decision
+state-dependent, so that path is evaluated sequentially; the common
+zero-hysteresis case is fully vectorized.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signals.random import GeneratorLike, make_rng
+from repro.signals.waveform import Waveform
+
+
+class Comparator:
+    """A voltage comparator with offset, input noise and hysteresis.
+
+    Parameters
+    ----------
+    offset_v:
+        Input-referred offset voltage added to the comparison.
+    input_noise_rms:
+        RMS of the comparator's own input-referred noise (adds to the
+        dither already present in the signal path).
+    hysteresis_v:
+        Full hysteresis width; the switching thresholds sit at
+        ``+/- hysteresis_v / 2`` around the nominal crossing.
+    """
+
+    def __init__(
+        self,
+        offset_v: float = 0.0,
+        input_noise_rms: float = 0.0,
+        hysteresis_v: float = 0.0,
+    ):
+        if input_noise_rms < 0:
+            raise ConfigurationError(
+                f"input noise RMS must be >= 0, got {input_noise_rms}"
+            )
+        if hysteresis_v < 0:
+            raise ConfigurationError(
+                f"hysteresis must be >= 0, got {hysteresis_v}"
+            )
+        self.offset_v = float(offset_v)
+        self.input_noise_rms = float(input_noise_rms)
+        self.hysteresis_v = float(hysteresis_v)
+
+    def compare(
+        self,
+        signal: Waveform,
+        reference: Waveform,
+        rng: GeneratorLike = None,
+    ) -> Waveform:
+        """Return the +/-1 comparator decision waveform.
+
+        ``signal`` and ``reference`` must share sample rate and length.
+        Exact zero differences resolve to +1 (deterministic tie-break).
+        """
+        if signal.sample_rate != reference.sample_rate:
+            raise ConfigurationError(
+                "signal/reference sample-rate mismatch: "
+                f"{signal.sample_rate} vs {reference.sample_rate} Hz"
+            )
+        if signal.n_samples != reference.n_samples:
+            raise ConfigurationError(
+                "signal/reference length mismatch: "
+                f"{signal.n_samples} vs {reference.n_samples} samples"
+            )
+        diff = signal.samples - reference.samples + self.offset_v
+        if self.input_noise_rms > 0:
+            gen = make_rng(rng)
+            diff = diff + gen.normal(0.0, self.input_noise_rms, size=diff.size)
+
+        if self.hysteresis_v == 0.0:
+            bits = np.where(diff >= 0.0, 1.0, -1.0)
+        else:
+            bits = self._compare_with_hysteresis(diff)
+        return Waveform(bits, signal.sample_rate)
+
+    def _compare_with_hysteresis(self, diff: np.ndarray) -> np.ndarray:
+        """Sequential Schmitt-trigger evaluation."""
+        half = self.hysteresis_v / 2.0
+        bits = np.empty(diff.size)
+        state = 1.0 if diff.size and diff[0] >= 0.0 else -1.0
+        for i, value in enumerate(diff):
+            if state > 0:
+                if value < -half:
+                    state = -1.0
+            else:
+                if value > half:
+                    state = 1.0
+            bits[i] = state
+        return bits

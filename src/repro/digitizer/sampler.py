@@ -1,0 +1,55 @@
+"""Sampling flip-flop (the D latch in figure 6).
+
+The comparator output is resampled by the BIST clock.  The model supports
+an integer clock divider relative to the simulation rate and random
+sampling jitter expressed in simulation samples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signals.random import GeneratorLike, make_rng
+from repro.signals.waveform import Waveform
+
+
+class SampledLatch:
+    """Resamples a comparator decision stream on a divided clock.
+
+    Parameters
+    ----------
+    divider:
+        The latch clock is ``simulation_rate / divider`` (integer >= 1).
+    jitter_rms_samples:
+        RMS timing jitter in units of simulation samples; each sampling
+        instant is perturbed by a rounded Gaussian offset (clipped to the
+        record).
+    """
+
+    def __init__(self, divider: int = 1, jitter_rms_samples: float = 0.0):
+        if not isinstance(divider, (int, np.integer)) or divider < 1:
+            raise ConfigurationError(
+                f"divider must be an integer >= 1, got {divider!r}"
+            )
+        if jitter_rms_samples < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {jitter_rms_samples}"
+            )
+        self.divider = int(divider)
+        self.jitter_rms_samples = float(jitter_rms_samples)
+
+    def sample(self, decisions: Waveform, rng: GeneratorLike = None) -> Waveform:
+        """Latch the decision stream on the divided clock."""
+        n = decisions.n_samples
+        if n == 0:
+            return Waveform(np.zeros(0), decisions.sample_rate / self.divider)
+        indices = np.arange(0, n, self.divider)
+        if self.jitter_rms_samples > 0:
+            gen = make_rng(rng)
+            jitter = np.rint(
+                gen.normal(0.0, self.jitter_rms_samples, size=indices.size)
+            ).astype(int)
+            indices = np.clip(indices + jitter, 0, n - 1)
+        samples = decisions.samples[indices]
+        return Waveform(samples, decisions.sample_rate / self.divider)

@@ -1,0 +1,60 @@
+"""Autocorrelation estimators (FFT-based).
+
+Used to verify the arcsine law (paper eq 12): the autocorrelation of the
+1-bit digitizer output must match ``(2/pi)*arcsin(rho_x)`` of the analog
+input's normalized autocorrelation.
+"""
+
+from __future__ import annotations
+
+from typing import Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform
+
+
+def autocorrelation(
+    signal: Union[Waveform, np.ndarray],
+    max_lag: int,
+    unbiased: bool = False,
+    remove_mean: bool = True,
+) -> np.ndarray:
+    """Estimate ``R[k]`` for lags ``0..max_lag`` via FFT.
+
+    ``biased`` (default) divides by ``N`` for every lag, which keeps the
+    estimate positive-semidefinite; ``unbiased`` divides by ``N-k``.
+    """
+    samples = signal.samples if isinstance(signal, Waveform) else np.asarray(signal, float)
+    if samples.ndim != 1:
+        raise ConfigurationError(f"signal must be 1-D, got shape {samples.shape}")
+    n = samples.size
+    if n < 2:
+        raise ConfigurationError("autocorrelation needs at least two samples")
+    if not 0 <= max_lag < n:
+        raise ConfigurationError(
+            f"max_lag must be in [0, {n - 1}], got {max_lag}"
+        )
+    x = samples - np.mean(samples) if remove_mean else samples.copy()
+    nfft = 1
+    while nfft < 2 * n:
+        nfft *= 2
+    spectrum = np.fft.rfft(x, n=nfft)
+    raw = np.fft.irfft(spectrum * np.conj(spectrum), n=nfft)[: max_lag + 1]
+    if unbiased:
+        divisors = n - np.arange(max_lag + 1)
+        return raw / divisors
+    return raw / n
+
+
+def normalized_autocorrelation(
+    signal: Union[Waveform, np.ndarray],
+    max_lag: int,
+    remove_mean: bool = True,
+) -> np.ndarray:
+    """Autocorrelation normalized to ``rho[0] == 1``."""
+    r = autocorrelation(signal, max_lag, unbiased=False, remove_mean=remove_mean)
+    if r[0] <= 0:
+        raise ConfigurationError("signal has zero power; cannot normalize")
+    return r / r[0]

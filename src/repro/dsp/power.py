@@ -1,0 +1,56 @@
+"""Plain power utilities shared by the estimators.
+
+These implement the paper's Table 2 comparison methods: time-domain
+mean-square power ratio vs. PSD-integrated band power ratio.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.constants import linear_to_db
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform
+
+
+def mean_square(signal: Union[Waveform, np.ndarray]) -> float:
+    """Mean-square value (power into 1 ohm)."""
+    samples = signal.samples if isinstance(signal, Waveform) else np.asarray(signal, float)
+    if samples.size == 0:
+        raise ConfigurationError("cannot compute power of an empty signal")
+    return float(np.mean(samples**2))
+
+
+def power_ratio(numerator: Union[Waveform, np.ndarray], denominator: Union[Waveform, np.ndarray]) -> float:
+    """Time-domain mean-square power ratio (Table 2, "mean square ratio")."""
+    p_den = mean_square(denominator)
+    if p_den <= 0:
+        raise ConfigurationError("denominator signal has zero power")
+    return mean_square(numerator) / p_den
+
+
+def power_ratio_db(numerator, denominator) -> float:
+    """Power ratio expressed in dB."""
+    return linear_to_db(power_ratio(numerator, denominator))
+
+
+def band_power_from_spectrum(
+    spectrum: Spectrum,
+    f_low: float,
+    f_high: float,
+    exclude: Sequence[Tuple[float, float]] = (),
+) -> float:
+    """Convenience wrapper over :meth:`Spectrum.band_power`."""
+    return spectrum.band_power(f_low, f_high, exclude=exclude)
+
+
+def snr_db(signal_power: float, noise_power: float) -> float:
+    """Signal-to-noise ratio in dB (paper eq 1)."""
+    if signal_power <= 0 or noise_power <= 0:
+        raise ConfigurationError(
+            f"powers must be positive, got signal={signal_power}, noise={noise_power}"
+        )
+    return linear_to_db(signal_power / noise_power)

@@ -1,0 +1,118 @@
+"""Window functions implemented from first principles.
+
+Only ``numpy`` primitives are used so the estimator stack does not depend
+on ``scipy.signal`` — the point of the reproduction is to model what a SoC
+DSP routine would implement.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def rectangular(n: int) -> np.ndarray:
+    """All-ones window."""
+    return np.ones(n)
+
+
+def hann(n: int) -> np.ndarray:
+    """Hann window (periodic form, suited to Welch averaging)."""
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.5 - 0.5 * np.cos(2.0 * np.pi * k / n)
+
+
+def hamming(n: int) -> np.ndarray:
+    """Hamming window (periodic form)."""
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    return 0.54 - 0.46 * np.cos(2.0 * np.pi * k / n)
+
+
+def blackman(n: int) -> np.ndarray:
+    """Blackman window (periodic form)."""
+    if n == 1:
+        return np.ones(1)
+    k = np.arange(n)
+    x = 2.0 * np.pi * k / n
+    return 0.42 - 0.5 * np.cos(x) + 0.08 * np.cos(2.0 * x)
+
+
+def flattop(n: int) -> np.ndarray:
+    """Flat-top window — best amplitude accuracy for line measurements."""
+    if n == 1:
+        return np.ones(1)
+    a = (0.21557895, 0.41663158, 0.277263158, 0.083578947, 0.006947368)
+    k = np.arange(n)
+    x = 2.0 * np.pi * k / n
+    return (
+        a[0]
+        - a[1] * np.cos(x)
+        + a[2] * np.cos(2 * x)
+        - a[3] * np.cos(3 * x)
+        + a[4] * np.cos(4 * x)
+    )
+
+
+_WINDOWS: Dict[str, callable] = {
+    "rectangular": rectangular,
+    "boxcar": rectangular,
+    "hann": hann,
+    "hanning": hann,
+    "hamming": hamming,
+    "blackman": blackman,
+    "flattop": flattop,
+}
+
+
+def get_window(name: str, n: int) -> np.ndarray:
+    """Return a window of length ``n`` by name.
+
+    Raises ``ConfigurationError`` for unknown names or non-positive length.
+    """
+    if n <= 0:
+        raise ConfigurationError(f"window length must be > 0, got {n}")
+    try:
+        fn = _WINDOWS[name.lower()]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown window {name!r}; available: {sorted(set(_WINDOWS))}"
+        ) from None
+    return fn(n)
+
+
+def window_gains(window: np.ndarray) -> Tuple[float, float]:
+    """Return ``(coherent_gain, noise_gain)`` of a window.
+
+    ``coherent_gain = mean(w)`` scales deterministic lines;
+    ``noise_gain = mean(w^2)`` scales noise power.  Their ratio defines the
+    equivalent noise bandwidth used to convert between line power and PSD
+    density.
+    """
+    w = np.asarray(window, dtype=float)
+    if w.size == 0:
+        raise ConfigurationError("window must be non-empty")
+    coherent = float(np.mean(w))
+    noise = float(np.mean(w**2))
+    return coherent, noise
+
+
+def enbw_bins(window: np.ndarray) -> float:
+    """Equivalent noise bandwidth of the window in FFT bins.
+
+    ``ENBW = N * sum(w^2) / sum(w)^2`` — 1.0 for rectangular, 1.5 for Hann.
+    """
+    w = np.asarray(window, dtype=float)
+    if w.size == 0:
+        raise ConfigurationError("window must be non-empty")
+    s1 = float(np.sum(w))
+    s2 = float(np.sum(w**2))
+    if s1 == 0.0:
+        raise ConfigurationError("window must have a non-zero sum")
+    return w.size * s2 / (s1 * s1)

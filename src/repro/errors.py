@@ -1,0 +1,22 @@
+"""Exception hierarchy for the nfbist reproduction package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all package-specific errors."""
+
+
+class ConfigurationError(ReproError):
+    """Raised when a component is constructed or used with invalid
+    parameters (negative temperatures, zero sample rates, ...)."""
+
+
+class MeasurementError(ReproError):
+    """Raised when a measurement cannot produce a meaningful result
+    (reference line not found, non-positive Y factor, ...)."""
+
+
+class ResourceError(ReproError):
+    """Raised by the SoC resource models when a capacity is exceeded
+    (memory overflow, processor budget, ...)."""

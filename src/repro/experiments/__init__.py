@@ -1,0 +1,34 @@
+"""Experiment harness: one module per paper table/figure plus ablations.
+
+Every ``run_*`` function is deterministic given its ``seed`` and returns a
+plain dataclass of results; the matching benchmark regenerates the paper's
+rows/series from it and the examples reuse the same entry points.
+
+Index (see DESIGN.md section 4):
+
+================  =============================================
+Module            Paper content
+================  =============================================
+``table1``        Reference NF/F values
+``table2``        Noise power ratio by three methods
+``table3``        Four-opamp prototype NF (expected vs measured)
+``fig7``          Hot/cold noise + reference waveforms
+``fig8``          Bitstream PSD levels before normalization
+``fig9``          Normalized PSD floors (zoom at 60 Hz)
+``fig10``         Power-ratio error vs reference amplitude
+``fig13``         Prototype PSDs after normalization
+``gain_sensitivity``  Direct vs Y-factor under gain drift (eq 10/11)
+``uncertainty``   Hot-temperature error budget (ref [6] claim)
+``resources``     SoC resource accounting, 1-bit vs ADC vs streaming
+``vanvleck``      Arcsine-correction ablation
+``record_length`` Accuracy vs acquisition length ablation
+``robustness``    Comparator non-ideality ablation
+``fixedpoint_ablation``  Fixed-point DSP word-length ablation
+``spot_nf``       NF vs frequency extension (octave bands)
+``production``    Guard-banded production screening extension
+================  =============================================
+"""
+
+from repro.experiments.matlab_sim import MatlabSimulation, MatlabSimConfig
+
+__all__ = ["MatlabSimulation", "MatlabSimConfig"]

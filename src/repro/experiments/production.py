@@ -1,0 +1,114 @@
+"""Extension experiment: production screening escape/overkill tradeoff.
+
+Simulates a lot of devices whose true NF spreads around a specification
+limit (process variation on the opamp's voltage noise), measures each
+with the 1-bit BIST and screens with several guard-band settings.  The
+tradeoff the guard band buys — fewer escapes for more retests/overkill —
+is the production-economics argument behind BIST NF measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.analog.opamp import OpAmpNoiseModel
+from repro.core.bist import OneBitNoiseFigureBIST
+from repro.core.production import (
+    PopulationOutcome,
+    ProductionNfScreen,
+    screen_population,
+)
+from repro.errors import ConfigurationError
+from repro.instruments.testbench import build_prototype_testbench
+from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+
+
+@dataclass(frozen=True)
+class GuardbandRow:
+    """Screening statistics for one guard-band setting."""
+
+    guardband_sigmas: float
+    guardband_db: float
+    outcome: PopulationOutcome
+
+
+@dataclass(frozen=True)
+class ProductionResult:
+    """The guard-band sweep over one simulated lot."""
+
+    limit_db: float
+    measurement_sigma_db: float
+    n_devices: int
+    true_nf_db: List[float]
+    measured_nf_db: List[float]
+    rows: List[GuardbandRow]
+
+    def escapes_decrease_with_guardband(self) -> bool:
+        """Escapes must not increase as the guard band widens."""
+        escapes = [r.outcome.n_escapes for r in self.rows]
+        return all(b <= a for a, b in zip(escapes, escapes[1:]))
+
+
+def run_production(
+    limit_db: float = 8.0,
+    nf_spread_db: float = 1.5,
+    n_devices: int = 24,
+    guardband_sigmas: Sequence[float] = (0.0, 1.0, 2.0),
+    n_samples: int = 2**17,
+    measurement_sigma_db: float = 0.45,
+    seed: GeneratorLike = 2005,
+) -> ProductionResult:
+    """Simulate a lot and sweep the guard band.
+
+    Each device's true NF is drawn uniformly from
+    ``limit +/- nf_spread`` (a worst-case lot straddling the limit), its
+    opamp is synthesized to that NF, and one BIST measurement is taken.
+    """
+    if n_devices < 4:
+        raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
+    if nf_spread_db <= 0:
+        raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
+    gen = make_rng(seed)
+    draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
+    true_values = draw_rng.uniform(
+        limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
+    )
+
+    measured_values = []
+    estimator: Optional[OneBitNoiseFigureBIST] = None
+    for true_nf, device_rng in zip(true_values, device_rngs):
+        model = OpAmpNoiseModel.from_expected_nf(
+            float(true_nf), 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
+        )
+        bench = build_prototype_testbench(model, n_samples=n_samples)
+        estimator = bench.make_estimator()
+        result = estimator.measure(bench.acquire_bitstream, rng=device_rng)
+        measured_values.append(result.noise_figure_db)
+
+    rows = []
+    for sigmas in guardband_sigmas:
+        screen = ProductionNfScreen(
+            estimator,
+            limit_db=limit_db,
+            measurement_sigma_db=measurement_sigma_db,
+            guardband_sigmas=float(sigmas),
+        )
+        outcome = screen_population(screen, true_values, measured_values)
+        rows.append(
+            GuardbandRow(
+                guardband_sigmas=float(sigmas),
+                guardband_db=screen.guardband_db,
+                outcome=outcome,
+            )
+        )
+    return ProductionResult(
+        limit_db=limit_db,
+        measurement_sigma_db=measurement_sigma_db,
+        n_devices=n_devices,
+        true_nf_db=[float(v) for v in true_values],
+        measured_nf_db=measured_values,
+        rows=rows,
+    )

@@ -1,0 +1,18 @@
+"""Simulated bench instruments and the Figure-11 prototype testbench.
+
+The paper's prototype used an HP33120A noise generator, a second HP33120A
+as the 3 kHz sine reference and an HP54645D digital scope.  These models
+replace them (DESIGN.md section 2) so the full experimental setup can be
+rebuilt in simulation with :func:`build_prototype_testbench`.
+"""
+
+from repro.instruments.function_generator import FunctionGenerator
+from repro.instruments.scope import LogicScope
+from repro.instruments.testbench import PrototypeTestbench, build_prototype_testbench
+
+__all__ = [
+    "FunctionGenerator",
+    "LogicScope",
+    "PrototypeTestbench",
+    "build_prototype_testbench",
+]

@@ -1,0 +1,6 @@
+"""ASCII rendering of experiment tables and series (used by benches)."""
+
+from repro.reporting.series import render_series
+from repro.reporting.tables import render_table
+
+__all__ = ["render_table", "render_series"]

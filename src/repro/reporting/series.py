@@ -1,0 +1,52 @@
+"""Plain-text rendering of (x, y) series — the "figures" of the benches."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def render_series(
+    x: Sequence[float],
+    y: Sequence[float],
+    x_label: str = "x",
+    y_label: str = "y",
+    title: Optional[str] = None,
+    width: int = 60,
+    float_format: str = ".4g",
+) -> str:
+    """Render a series as rows with a proportional ASCII bar per point.
+
+    The bar spans the y range (including negative values around a zero
+    axis), giving a quick textual "plot" of the figure's shape.
+    """
+    xa = np.asarray(list(x), dtype=float)
+    ya = np.asarray(list(y), dtype=float)
+    if xa.size != ya.size:
+        raise ConfigurationError(
+            f"x and y must have equal length, got {xa.size} and {ya.size}"
+        )
+    if xa.size == 0:
+        raise ConfigurationError("series must be non-empty")
+    if width < 10:
+        raise ConfigurationError(f"width must be >= 10, got {width}")
+
+    y_min = float(np.min(ya))
+    y_max = float(np.max(ya))
+    span = y_max - y_min if y_max > y_min else 1.0
+
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(f"{x_label:>14s}  {y_label:>14s}")
+    for xv, yv in zip(xa, ya):
+        frac = (yv - y_min) / span
+        bar = "#" * max(1, int(round(frac * width)))
+        lines.append(
+            f"{format(xv, float_format):>14s}  {format(yv, float_format):>14s}  |{bar}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,57 @@
+"""Plain-text table rendering for benchmark/experiment output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+
+def _format_cell(value, float_format: str) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return format(value, float_format)
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+    float_format: str = ".4g",
+) -> str:
+    """Render a list of rows as an aligned ASCII table.
+
+    Floats are formatted with ``float_format``; every row must have as
+    many cells as there are headers.
+    """
+    headers = [str(h) for h in headers]
+    if not headers:
+        raise ConfigurationError("table needs at least one column")
+    text_rows: List[List[str]] = []
+    for row in rows:
+        cells = [_format_cell(v, float_format) for v in row]
+        if len(cells) != len(headers):
+            raise ConfigurationError(
+                f"row {cells} has {len(cells)} cells, expected {len(headers)}"
+            )
+        text_rows.append(cells)
+
+    widths = [len(h) for h in headers]
+    for cells in text_rows:
+        for i, cell in enumerate(cells):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    lines.append(fmt_line(headers))
+    lines.append(rule)
+    lines.extend(fmt_line(cells) for cells in text_rows)
+    return "\n".join(lines)

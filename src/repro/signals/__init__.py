@@ -1,0 +1,41 @@
+"""Signal substrate: waveform container, sources, thermal-noise math.
+
+This package provides everything the rest of the library consumes as a
+*stimulus*: sampled waveforms with an attached sample rate, deterministic
+reference waveforms (sine/square), Gaussian and thermal noise sources,
+frequency-shaped (1/f) noise, band-limiting filters and reproducible
+random-number management.
+"""
+
+from repro.signals.random import spawn_rngs, make_rng
+from repro.signals.sources import (
+    CompositeSource,
+    GaussianNoiseSource,
+    ShapedNoiseSource,
+    SineSource,
+    SquareSource,
+    ThermalNoiseSource,
+)
+from repro.signals.thermal import (
+    available_noise_power,
+    enr_db_from_temperatures,
+    johnson_noise_density,
+    temperature_from_power,
+)
+from repro.signals.waveform import Waveform
+
+__all__ = [
+    "Waveform",
+    "make_rng",
+    "spawn_rngs",
+    "SineSource",
+    "SquareSource",
+    "GaussianNoiseSource",
+    "ThermalNoiseSource",
+    "ShapedNoiseSource",
+    "CompositeSource",
+    "available_noise_power",
+    "johnson_noise_density",
+    "temperature_from_power",
+    "enr_db_from_temperatures",
+]

@@ -1,0 +1,76 @@
+"""Thermal-noise arithmetic (kTB powers, Johnson densities, ENR).
+
+These helpers implement the quantities used by equations 4-9 of the paper:
+available noise power ``k*T*B``, equivalent noise temperature of a measured
+power, Johnson (resistor) noise voltage density ``4*k*T*R`` and the excess
+noise ratio (ENR) of a calibrated hot/cold noise source.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.constants import BOLTZMANN, T0_KELVIN, linear_to_db
+from repro.errors import ConfigurationError
+
+
+def available_noise_power(temperature_k: float, bandwidth_hz: float) -> float:
+    """Available noise power ``k*T*B`` in watts.
+
+    This is the numerator/denominator building block of the IEEE noise
+    factor definition (paper eq 4).
+    """
+    if temperature_k < 0:
+        raise ConfigurationError(f"temperature must be >= 0 K, got {temperature_k}")
+    if bandwidth_hz <= 0:
+        raise ConfigurationError(f"bandwidth must be > 0 Hz, got {bandwidth_hz}")
+    return BOLTZMANN * temperature_k * bandwidth_hz
+
+
+def temperature_from_power(power_w: float, bandwidth_hz: float) -> float:
+    """Equivalent noise temperature ``P / (k*B)`` in kelvin."""
+    if power_w < 0:
+        raise ConfigurationError(f"power must be >= 0 W, got {power_w}")
+    if bandwidth_hz <= 0:
+        raise ConfigurationError(f"bandwidth must be > 0 Hz, got {bandwidth_hz}")
+    return power_w / (BOLTZMANN * bandwidth_hz)
+
+
+def johnson_noise_density(resistance_ohm: float, temperature_k: float = T0_KELVIN) -> float:
+    """One-sided Johnson noise voltage density ``4kTR`` in V^2/Hz."""
+    if resistance_ohm < 0:
+        raise ConfigurationError(f"resistance must be >= 0, got {resistance_ohm}")
+    if temperature_k < 0:
+        raise ConfigurationError(f"temperature must be >= 0 K, got {temperature_k}")
+    return 4.0 * BOLTZMANN * temperature_k * resistance_ohm
+
+
+def johnson_noise_rms(
+    resistance_ohm: float, bandwidth_hz: float, temperature_k: float = T0_KELVIN
+) -> float:
+    """RMS Johnson noise voltage ``sqrt(4kTRB)`` in volts."""
+    if bandwidth_hz < 0:
+        raise ConfigurationError(f"bandwidth must be >= 0 Hz, got {bandwidth_hz}")
+    return float(
+        np.sqrt(johnson_noise_density(resistance_ohm, temperature_k) * bandwidth_hz)
+    )
+
+
+def excess_noise_ratio(t_hot_k: float, t_reference_k: float = T0_KELVIN) -> float:
+    """Linear excess noise ratio ``(Th - T0)/T0`` of a hot noise source."""
+    if t_hot_k <= t_reference_k:
+        raise ConfigurationError(
+            f"hot temperature ({t_hot_k} K) must exceed the reference "
+            f"temperature ({t_reference_k} K)"
+        )
+    return (t_hot_k - t_reference_k) / t_reference_k
+
+
+def enr_db_from_temperatures(t_hot_k: float, t_reference_k: float = T0_KELVIN) -> float:
+    """Excess noise ratio in dB, the usual noise-source calibration figure."""
+    return linear_to_db(excess_noise_ratio(t_hot_k, t_reference_k))
+
+
+def temperature_from_enr_db(enr_db: float, t_reference_k: float = T0_KELVIN) -> float:
+    """Hot temperature corresponding to an ENR value in dB."""
+    return t_reference_k * (1.0 + 10.0 ** (enr_db / 10.0))

@@ -1,0 +1,30 @@
+"""SoC environment model: reused memory and processing resources.
+
+The paper's motivation (sections 1 and 4) is that a SoC already contains
+the memory and DSP horsepower the method needs, so the *added* analog cost
+is one comparator per test point.  This package quantifies that claim:
+
+* :mod:`repro.soc.memory` — a capacity-limited sample memory that stores
+  bit-packed 1-bit captures (or multi-bit ADC words, for comparison);
+* :mod:`repro.soc.processor` — a cycle-cost model of the DSP routines the
+  measurement runs (windowing, FFT, accumulation, band power);
+* :mod:`repro.soc.bist_controller` — orchestration of a two-state
+  measurement with full resource accounting.
+"""
+
+from repro.soc.bist_controller import BISTController, ResourceReport
+from repro.soc.fixedpoint import FixedPointSpec, fixed_point_welch
+from repro.soc.memory import SampleMemory
+from repro.soc.processor import DSPProcessor
+from repro.soc.streaming import StreamingWelch, accumulate_stream
+
+__all__ = [
+    "SampleMemory",
+    "DSPProcessor",
+    "BISTController",
+    "ResourceReport",
+    "FixedPointSpec",
+    "fixed_point_welch",
+    "StreamingWelch",
+    "accumulate_stream",
+]

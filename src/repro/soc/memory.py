@@ -1,0 +1,130 @@
+"""Capacity-limited sample memory with 1-bit packing.
+
+A 1e6-sample 1-bit capture needs 125 kB — small enough to reuse a SoC's
+existing SRAM, which is the "low cost" storage argument of the paper.  The
+same record at 12-bit ADC resolution needs 1.5 MB (stored as packed 12-bit
+words); :meth:`SampleMemory.words_required` exposes that comparison for
+the resource bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.signals.waveform import Waveform
+
+
+@dataclass(frozen=True)
+class StoredRecord:
+    """Metadata of a record held in sample memory."""
+
+    key: str
+    n_samples: int
+    bytes_used: int
+    sample_rate_hz: float
+    bits_per_sample: float
+
+
+class SampleMemory:
+    """Byte-addressable capture memory shared with the SoC.
+
+    Parameters
+    ----------
+    capacity_bytes:
+        Total memory the BIST is allowed to claim.
+    """
+
+    def __init__(self, capacity_bytes: int):
+        if capacity_bytes <= 0:
+            raise ConfigurationError(
+                f"capacity must be > 0 bytes, got {capacity_bytes}"
+            )
+        self.capacity_bytes = int(capacity_bytes)
+        self._records: Dict[str, Tuple[StoredRecord, np.ndarray]] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def bytes_used(self) -> int:
+        """Bytes currently allocated."""
+        return sum(rec.bytes_used for rec, _ in self._records.values())
+
+    @property
+    def bytes_free(self) -> int:
+        """Remaining capacity."""
+        return self.capacity_bytes - self.bytes_used
+
+    def records(self) -> List[StoredRecord]:
+        """Metadata of all stored records."""
+        return [rec for rec, _ in self._records.values()]
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def bytes_required_bits(n_samples: int) -> int:
+        """Bytes to store ``n_samples`` 1-bit values (packed)."""
+        if n_samples < 0:
+            raise ConfigurationError(f"n_samples must be >= 0, got {n_samples}")
+        return (n_samples + 7) // 8
+
+    @staticmethod
+    def words_required(n_samples: int, bits_per_sample: int) -> int:
+        """Bytes to store ``n_samples`` packed multi-bit ADC words."""
+        if bits_per_sample <= 0:
+            raise ConfigurationError(
+                f"bits_per_sample must be > 0, got {bits_per_sample}"
+            )
+        total_bits = n_samples * bits_per_sample
+        return (total_bits + 7) // 8
+
+    # ------------------------------------------------------------------
+    def store_bitstream(self, key: str, bitstream: Waveform) -> StoredRecord:
+        """Pack a +/-1 bitstream into memory under ``key``.
+
+        Raises :class:`ResourceError` when the packed record does not fit.
+        """
+        if key in self._records:
+            raise ConfigurationError(f"record {key!r} already stored")
+        values = np.unique(bitstream.samples)
+        if not np.all(np.isin(values, (-1.0, 1.0))):
+            raise ConfigurationError(
+                f"bitstream must contain only +/-1 values, found {values[:5]}"
+            )
+        need = self.bytes_required_bits(bitstream.n_samples)
+        if need > self.bytes_free:
+            raise ResourceError(
+                f"bitstream {key!r} needs {need} B but only "
+                f"{self.bytes_free} B are free (capacity "
+                f"{self.capacity_bytes} B)"
+            )
+        packed = np.packbits(bitstream.samples > 0)
+        record = StoredRecord(
+            key=key,
+            n_samples=bitstream.n_samples,
+            bytes_used=need,
+            sample_rate_hz=bitstream.sample_rate,
+            bits_per_sample=1.0,
+        )
+        self._records[key] = (record, packed)
+        return record
+
+    def load_bitstream(self, key: str) -> Waveform:
+        """Unpack a stored bitstream back into a +/-1 waveform."""
+        if key not in self._records:
+            raise ConfigurationError(f"no record stored under {key!r}")
+        record, packed = self._records[key]
+        bits = np.unpackbits(packed)[: record.n_samples]
+        samples = np.where(bits > 0, 1.0, -1.0)
+        return Waveform(samples, record.sample_rate_hz)
+
+    def free(self, key: str) -> None:
+        """Release a stored record."""
+        if key not in self._records:
+            raise ConfigurationError(f"no record stored under {key!r}")
+        del self._records[key]
+
+    def clear(self) -> None:
+        """Release every record."""
+        self._records.clear()

@@ -1,0 +1,185 @@
+"""Streaming Welch accumulation for memory-constrained SoCs.
+
+Storing a full 1e6-sample capture (125 kB packed) is cheap but not free.
+Because Welch averaging is associative, the SoC can instead process the
+bitstream *as it arrives*: keep one segment buffer plus the running PSD
+accumulator and discard samples immediately after each FFT.  Memory
+drops from O(n_samples) to O(nperseg), at identical numerical results
+for overlap = 0 (and a one-segment-buffer variant for 50 % overlap).
+
+This module provides the streaming accumulator and a helper that
+digitizes an analog stream chunk-by-chunk, so an entire measurement can
+run with only a few kilobytes of buffer.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+import numpy as np
+
+from repro.dsp.spectrum import Spectrum
+from repro.dsp.windows import get_window, window_gains
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.waveform import Waveform
+
+
+class StreamingWelch:
+    """Accumulate a Welch PSD from streamed sample chunks.
+
+    Parameters
+    ----------
+    nperseg:
+        Segment (FFT) length.
+    sample_rate_hz:
+        Stream sample rate.
+    window / overlap:
+        Analysis window name and fractional overlap (0 or 0.5; the
+        streaming buffer keeps ``nperseg`` history for the 50 % case).
+    detrend:
+        Remove each segment's mean before transforming.
+    """
+
+    def __init__(
+        self,
+        nperseg: int,
+        sample_rate_hz: float,
+        window: str = "hann",
+        overlap: float = 0.5,
+        detrend: bool = True,
+    ):
+        if nperseg < 8:
+            raise ConfigurationError(f"nperseg must be >= 8, got {nperseg}")
+        if sample_rate_hz <= 0:
+            raise ConfigurationError(
+                f"sample rate must be > 0, got {sample_rate_hz}"
+            )
+        if overlap not in (0.0, 0.5):
+            raise ConfigurationError(
+                f"streaming mode supports overlap 0 or 0.5, got {overlap}"
+            )
+        self.nperseg = int(nperseg)
+        self.sample_rate_hz = float(sample_rate_hz)
+        self.overlap = float(overlap)
+        self.detrend = bool(detrend)
+        self._window = get_window(window, self.nperseg)
+        self._window_name = window
+        self._step = self.nperseg if overlap == 0.0 else self.nperseg // 2
+        self._buffer = np.zeros(0)
+        self._acc = np.zeros(self.nperseg // 2 + 1)
+        self._n_segments = 0
+        self._n_samples_seen = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def n_segments(self) -> int:
+        """Segments accumulated so far."""
+        return self._n_segments
+
+    @property
+    def n_samples_seen(self) -> int:
+        """Total samples pushed."""
+        return self._n_samples_seen
+
+    @property
+    def buffer_samples(self) -> int:
+        """Current history buffer length (the memory working set)."""
+        return int(self._buffer.size)
+
+    def push(self, chunk) -> int:
+        """Feed a chunk of samples; returns segments completed by it."""
+        if isinstance(chunk, Waveform):
+            if chunk.sample_rate != self.sample_rate_hz:
+                raise ConfigurationError(
+                    f"chunk rate {chunk.sample_rate} Hz does not match "
+                    f"stream rate {self.sample_rate_hz} Hz"
+                )
+            data = chunk.samples
+        else:
+            data = np.asarray(chunk, dtype=float)
+            if data.ndim != 1:
+                raise ConfigurationError(
+                    f"chunk must be 1-D, got shape {data.shape}"
+                )
+        self._n_samples_seen += data.size
+        self._buffer = np.concatenate([self._buffer, data])
+        completed = 0
+        while self._buffer.size >= self.nperseg:
+            seg = self._buffer[: self.nperseg]
+            if self.detrend:
+                seg = seg - np.mean(seg)
+            spectrum = np.fft.rfft(seg * self._window)
+            psd = (np.abs(spectrum) ** 2) / (
+                self.sample_rate_hz * np.sum(self._window**2)
+            )
+            if self.nperseg % 2 == 0:
+                psd[1:-1] *= 2.0
+            else:
+                psd[1:] *= 2.0
+            self._acc += psd
+            self._n_segments += 1
+            completed += 1
+            self._buffer = self._buffer[self._step :]
+        return completed
+
+    def result(self) -> Spectrum:
+        """The accumulated PSD (raises before the first full segment)."""
+        if self._n_segments == 0:
+            raise MeasurementError(
+                "no complete segment accumulated yet "
+                f"(buffered {self._buffer.size}/{self.nperseg} samples)"
+            )
+        psd = self._acc / self._n_segments
+        freqs = np.fft.rfftfreq(self.nperseg, d=1.0 / self.sample_rate_hz)
+        coherent, noise = window_gains(self._window)
+        enbw_hz = self.sample_rate_hz * noise / (coherent**2) / self.nperseg
+        return Spectrum(freqs, psd, enbw_hz=enbw_hz)
+
+    def reset(self) -> None:
+        """Discard all accumulated state."""
+        self._buffer = np.zeros(0)
+        self._acc = np.zeros(self.nperseg // 2 + 1)
+        self._n_segments = 0
+        self._n_samples_seen = 0
+
+    # ------------------------------------------------------------------
+    def memory_bytes(self, packed_bits: bool = True) -> int:
+        """Working-set estimate: history buffer + accumulator + window.
+
+        With ``packed_bits`` the segment history is counted at 1 bit per
+        sample (the digitizer output); the accumulator and window are
+        4-byte words.
+        """
+        history = (
+            (self.nperseg + 7) // 8 if packed_bits else 8 * self.nperseg
+        )
+        accumulator = 4 * (self.nperseg // 2 + 1)
+        window = 4 * self.nperseg
+        return history + accumulator + window
+
+
+def accumulate_stream(
+    chunks: Iterable[Waveform],
+    nperseg: int,
+    sample_rate_hz: Optional[float] = None,
+    window: str = "hann",
+    overlap: float = 0.5,
+) -> Spectrum:
+    """Convenience: accumulate an iterable of waveform chunks."""
+    streamer = None
+    for chunk in chunks:
+        if streamer is None:
+            rate = (
+                chunk.sample_rate
+                if isinstance(chunk, Waveform)
+                else sample_rate_hz
+            )
+            if rate is None:
+                raise ConfigurationError(
+                    "sample_rate_hz required for raw-array chunks"
+                )
+            streamer = StreamingWelch(nperseg, rate, window, overlap)
+        streamer.push(chunk)
+    if streamer is None:
+        raise ConfigurationError("no chunks provided")
+    return streamer.result()

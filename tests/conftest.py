@@ -1,0 +1,27 @@
+"""Shared fixtures for the nfbist test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.signals.waveform import Waveform
+
+
+@pytest.fixture
+def rng():
+    """A fixed-seed generator for deterministic tests."""
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture
+def white_noise(rng):
+    """A 1 V-RMS white-noise waveform at 10 kHz."""
+    return Waveform(rng.normal(0.0, 1.0, size=20000), 10000.0)
+
+
+@pytest.fixture
+def sine_1k(rng):
+    """A unit-amplitude 1 kHz sine at 10 kHz sampling."""
+    t = np.arange(20000) / 10000.0
+    return Waveform(np.sin(2 * np.pi * 1000.0 * t), 10000.0)

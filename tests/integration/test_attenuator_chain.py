@@ -1,0 +1,34 @@
+"""Integration tests for the figure-4 attenuator-chain experiment."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.attenuator_chain import run_attenuator_chain
+
+
+class TestAttenuatorChain:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_attenuator_chain(
+            losses_db=(0.0, 6.0), n_samples=2**18, seed=21
+        )
+
+    def test_settings_agree(self, result):
+        # Two independent single-shot measurements at this record length
+        # each carry ~0.35 dB sigma.
+        assert result.spread_db < 2.0
+
+    def test_hot_temperature_tracks_attenuation(self, result):
+        # 6 dB of attenuation quarters the excess temperature.
+        t0, t6 = (r.t_hot_k for r in result.rows)
+        excess0 = t0 - 290.0
+        excess6 = t6 - 290.0
+        assert excess6 == pytest.approx(excess0 / 10 ** 0.6, rel=1e-6)
+
+    def test_enr_decreases_with_loss(self, result):
+        enrs = [r.enr_db for r in result.rows]
+        assert enrs == sorted(enrs, reverse=True)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            run_attenuator_chain(losses_db=())

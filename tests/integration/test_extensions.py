@@ -1,0 +1,64 @@
+"""Integration tests for the extension experiments (spot NF, production)."""
+
+import pytest
+
+from repro.experiments.production import run_production
+from repro.experiments.spot_nf import run_spot_nf
+
+
+class TestSpotNf:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_spot_nf(n_samples=2**18, seed=2005)
+
+    def test_nf_decreases_with_frequency(self, result):
+        linear = [r.measured_nf_db for r in result.rows]
+        assert linear == sorted(linear, reverse=True)
+
+    def test_corrected_path_tighter(self, result):
+        assert (
+            result.max_abs_corrected_error_db < result.max_abs_error_db
+        )
+        assert result.max_abs_corrected_error_db < 1.0
+
+    def test_slope_tracks_analysis(self, result):
+        # The measured NF(f) slope must be a substantial fraction of the
+        # analytical slope (the flicker signature).
+        assert result.slope_db > 0.5 * result.expected_slope_db
+
+
+class TestProduction:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_production(n_devices=12, n_samples=2**17, seed=11)
+
+    def test_counts_conserved(self, result):
+        for row in result.rows:
+            outcome = row.outcome
+            assert (
+                outcome.n_pass + outcome.n_fail + outcome.n_retest
+                == result.n_devices
+            )
+
+    def test_escapes_monotone_in_guardband(self, result):
+        assert result.escapes_decrease_with_guardband()
+
+    def test_measured_tracks_true(self, result):
+        import numpy as np
+
+        true = np.asarray(result.true_nf_db)
+        measured = np.asarray(result.measured_nf_db)
+        # Correlation between true and measured NF across the lot: the
+        # single-shot measurement sigma at this record length is a
+        # substantial fraction of the lot spread, so demand a clear but
+        # not perfect correlation.
+        corr = np.corrcoef(true, measured)[0, 1]
+        assert corr > 0.6
+
+    def test_validation(self):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            run_production(n_devices=2)
+        with pytest.raises(ConfigurationError):
+            run_production(nf_spread_db=0.0)

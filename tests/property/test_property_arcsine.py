@@ -1,0 +1,110 @@
+"""Property-based tests for the arcsine law and 1-bit digitization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.digitizer.arcsine import arcsine_law, van_vleck_inverse
+from repro.digitizer.comparator import Comparator
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.signals.waveform import Waveform
+
+rhos = st.floats(min_value=-1.0, max_value=1.0)
+rho_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=64),
+    elements=rhos,
+)
+
+
+class TestArcsineProperties:
+    @given(rho=rhos)
+    def test_output_in_unit_range(self, rho):
+        assert -1.0 - 1e-12 <= arcsine_law(rho) <= 1.0 + 1e-12
+
+    @given(rho=rhos)
+    def test_roundtrip(self, rho):
+        assert van_vleck_inverse(arcsine_law(rho)) == pytest.approx(
+            rho, abs=1e-9
+        )
+
+    @given(rho=rhos)
+    def test_odd_function(self, rho):
+        assert arcsine_law(-rho) == pytest.approx(-arcsine_law(rho), abs=1e-12)
+
+    @given(rho=st.floats(min_value=0.0, max_value=1.0))
+    def test_compression(self, rho):
+        # |arcsine_law(rho)| <= |rho| on [0, 1]: the limiter compresses.
+        assert arcsine_law(rho) <= rho + 1e-12
+
+    @given(a=rhos, b=rhos)
+    def test_monotonic(self, a, b):
+        if a < b:
+            assert arcsine_law(a) <= arcsine_law(b) + 1e-12
+
+    @given(arr=rho_arrays)
+    def test_vectorized_matches_scalar(self, arr):
+        vec = arcsine_law(arr)
+        scalars = np.array([arcsine_law(float(x)) for x in arr])
+        assert np.allclose(vec, scalars)
+
+
+class TestDigitizerProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        sigma=st.floats(min_value=0.1, max_value=10.0),
+    )
+    @settings(max_examples=30)
+    def test_output_always_pm_one(self, seed, sigma):
+        rng = np.random.default_rng(seed)
+        sig = Waveform(rng.normal(0, sigma, size=256), 1000.0)
+        ref = Waveform(rng.normal(0, sigma, size=256), 1000.0)
+        bits = OneBitDigitizer().digitize(sig, ref)
+        assert set(np.unique(bits.samples)) <= {-1.0, 1.0}
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        gain=st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=30)
+    def test_scale_invariance(self, seed, gain):
+        # Scaling signal AND reference together cannot change the bits —
+        # the core reason absolute gain drops out of the 1-bit method.
+        rng = np.random.default_rng(seed)
+        sig = Waveform(rng.normal(size=256), 1000.0)
+        ref = Waveform(rng.normal(size=256), 1000.0)
+        dig = OneBitDigitizer()
+        a = dig.digitize(sig, ref)
+        b = dig.digitize(sig.scaled(gain), ref.scaled(gain))
+        assert a == b
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=30)
+    def test_inversion_antisymmetry(self, seed):
+        # Swapping signal and reference flips every bit (up to ties).
+        rng = np.random.default_rng(seed)
+        sig = Waveform(rng.normal(size=256), 1000.0)
+        ref = Waveform(rng.normal(size=256), 1000.0)
+        dig = OneBitDigitizer()
+        a = dig.digitize(sig, ref)
+        b = dig.digitize(ref, sig)
+        ties = sig.samples == ref.samples
+        assert np.all((a.samples == -b.samples) | ties)
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        offset=st.floats(min_value=-0.5, max_value=0.5),
+    )
+    @settings(max_examples=30)
+    def test_offset_shifts_mean_monotonically(self, seed, offset):
+        rng = np.random.default_rng(seed)
+        sig = Waveform(rng.normal(size=4096), 1000.0)
+        ref = Waveform(np.zeros(4096), 1000.0)
+        plain = Comparator().compare(sig, ref)
+        shifted = Comparator(offset_v=offset).compare(sig, ref)
+        if offset >= 0:
+            assert np.mean(shifted.samples) >= np.mean(plain.samples) - 1e-12
+        else:
+            assert np.mean(shifted.samples) <= np.mean(plain.samples) + 1e-12

@@ -1,0 +1,142 @@
+"""Property-based tests for the DSP substrate."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.dsp.autocorr import autocorrelation, normalized_autocorrelation
+from repro.dsp.psd import periodogram, welch
+from repro.dsp.spectrum import Spectrum
+from repro.dsp.windows import enbw_bins, get_window, window_gains
+from repro.signals.waveform import Waveform
+
+finite_samples = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=16, max_value=512),
+    elements=st.floats(min_value=-1e3, max_value=1e3),
+)
+
+
+class TestPeriodogramProperties:
+    @given(samples=finite_samples)
+    @settings(max_examples=50)
+    def test_parseval(self, samples):
+        w = Waveform(samples, 1000.0)
+        spec = periodogram(w)
+        assert spec.total_power() == pytest.approx(
+            w.mean_square(), rel=1e-6, abs=1e-12
+        )
+
+    @given(samples=finite_samples)
+    @settings(max_examples=50)
+    def test_psd_nonnegative(self, samples):
+        spec = periodogram(Waveform(samples, 1000.0))
+        assert np.all(spec.psd >= 0.0)
+
+    @given(samples=finite_samples, gain=st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=30)
+    def test_power_scales_quadratically(self, samples, gain):
+        a = periodogram(Waveform(samples, 1000.0))
+        b = periodogram(Waveform(samples * gain, 1000.0))
+        assert b.total_power() == pytest.approx(
+            a.total_power() * gain**2, rel=1e-6, abs=1e-12
+        )
+
+
+class TestWelchProperties:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        nperseg_pow=st.integers(min_value=5, max_value=9),
+    )
+    @settings(max_examples=20)
+    def test_total_power_near_mean_square(self, seed, nperseg_pow):
+        rng = np.random.default_rng(seed)
+        w = Waveform(rng.normal(size=8192), 1000.0)
+        spec = welch(w, nperseg=2**nperseg_pow)
+        assert spec.total_power() == pytest.approx(w.mean_square(), rel=0.25)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31))
+    @settings(max_examples=20)
+    def test_scale_invariance_of_shape(self, seed):
+        rng = np.random.default_rng(seed)
+        samples = rng.normal(size=4096)
+        a = welch(Waveform(samples, 1000.0), nperseg=512)
+        b = welch(Waveform(samples * 7.5, 1000.0), nperseg=512)
+        ratio = b.psd[a.psd > 0] / a.psd[a.psd > 0]
+        assert np.allclose(ratio, 7.5**2, rtol=1e-9)
+
+
+class TestWindowProperties:
+    @given(
+        name=st.sampled_from(["rectangular", "hann", "hamming", "blackman", "flattop"]),
+        n=st.integers(min_value=2, max_value=4096),
+    )
+    @settings(max_examples=60)
+    def test_enbw_at_least_one_bin(self, name, n):
+        # Cauchy-Schwarz: ENBW >= 1 bin, equality only for rectangular.
+        w = get_window(name, n)
+        assert enbw_bins(w) >= 1.0 - 1e-12
+
+    @given(
+        name=st.sampled_from(["hann", "hamming", "blackman"]),
+        n=st.integers(min_value=4, max_value=1024),
+    )
+    @settings(max_examples=40)
+    def test_gains_bounded(self, name, n):
+        coherent, noise = window_gains(get_window(name, n))
+        assert 0.0 < coherent <= 1.0
+        assert 0.0 < noise <= 1.0
+        assert noise >= coherent**2 - 1e-12  # variance is non-negative
+
+
+class TestAutocorrProperties:
+    @given(samples=finite_samples)
+    @settings(max_examples=40)
+    def test_lag0_dominates(self, samples):
+        if np.allclose(samples, samples[0]):
+            return  # constant signal has zero AC power
+        r = autocorrelation(Waveform(samples, 1000.0), min(10, len(samples) - 1))
+        assert np.all(np.abs(r[1:]) <= r[0] + 1e-9)
+
+    @given(samples=finite_samples)
+    @settings(max_examples=40)
+    def test_normalized_bounded(self, samples):
+        if np.allclose(samples, samples[0]):
+            return
+        rho = normalized_autocorrelation(
+            Waveform(samples, 1000.0), min(10, len(samples) - 1)
+        )
+        assert rho[0] == pytest.approx(1.0)
+        assert np.all(np.abs(rho) <= 1.0 + 1e-9)
+
+
+class TestSpectrumProperties:
+    @given(
+        density=st.floats(min_value=1e-12, max_value=1e6),
+        factor=st.floats(min_value=0.0, max_value=1e6),
+    )
+    def test_scaling_band_power(self, density, factor):
+        freqs = np.arange(100.0)
+        s = Spectrum(freqs, np.full(100, density))
+        scaled = s.scaled(factor)
+        assert scaled.band_power(10.0, 50.0) == pytest.approx(
+            s.band_power(10.0, 50.0) * factor, rel=1e-9, abs=1e-30
+        )
+
+    @given(
+        f_low=st.floats(min_value=1.0, max_value=40.0),
+        width=st.floats(min_value=1.0, max_value=50.0),
+        seed=st.integers(min_value=0, max_value=1000),
+    )
+    def test_band_power_matches_manual_sum(self, f_low, width, seed):
+        freqs = np.arange(100.0)
+        rng = np.random.default_rng(seed)
+        psd = rng.random(100) + 0.1
+        s = Spectrum(freqs, psd)
+        f_high = f_low + width
+        mask = (freqs >= f_low) & (freqs <= f_high)
+        assert s.band_power(f_low, f_high) == pytest.approx(
+            float(np.sum(psd[mask])) * s.df, rel=1e-12
+        )

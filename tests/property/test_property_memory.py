@@ -1,0 +1,78 @@
+"""Property-based tests for SoC memory bit-packing and waveform algebra."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.signals.waveform import Waveform
+from repro.soc.memory import SampleMemory
+
+bit_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=2048),
+    elements=st.sampled_from([-1.0, 1.0]),
+)
+
+finite_arrays = arrays(
+    dtype=np.float64,
+    shape=st.integers(min_value=1, max_value=256),
+    elements=st.floats(min_value=-1e6, max_value=1e6),
+)
+
+
+class TestMemoryRoundtrip:
+    @given(bits=bit_arrays)
+    @settings(max_examples=80)
+    def test_pack_unpack_identity(self, bits):
+        mem = SampleMemory(10**6)
+        original = Waveform(bits, 1000.0)
+        mem.store_bitstream("x", original)
+        assert mem.load_bitstream("x") == original
+
+    @given(n=st.integers(min_value=0, max_value=10**7))
+    def test_bytes_required_bounds(self, n):
+        need = SampleMemory.bytes_required_bits(n)
+        assert need * 8 >= n
+        assert (need - 1) * 8 < n or need == 0
+
+    @given(
+        n=st.integers(min_value=1, max_value=10**6),
+        bits=st.integers(min_value=1, max_value=32),
+    )
+    def test_words_required_at_least_bits(self, n, bits):
+        need = SampleMemory.words_required(n, bits)
+        assert need * 8 >= n * bits
+        assert need <= n * bits // 8 + 1
+
+
+class TestWaveformAlgebra:
+    @given(samples=finite_arrays, gain=st.floats(min_value=-100.0, max_value=100.0))
+    @settings(max_examples=60)
+    def test_scaling_power(self, samples, gain):
+        w = Waveform(samples, 100.0)
+        assert w.scaled(gain).mean_square() == pytest.approx(
+            w.mean_square() * gain**2, rel=1e-9, abs=1e-15
+        )
+
+    @given(samples=finite_arrays)
+    @settings(max_examples=60)
+    def test_remove_mean_idempotent(self, samples):
+        w = Waveform(samples, 100.0).remove_mean()
+        again = w.remove_mean()
+        assert np.allclose(w.samples, again.samples, atol=1e-9)
+
+    @given(samples=finite_arrays)
+    @settings(max_examples=60)
+    def test_rms_peak_ordering(self, samples):
+        w = Waveform(samples, 100.0)
+        # Relative tolerance: for a constant signal rms == peak up to
+        # floating-point round-off proportional to the magnitude.
+        assert w.rms() <= w.peak() * (1.0 + 1e-9) + 1e-12
+
+    @given(samples=finite_arrays, dc=st.floats(min_value=-1e3, max_value=1e3))
+    @settings(max_examples=60)
+    def test_offset_shifts_mean_exactly(self, samples, dc):
+        w = Waveform(samples, 100.0)
+        assert (w + dc).mean() == pytest.approx(w.mean() + dc, abs=1e-6)

@@ -1,0 +1,79 @@
+"""Property-based tests for the reference-line normalization — the
+gain-independence at the heart of the proposed method."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.normalization import ReferenceNormalizer
+from repro.dsp.spectrum import Spectrum
+
+
+def spectrum_with_line(line_power, floor, seed, f_line=100.0, n=1001):
+    rng = np.random.default_rng(seed)
+    freqs = np.arange(float(n))
+    psd = floor * (0.5 + rng.random(n))
+    psd[int(f_line)] += line_power
+    return Spectrum(freqs, psd, enbw_hz=1.0)
+
+
+def normalizer():
+    return ReferenceNormalizer(
+        reference_frequency_hz=100.0,
+        search_halfwidth_hz=10.0,
+        harmonic_kind="odd",
+        subtract_floor=False,
+    )
+
+
+class TestGainInvariance:
+    @given(
+        gain_hot=st.floats(min_value=1e-3, max_value=1e3),
+        gain_cold=st.floats(min_value=1e-3, max_value=1e3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_y_invariant_to_per_state_gain(self, gain_hot, gain_cold, seed):
+        # Scaling either spectrum by ANY factor (channel gain, drift)
+        # must not change the normalized band-power ratio.
+        norm = normalizer()
+        hot = spectrum_with_line(50.0, 4.0, seed)
+        cold = spectrum_with_line(80.0, 1.0, seed + 1000)
+
+        base = norm.normalize_pair(hot, cold)
+        scaled = norm.normalize_pair(
+            hot.scaled(gain_hot), cold.scaled(gain_cold)
+        )
+        p1 = norm.normalized_band_powers(base, 150.0, 250.0)
+        p2 = norm.normalized_band_powers(scaled, 150.0, 250.0)
+        assert p1[0] / p1[1] == pytest.approx(p2[0] / p2[1], rel=1e-9)
+
+    @given(
+        line_hot=st.floats(min_value=1.0, max_value=1e3),
+        line_cold=st.floats(min_value=1.0, max_value=1e3),
+        seed=st.integers(min_value=0, max_value=100),
+    )
+    @settings(max_examples=40)
+    def test_line_powers_normalize_to_unity(self, line_hot, line_cold, seed):
+        norm = normalizer()
+        hot = spectrum_with_line(line_hot, 1e-3, seed)
+        cold = spectrum_with_line(line_cold, 1e-3, seed + 1)
+        result = norm.normalize_pair(hot, cold)
+        _, p_hot = norm.line_power(result.hot)
+        _, p_cold = norm.line_power(result.cold)
+        assert p_hot == pytest.approx(1.0, rel=0.05)
+        assert p_cold == pytest.approx(1.0, rel=0.05)
+
+    @given(seed=st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=40)
+    def test_exclusion_zones_cover_reference(self, seed):
+        norm = normalizer()
+        spec = spectrum_with_line(50.0, 1.0, seed)
+        zones = norm.exclusion_zones(spec)
+        fund = zones[0]
+        assert abs(fund[0] - 100.0) <= 10.0
+        # Band power with exclusions never exceeds the raw band power.
+        raw = spec.band_power(50.0, 150.0)
+        excluded = spec.band_power(50.0, 150.0, exclude=zones)
+        assert excluded <= raw

@@ -1,0 +1,151 @@
+"""Tests for repro.analog.amplifier."""
+
+import numpy as np
+import pytest
+
+from repro.analog.amplifier import NonInvertingAmplifier
+from repro.analog.opamp import OPAMP_LIBRARY, OpAmpNoiseModel
+from repro.errors import ConfigurationError
+from repro.signals.sources import SineSource
+from repro.signals.waveform import Waveform
+
+FS = 32768.0
+
+
+def make_amp(opamp=None, rf=10000.0, rg=100.0, rs=600.0, **kwargs):
+    return NonInvertingAmplifier(
+        opamp if opamp is not None else OPAMP_LIBRARY["OP27"],
+        r_feedback_ohm=rf,
+        r_ground_ohm=rg,
+        source_resistance_ohm=rs,
+        **kwargs,
+    )
+
+
+class TestTopology:
+    def test_gain_is_1_plus_rf_over_rg(self):
+        assert make_amp().gain == pytest.approx(101.0)
+
+    def test_unity_gain_with_zero_rf(self):
+        assert make_amp(rf=0.0).gain == 1.0
+
+    def test_bandwidth_is_gbw_over_gain(self):
+        amp = make_amp()
+        assert amp.bandwidth_hz == pytest.approx(8e6 / 101.0)
+
+    def test_feedback_parallel(self):
+        assert make_amp().feedback_parallel_ohm == pytest.approx(
+            10000 * 100 / 10100
+        )
+
+    def test_feedback_parallel_zero_when_rf_zero(self):
+        assert make_amp(rf=0.0).feedback_parallel_ohm == 0.0
+
+    def test_rejects_zero_rg(self):
+        with pytest.raises(ConfigurationError):
+            make_amp(rg=0.0)
+
+    def test_rejects_zero_rs(self):
+        with pytest.raises(ConfigurationError):
+            make_amp(rs=0.0)
+
+    def test_rejects_bad_opamp_type(self):
+        with pytest.raises(ConfigurationError):
+            NonInvertingAmplifier("OP27", 1000.0, 100.0, 600.0)
+
+
+class TestGainDrift:
+    def test_nominal_gain_unaffected(self):
+        amp = make_amp().with_gain_drift(1.1)
+        assert amp.gain == pytest.approx(101.0)
+        assert amp.actual_gain == pytest.approx(111.1)
+
+    def test_rejects_zero_drift(self):
+        with pytest.raises(ConfigurationError):
+            make_amp(gain_drift=0.0)
+
+
+class TestNoiseDensities:
+    def test_amplifier_noise_includes_all_terms(self):
+        opamp = OpAmpNoiseModel("x", 3e-9, 0.4e-12)
+        amp = make_amp(opamp)
+        density = float(amp.amplifier_noise_density(1000.0))
+        en2 = 9e-18
+        rs, rp = 600.0, 10000 * 100 / 10100
+        in2_terms = (0.4e-12) ** 2 * (rs**2 + rp**2)
+        johnson = 4 * 1.380649e-23 * 290.0 * rp
+        assert density == pytest.approx(en2 + in2_terms + johnson, rel=1e-6)
+
+    def test_source_density_scales_with_temperature(self):
+        amp = make_amp()
+        assert amp.source_noise_density(2900.0) == pytest.approx(
+            10 * amp.source_noise_density(290.0)
+        )
+
+    def test_spot_noise_factor_above_one(self):
+        assert make_amp().spot_noise_factor(1000.0) > 1.0
+
+    def test_quieter_opamp_lower_nf(self):
+        quiet = make_amp(OpAmpNoiseModel("q", 1e-9, 0.0))
+        loud = make_amp(OpAmpNoiseModel("l", 30e-9, 0.0))
+        assert quiet.spot_noise_factor(1e3) < loud.spot_noise_factor(1e3)
+
+
+class TestProcess:
+    def test_amplifies_signal_without_noise(self):
+        amp = make_amp()
+        w = SineSource(1000.0, 1e-3).render(8192, FS)
+        out = amp.process(w, include_noise=False)
+        # 1 kHz is far below the ~79 kHz closed-loop pole.
+        assert out.slice(1000, 8192).rms() == pytest.approx(
+            101.0 * 1e-3 / np.sqrt(2), rel=0.01
+        )
+
+    def test_noise_floor_present(self, rng):
+        amp = make_amp()
+        silent = Waveform(np.zeros(16384), FS)
+        out = amp.process(silent, rng=rng)
+        assert out.rms() > 0.0
+
+    def test_output_noise_scales_with_gain(self, rng):
+        opamp = OpAmpNoiseModel("x", 10e-9, 0.0, gbw_hz=100e6)
+        low = NonInvertingAmplifier(opamp, 900.0, 100.0, 600.0)  # x10
+        high = NonInvertingAmplifier(opamp, 9900.0, 100.0, 600.0)  # x100
+        silent = Waveform(np.zeros(32768), FS)
+        out_low = low.process(silent, rng=1)
+        out_high = high.process(silent, rng=1)
+        # Same input noise realization, 10x gain -> ~10x output RMS
+        # (feedback-network Johnson differs slightly between the two).
+        assert out_high.rms() / out_low.rms() == pytest.approx(10.0, rel=0.1)
+
+    def test_gain_drift_applies_to_output(self):
+        amp = make_amp()
+        drifted = amp.with_gain_drift(1.2)
+        w = SineSource(1000.0, 1e-3).render(4096, FS)
+        a = amp.process(w, include_noise=False)
+        b = drifted.process(w, include_noise=False)
+        assert b.rms() / a.rms() == pytest.approx(1.2, rel=1e-6)
+
+    def test_bandwidth_limits_high_frequency(self):
+        opamp = OpAmpNoiseModel("slow", 1e-9, 0.0, gbw_hz=101e3)  # BW=1kHz
+        amp = make_amp(opamp)
+        w = SineSource(8000.0, 1e-3).render(32768, FS)
+        out = amp.process(w, include_noise=False)
+        # The discrete single-pole filter uses the bilinear transform, so
+        # 8 kHz (half Nyquist) is warped to an equivalent analog
+        # frequency f_eq = fs/pi * tan(pi*f/fs) before the pole applies.
+        f_eq = FS / np.pi * np.tan(np.pi * 8000.0 / FS)
+        expected = 101.0 * 1e-3 / np.sqrt(2) / np.sqrt(1 + (f_eq / 1000.0) ** 2)
+        assert out.slice(8000, 32768).rms() == pytest.approx(expected, rel=0.05)
+
+    def test_rendered_noise_matches_analytic_density(self, rng):
+        # Time-domain synthesis must integrate to the analytic density.
+        opamp = OpAmpNoiseModel("x", 10e-9, 0.5e-12, gbw_hz=100e6)
+        amp = make_amp(opamp)
+        noise = amp.render_input_noise(200000, FS, rng)
+        expected_ms = float(amp.amplifier_noise_density(1000.0)) * FS / 2
+        assert noise.mean_square() == pytest.approx(expected_ms, rel=0.05)
+
+    def test_rejects_non_waveform(self):
+        with pytest.raises(ConfigurationError):
+            make_amp().process(np.zeros(10))

@@ -1,0 +1,65 @@
+"""Tests for repro.dsp.autocorr."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.autocorr import autocorrelation, normalized_autocorrelation
+from repro.errors import ConfigurationError
+from repro.signals.sources import GaussianNoiseSource, SineSource
+from repro.signals.waveform import Waveform
+
+FS = 10000.0
+
+
+class TestAutocorrelation:
+    def test_lag0_is_variance(self, rng):
+        w = GaussianNoiseSource(2.0).render(50000, FS, rng)
+        r = autocorrelation(w, 10)
+        assert r[0] == pytest.approx(4.0, rel=0.05)
+
+    def test_white_noise_decorrelates(self, rng):
+        w = GaussianNoiseSource(1.0).render(100000, FS, rng)
+        rho = normalized_autocorrelation(w, 20)
+        assert np.all(np.abs(rho[1:]) < 0.05)
+
+    def test_sine_autocorrelation_is_cosine(self):
+        w = SineSource(500.0, 1.0).render(100000, FS)
+        rho = normalized_autocorrelation(w, 40)
+        lags = np.arange(41) / FS
+        expected = np.cos(2 * np.pi * 500.0 * lags)
+        assert np.allclose(rho, expected, atol=0.01)
+
+    def test_unbiased_rescales(self, rng):
+        w = GaussianNoiseSource(1.0).render(1000, FS, rng)
+        biased = autocorrelation(w, 500, unbiased=False)
+        unbiased = autocorrelation(w, 500, unbiased=True)
+        assert unbiased[500] == pytest.approx(biased[500] * 1000 / 500)
+
+    def test_mean_removal_default(self):
+        w = Waveform(np.ones(1000) * 5.0, FS)
+        r = autocorrelation(w, 5)
+        assert np.allclose(r, 0.0, atol=1e-20)
+
+    def test_without_mean_removal(self):
+        w = Waveform(np.ones(1000) * 2.0, FS)
+        r = autocorrelation(w, 3, remove_mean=False)
+        assert r[0] == pytest.approx(4.0)
+
+    def test_max_lag_bounds(self, white_noise):
+        with pytest.raises(ConfigurationError):
+            autocorrelation(white_noise, len(white_noise))
+
+    def test_accepts_raw_array(self, rng):
+        r = autocorrelation(rng.normal(size=1000), 5)
+        assert r.shape == (6,)
+
+
+class TestNormalized:
+    def test_rho0_is_one(self, white_noise):
+        rho = normalized_autocorrelation(white_noise, 10)
+        assert rho[0] == pytest.approx(1.0)
+
+    def test_zero_power_raises(self):
+        w = Waveform(np.zeros(100), FS)
+        with pytest.raises(ConfigurationError):
+            normalized_autocorrelation(w, 5)

@@ -1,0 +1,64 @@
+"""Tests for the repro CLI."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.experiment == "table1"
+        assert args.fast is False
+
+    def test_fast_flag(self):
+        args = build_parser().parse_args(["run", "table2", "--fast"])
+        assert args.fast is True
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "table99"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_all(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert sorted(out) == sorted(EXPERIMENTS)
+
+    def test_run_table1(self, capsys):
+        assert main(["run", "table1"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "RF mixer" in out
+
+    def test_run_fig9_fast(self, capsys):
+        assert main(["run", "fig9", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "after normalization" in out
+
+    def test_run_uncertainty_fast(self, capsys):
+        assert main(["run", "uncertainty", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "0.3" in out
+
+    def test_registry_covers_all_paper_artifacts(self):
+        for name in ("table1", "table2", "table3", "fig7", "fig8", "fig9",
+                     "fig10", "fig13"):
+            assert name in EXPERIMENTS
+
+    def test_registry_includes_extensions(self):
+        assert "spot_nf" in EXPERIMENTS
+        assert "resources" in EXPERIMENTS
+
+    def test_run_all_accepted_by_parser(self):
+        args = build_parser().parse_args(["run", "all", "--fast"])
+        assert args.experiment == "all"

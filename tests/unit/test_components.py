@@ -1,0 +1,80 @@
+"""Tests for repro.analog.components."""
+
+import numpy as np
+import pytest
+
+from repro.analog.components import Attenuator, Resistor
+from repro.constants import BOLTZMANN
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform
+
+
+class TestResistor:
+    def test_noise_density(self):
+        r = Resistor(1000.0, 290.0)
+        assert r.noise_density_v2_per_hz == pytest.approx(
+            4 * BOLTZMANN * 290.0 * 1000.0
+        )
+
+    def test_render_noise_power(self, rng):
+        r = Resistor(1e9, 290.0)  # large R for measurable level
+        w = r.render_noise(50000, 10000.0, rng)
+        expected_ms = r.noise_density_v2_per_hz * 5000.0
+        assert w.mean_square() == pytest.approx(expected_ms, rel=0.05)
+
+    def test_parallel_value(self):
+        r = Resistor(100.0).parallel(Resistor(100.0))
+        assert r.resistance_ohm == pytest.approx(50.0)
+
+    def test_parallel_with_zero_is_zero(self):
+        r = Resistor(0.0).parallel(Resistor(100.0))
+        assert r.resistance_ohm == 0.0
+
+    def test_parallel_temperature_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Resistor(10.0, 290.0).parallel(Resistor(10.0, 300.0))
+
+    def test_rejects_negative_resistance(self):
+        with pytest.raises(ConfigurationError):
+            Resistor(-1.0)
+
+    def test_rejects_negative_temperature(self):
+        with pytest.raises(ConfigurationError):
+            Resistor(1.0, -1.0)
+
+
+class TestAttenuator:
+    def test_voltage_factor_6db(self):
+        att = Attenuator(6.0206)
+        assert att.voltage_factor == pytest.approx(0.5, rel=1e-4)
+
+    def test_power_factor_3db(self):
+        att = Attenuator(3.0103)
+        assert att.power_factor == pytest.approx(0.5, rel=1e-4)
+
+    def test_process_scales_waveform(self):
+        att = Attenuator(20.0)
+        w = att.process(Waveform([1.0, -1.0], 10.0))
+        assert np.allclose(np.abs(w.samples), 0.1)
+
+    def test_zero_loss_transparent(self):
+        att = Attenuator(0.0)
+        w = Waveform([1.0, 2.0], 10.0)
+        assert att.process(w) == w
+
+    def test_attenuate_temperature(self):
+        att = Attenuator(10.0)
+        assert att.attenuate_temperature(1000.0) == pytest.approx(100.0)
+
+    def test_reprogram(self):
+        att = Attenuator(0.0)
+        att.set_loss(20.0)
+        assert att.voltage_factor == pytest.approx(0.1)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            Attenuator(-3.0)
+
+    def test_rejects_negative_excess_temperature(self):
+        with pytest.raises(ConfigurationError):
+            Attenuator(3.0).attenuate_temperature(-1.0)

@@ -1,0 +1,66 @@
+"""Tests for repro.constants."""
+
+import numpy as np
+import pytest
+
+from repro.constants import (
+    BOLTZMANN,
+    FOUR_K_T0,
+    T0_KELVIN,
+    amplitude_to_db,
+    db_to_amplitude,
+    db_to_linear,
+    linear_to_db,
+)
+
+
+class TestConstants:
+    def test_boltzmann_value(self):
+        assert BOLTZMANN == pytest.approx(1.380649e-23)
+
+    def test_reference_temperature_is_290(self):
+        assert T0_KELVIN == 290.0
+
+    def test_four_k_t0_consistency(self):
+        assert FOUR_K_T0 == pytest.approx(4 * BOLTZMANN * T0_KELVIN)
+
+
+class TestPowerDb:
+    def test_linear_to_db_of_10_is_10(self):
+        assert linear_to_db(10.0) == pytest.approx(10.0)
+
+    def test_linear_to_db_of_2_is_3dB(self):
+        assert linear_to_db(2.0) == pytest.approx(3.0103, abs=1e-4)
+
+    def test_db_to_linear_roundtrip(self):
+        for db in (-30.0, -3.0, 0.0, 3.0, 17.5):
+            assert linear_to_db(db_to_linear(db)) == pytest.approx(db)
+
+    def test_linear_to_db_rejects_zero(self):
+        with pytest.raises(ValueError):
+            linear_to_db(0.0)
+
+    def test_linear_to_db_rejects_negative(self):
+        with pytest.raises(ValueError):
+            linear_to_db(-1.0)
+
+    def test_array_input_returns_array(self):
+        out = linear_to_db(np.array([1.0, 10.0, 100.0]))
+        assert np.allclose(out, [0.0, 10.0, 20.0])
+
+    def test_scalar_input_returns_python_float(self):
+        assert isinstance(linear_to_db(2.0), float)
+        assert isinstance(db_to_linear(3.0), float)
+
+
+class TestAmplitudeDb:
+    def test_amplitude_to_db_of_10_is_20(self):
+        assert amplitude_to_db(10.0) == pytest.approx(20.0)
+
+    def test_amplitude_roundtrip(self):
+        for db in (-12.0, 0.0, 6.0):
+            assert amplitude_to_db(db_to_amplitude(db)) == pytest.approx(db)
+
+    def test_amplitude_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            amplitude_to_db(0.0)

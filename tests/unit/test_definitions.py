@@ -1,0 +1,146 @@
+"""Tests for repro.core.definitions (paper eqs 1-9)."""
+
+import numpy as np
+import pytest
+
+from repro.core.definitions import (
+    YFactorResult,
+    enr_db,
+    f_to_nf,
+    friis_cascade_factor,
+    nf_to_f,
+    noise_factor_from_y,
+    noise_factor_from_y_powers,
+    noise_figure_from_y,
+    noise_temperature_from_factor,
+    snr_db_from_waveforms,
+    y_factor_expected,
+)
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.waveform import Waveform
+
+
+class TestConversions:
+    def test_table1_values(self):
+        # Paper Table 1: NF 0/3/10 dB <-> F 1/2/10.
+        assert nf_to_f(0.0) == 1.0
+        assert nf_to_f(3.0103) == pytest.approx(2.0, rel=1e-4)
+        assert nf_to_f(10.0) == pytest.approx(10.0)
+
+    def test_roundtrip(self):
+        for f in (1.0, 1.5, 2.0, 10.0, 41.7):
+            assert nf_to_f(f_to_nf(f)) == pytest.approx(f)
+
+    def test_f_below_one_rejected(self):
+        with pytest.raises(ConfigurationError):
+            f_to_nf(0.9)
+
+    def test_negative_nf_rejected(self):
+        with pytest.raises(ConfigurationError):
+            nf_to_f(-0.1)
+
+    def test_noise_temperature(self):
+        assert noise_temperature_from_factor(2.0) == pytest.approx(290.0)
+        assert noise_temperature_from_factor(1.0) == 0.0
+
+    def test_enr_2900k(self):
+        assert enr_db(2900.0) == pytest.approx(9.542, abs=1e-3)
+
+    def test_enr_requires_hot_above_t0(self):
+        with pytest.raises(ConfigurationError):
+            enr_db(290.0)
+
+
+class TestSnr:
+    def test_snr_from_waveforms(self):
+        signal = Waveform([1.0, -1.0], 10.0)
+        noise = Waveform([0.1, -0.1], 10.0)
+        assert snr_db_from_waveforms(signal, noise) == pytest.approx(20.0)
+
+    def test_zero_noise_rejected(self):
+        with pytest.raises(MeasurementError):
+            snr_db_from_waveforms(
+                Waveform([1.0], 10.0), Waveform([0.0], 10.0)
+            )
+
+
+class TestYFactorEquations:
+    def test_forward_model_paper_table2(self):
+        # F=10 DUT with Th=10000, Tc=1000 -> Y = 12610/3610.
+        y = y_factor_expected(10.0, 10000.0, 1000.0)
+        assert y == pytest.approx(12610.0 / 3610.0)
+
+    def test_eq8_inverts_forward_model(self):
+        for f in (1.2, 2.0, 10.0, 41.7):
+            y = y_factor_expected(f, 2900.0, 290.0)
+            assert noise_factor_from_y(y, 2900.0, 290.0) == pytest.approx(f)
+
+    def test_eq8_paper_table2_value(self):
+        # The paper's measured mean-square ratio 3.4866 -> F = 10.03.
+        f = noise_factor_from_y(3.4866, 10000.0, 1000.0)
+        assert f == pytest.approx(10.03, abs=0.01)
+
+    def test_cold_at_t0_reduces_to_enr_form(self):
+        # With Tc = T0: F = ENR_lin / (Y-1).
+        y = 4.0
+        f = noise_factor_from_y(y, 2900.0, 290.0)
+        assert f == pytest.approx((2900.0 / 290.0 - 1.0) / (y - 1.0))
+
+    def test_eq9_matches_eq8_with_proportional_powers(self):
+        # Powers proportional to temperatures give identical results.
+        y = 3.4866
+        f8 = noise_factor_from_y(y, 10000.0, 1000.0, 290.0)
+        f9 = noise_factor_from_y_powers(y, 10000.0, 1000.0, 290.0)
+        assert f9 == pytest.approx(f8)
+
+    def test_y_below_one_rejected(self):
+        with pytest.raises(MeasurementError):
+            noise_factor_from_y(0.9, 2900.0, 290.0)
+
+    def test_impossible_y_rejected(self):
+        # A noiseless DUT gives Y = Th/Tc = 10; anything larger is
+        # unphysical.
+        with pytest.raises(MeasurementError):
+            noise_factor_from_y(11.0, 2900.0, 290.0)
+
+    def test_noise_figure_from_y(self):
+        y = y_factor_expected(2.0, 2900.0, 290.0)
+        assert noise_figure_from_y(y, 2900.0, 290.0) == pytest.approx(
+            3.0103, abs=1e-3
+        )
+
+    def test_higher_f_gives_lower_y(self):
+        ys = [
+            y_factor_expected(f, 2900.0, 290.0) for f in (1.5, 2.0, 5.0, 10.0)
+        ]
+        assert ys == sorted(ys, reverse=True)
+
+
+class TestYFactorResult:
+    def test_from_y_populates_fields(self):
+        y = y_factor_expected(2.0, 2900.0, 290.0)
+        res = YFactorResult.from_y(y, 2900.0, 290.0, p_hot=2.0, p_cold=1.0)
+        assert res.noise_factor == pytest.approx(2.0)
+        assert res.noise_figure_db == pytest.approx(3.0103, abs=1e-3)
+        assert res.noise_temperature_k == pytest.approx(290.0)
+        assert res.p_hot == 2.0
+
+
+class TestFriis:
+    def test_two_stage(self):
+        f = friis_cascade_factor([2.0, 11.0], [100.0, 10.0])
+        assert f == pytest.approx(2.1)
+
+    def test_matches_paper_claim_first_stage_dominates(self):
+        f = friis_cascade_factor([2.0, 100.0], [101.0**2, 10.0])
+        assert 10 * np.log10(f) == pytest.approx(10 * np.log10(2.0), abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            friis_cascade_factor([], [])
+        with pytest.raises(ConfigurationError):
+            friis_cascade_factor([2.0], [])
+        with pytest.raises(ConfigurationError):
+            friis_cascade_factor([0.5], [10.0])
+        with pytest.raises(ConfigurationError):
+            friis_cascade_factor([2.0], [0.0])

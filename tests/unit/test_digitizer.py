@@ -1,0 +1,66 @@
+"""Tests for repro.digitizer.digitizer."""
+
+import numpy as np
+import pytest
+
+from repro.digitizer.comparator import Comparator
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.digitizer.sampler import SampledLatch
+from repro.errors import ConfigurationError
+from repro.signals.sources import GaussianNoiseSource, SineSource
+from repro.signals.waveform import Waveform
+
+FS = 10000.0
+
+
+class TestDigitize:
+    def test_output_is_bitstream(self, rng):
+        dig = OneBitDigitizer()
+        sig = GaussianNoiseSource(1.0).render(1000, FS, rng)
+        ref = SineSource(100.0, 0.2).render(1000, FS)
+        out = dig.digitize(sig, ref)
+        assert set(np.unique(out.samples)) <= {-1.0, 1.0}
+
+    def test_sampler_divides_rate(self, rng):
+        dig = OneBitDigitizer(sampler=SampledLatch(4))
+        sig = GaussianNoiseSource(1.0).render(1000, FS, rng)
+        ref = Waveform(np.zeros(1000), FS)
+        out = dig.digitize(sig, ref)
+        assert out.sample_rate == FS / 4
+        assert len(out) == 250
+
+    def test_reproducible_with_seed(self, rng):
+        dig = OneBitDigitizer(comparator=Comparator(input_noise_rms=0.1))
+        sig = GaussianNoiseSource(1.0).render(500, FS, 1)
+        ref = Waveform(np.zeros(500), FS)
+        a = dig.digitize(sig, ref, rng=7)
+        b = dig.digitize(sig, ref, rng=7)
+        assert a == b
+
+    def test_default_components(self):
+        dig = OneBitDigitizer()
+        assert isinstance(dig.comparator, Comparator)
+        assert isinstance(dig.sampler, SampledLatch)
+
+    def test_rejects_wrong_component_types(self):
+        with pytest.raises(ConfigurationError):
+            OneBitDigitizer(comparator="nope")
+        with pytest.raises(ConfigurationError):
+            OneBitDigitizer(sampler="nope")
+
+    def test_output_sample_rate_factor(self):
+        assert OneBitDigitizer(sampler=SampledLatch(8)).output_sample_rate_factor == 0.125
+
+
+class TestLevelRatio:
+    def test_ratio_definition(self, rng):
+        sig = GaussianNoiseSource(2.0).render(100000, FS, rng)
+        ref = SineSource(100.0, 0.5).render(100000, FS)
+        ratio = OneBitDigitizer.level_ratio(sig, ref)
+        assert ratio == pytest.approx(0.25, rel=0.05)
+
+    def test_zero_signal_raises(self):
+        sig = Waveform(np.zeros(100), FS)
+        ref = SineSource(100.0, 0.5).render(100, FS)
+        with pytest.raises(ConfigurationError):
+            OneBitDigitizer.level_ratio(sig, ref)

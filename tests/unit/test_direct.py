@@ -1,0 +1,75 @@
+"""Tests for repro.core.direct (paper section 4.1, eqs 4/10)."""
+
+import numpy as np
+import pytest
+
+from repro.constants import BOLTZMANN, T0_KELVIN
+from repro.core.direct import DirectMethod, direct_method_gain_error_db
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.waveform import Waveform
+
+
+class TestDirectMethod:
+    def test_recovers_known_factor(self):
+        gain, band = 1e4, 1000.0
+        n0 = BOLTZMANN * T0_KELVIN * band
+        method = DirectMethod(gain, band)
+        # Output power of an F=2 DUT.
+        p_out = 2.0 * n0 * gain
+        assert method.noise_factor_from_power(p_out) == pytest.approx(2.0)
+
+    def test_nf_in_db(self):
+        gain, band = 100.0, 100.0
+        n0 = BOLTZMANN * T0_KELVIN * band
+        method = DirectMethod(gain, band)
+        assert method.noise_figure_from_power(10.0 * n0 * gain) == pytest.approx(
+            10.0
+        )
+
+    def test_custom_source_power(self):
+        method = DirectMethod(4.0, 100.0, source_power_n0=1.0)
+        assert method.noise_factor_from_power(8.0) == pytest.approx(2.0)
+
+    def test_measure_from_record(self):
+        method = DirectMethod(1.0, 100.0, source_power_n0=1.0)
+        record = Waveform([2.0, -2.0], 1000.0)  # mean square 4
+        assert method.measure(record) == pytest.approx(10 * np.log10(4.0))
+
+    def test_subunity_factor_rejected(self):
+        method = DirectMethod(10.0, 100.0, source_power_n0=1.0)
+        with pytest.raises(MeasurementError):
+            method.noise_factor_from_power(5.0)
+
+    def test_zero_power_rejected(self):
+        method = DirectMethod(1.0, 100.0, source_power_n0=1.0)
+        with pytest.raises(MeasurementError):
+            method.noise_factor_from_power(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            DirectMethod(0.0, 100.0)
+        with pytest.raises(ConfigurationError):
+            DirectMethod(1.0, 0.0)
+        with pytest.raises(ConfigurationError):
+            DirectMethod(1.0, 100.0, source_power_n0=0.0)
+
+
+class TestGainErrorEq10:
+    def test_error_is_gain_drift_in_db(self):
+        # Eq 10: the estimate scales by the drift, so the NF error in dB
+        # is 10*log10(drift) regardless of the DUT.
+        for f in (1.5, 2.0, 10.0):
+            err = direct_method_gain_error_db(f, 1.2)
+            assert err == pytest.approx(10 * np.log10(1.2))
+
+    def test_negative_drift_gives_negative_error(self):
+        assert direct_method_gain_error_db(2.0, 0.8) < 0
+
+    def test_no_drift_no_error(self):
+        assert direct_method_gain_error_db(2.0, 1.0) == pytest.approx(0.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            direct_method_gain_error_db(0.5, 1.0)
+        with pytest.raises(ConfigurationError):
+            direct_method_gain_error_db(2.0, 0.0)

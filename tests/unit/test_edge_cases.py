@@ -1,0 +1,107 @@
+"""Edge-case tests across modules (paths not covered elsewhere)."""
+
+import numpy as np
+import pytest
+
+from repro.core.definitions import snr_db_from_waveforms
+from repro.digitizer.arcsine import corrected_psd
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError, MeasurementError
+from repro.instruments.function_generator import FunctionGenerator
+from repro.signals.sources import GaussianNoiseSource
+from repro.signals.waveform import Waveform
+from repro.soc.processor import DSPProcessor
+
+
+class TestSpectrumEdges:
+    def test_slice_band_single_bin_raises(self):
+        s = Spectrum(np.arange(100.0), np.ones(100))
+        with pytest.raises(MeasurementError):
+            s.slice_band(49.9, 50.1)
+
+    def test_line_at_spectrum_edge(self):
+        # A line in the last bin: the annulus is one-sided but the
+        # measurement must still succeed.
+        psd = np.ones(100)
+        psd[98] = 1000.0
+        s = Spectrum(np.arange(100.0), psd, enbw_hz=1.0)
+        f, p = s.line_power(97.0, 3.0)
+        assert f == 98.0
+        assert p > 500.0
+
+    def test_line_power_tiny_spectrum_subtracts_unit_floor(self):
+        # Single-bin window on a tiny spectrum: the annulus covers the
+        # remaining bins (floor 1.0), so exactly one floor unit is
+        # subtracted from the 51-total window.
+        psd = np.array([1.0, 1.0, 50.0, 1.0, 1.0])
+        s = Spectrum(np.arange(5.0), psd, enbw_hz=0.4)
+        f, p = s.line_power(2.0, 1.0, integration_halfwidth_hz=0.4)
+        assert f == 2.0
+        assert p == pytest.approx(49.0)
+
+    def test_to_db_rejects_nonpositive_reference(self):
+        s = Spectrum(np.arange(3.0), np.ones(3))
+        with pytest.raises(ConfigurationError):
+            s.to_db(reference=0.0)
+
+
+class TestDefinitionEdges:
+    def test_snr_zero_signal_rejected(self):
+        signal = Waveform([0.0, 0.0], 10.0)
+        noise = Waveform([1.0, -1.0], 10.0)
+        with pytest.raises(MeasurementError):
+            snr_db_from_waveforms(signal, noise)
+
+
+class TestArcsineEdges:
+    def test_corrected_psd_custom_window(self, rng):
+        noise = GaussianNoiseSource(1.0).render(20000, 10000.0, rng)
+        bits = OneBitDigitizer().digitize(
+            noise, Waveform(np.zeros(20000), 10000.0)
+        )
+        spec_hann = corrected_psd(bits, 256, window="hann")
+        spec_rect = corrected_psd(bits, 256, window="rectangular")
+        # Both normalize to unit total power.
+        assert spec_hann.total_power() == pytest.approx(1.0, rel=0.15)
+        assert spec_rect.total_power() == pytest.approx(1.0, rel=0.15)
+
+
+class TestGeneratorEdges:
+    def test_as_source_is_reusable(self):
+        gen = FunctionGenerator("sine", 100.0, vpp=2.0)
+        src = gen.as_source()
+        a = src.render(100, 10000.0)
+        b = src.render(100, 10000.0)
+        assert a == b
+
+    def test_negative_vpp_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FunctionGenerator("sine", 100.0, vpp=-1.0)
+
+
+class TestProcessorEdges:
+    def test_operations_returns_copy(self):
+        proc = DSPProcessor()
+        proc.cost_window(10)
+        ops = proc.operations()
+        ops.clear()
+        assert len(proc.operations()) == 1
+
+    def test_fft_size_one_power_of_two_handling(self):
+        proc = DSPProcessor()
+        proc.cost_fft(2)
+        assert proc.total_cycles == proc.cycles_per_butterfly  # 1 butterfly
+
+
+class TestWaveformEdges:
+    def test_empty_waveform_statistics(self):
+        w = Waveform(np.zeros(0), 10.0)
+        assert w.mean() == 0.0
+        assert w.mean_square() == 0.0
+        assert w.peak() == 0.0
+
+    def test_single_sample(self):
+        w = Waveform([3.0], 10.0)
+        assert w.rms() == 3.0
+        assert w.duration == pytest.approx(0.1)

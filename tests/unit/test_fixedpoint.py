@@ -1,0 +1,91 @@
+"""Tests for repro.soc.fixedpoint."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.psd import welch
+from repro.dsp.windows import get_window
+from repro.errors import ConfigurationError
+from repro.signals.sources import GaussianNoiseSource, SineSource
+from repro.signals.waveform import Waveform
+from repro.soc.fixedpoint import FixedPointSpec, fixed_point_welch, quantize_window
+
+FS = 10000.0
+
+
+def bitstream(n=100000, seed=0):
+    rng = np.random.default_rng(seed)
+    noise = GaussianNoiseSource(1.0).render(n, FS, rng)
+    ref = SineSource(1000.0, 0.2).render(n, FS)
+    return Waveform(np.where(noise.samples - ref.samples >= 0, 1.0, -1.0), FS)
+
+
+class TestQuantizeWindow:
+    def test_16bit_close_to_float(self):
+        w = get_window("hann", 1024)
+        q = quantize_window(w, 16)
+        assert np.max(np.abs(q - w)) <= 2.0**-15
+
+    def test_values_representable(self):
+        q = quantize_window(get_window("hann", 256), 8)
+        assert np.allclose(q * 128, np.round(q * 128))
+
+    def test_rejects_tiny_bits(self):
+        with pytest.raises(ConfigurationError):
+            quantize_window(get_window("hann", 16), 1)
+
+
+class TestSpec:
+    def test_defaults(self):
+        spec = FixedPointSpec()
+        assert spec.window_bits == 16
+        assert spec.accumulator_bits == 32
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            FixedPointSpec(window_bits=1)
+        with pytest.raises(ConfigurationError):
+            FixedPointSpec(accumulator_bits=4)
+
+
+class TestFixedPointWelch:
+    def test_matches_float_at_wide_words(self):
+        bits = bitstream()
+        float_spec = welch(bits, nperseg=4096)
+        fixed_spec = fixed_point_welch(
+            bits, 4096, FixedPointSpec(window_bits=24, accumulator_bits=48)
+        )
+        band_f = float_spec.band_power(100.0, 4000.0)
+        band_q = fixed_spec.band_power(100.0, 4000.0)
+        assert band_q == pytest.approx(band_f, rel=1e-3)
+
+    def test_8bit_window_still_close(self):
+        bits = bitstream()
+        float_spec = welch(bits, nperseg=4096)
+        fixed_spec = fixed_point_welch(
+            bits, 4096, FixedPointSpec(window_bits=8, accumulator_bits=32)
+        )
+        ratio = fixed_spec.band_power(100.0, 4000.0) / float_spec.band_power(
+            100.0, 4000.0
+        )
+        assert ratio == pytest.approx(1.0, rel=0.02)
+
+    def test_line_detectable(self):
+        bits = bitstream()
+        spec = fixed_point_welch(bits, 4096)
+        f, p = spec.line_power(1000.0, 20.0)
+        assert abs(f - 1000.0) < 5.0
+        assert p > 0
+
+    def test_psd_nonnegative(self):
+        spec = fixed_point_welch(bitstream(), 2048)
+        assert np.all(spec.psd >= 0)
+
+    def test_validation(self):
+        bits = bitstream(n=1000)
+        with pytest.raises(ConfigurationError):
+            fixed_point_welch(bits, 4)
+        with pytest.raises(ConfigurationError):
+            fixed_point_welch(bits, 4096)
+        with pytest.raises(ConfigurationError):
+            fixed_point_welch(bits, 512, overlap=1.0)

@@ -1,0 +1,73 @@
+"""Tests for repro.experiments.matlab_sim (the section-5.2 environment)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+
+
+class TestConfig:
+    def test_defaults_match_paper(self):
+        c = MatlabSimConfig()
+        assert c.t_hot_k == 10000.0
+        assert c.t_cold_k == 1000.0
+        assert c.n_samples == 1_000_000
+        assert c.nperseg == 10000
+        assert c.reference_frequency_hz == 60.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            MatlabSimConfig(t_hot_k=500.0, t_cold_k=1000.0)
+        with pytest.raises(ConfigurationError):
+            MatlabSimConfig(reference_ratio=0.0)
+        with pytest.raises(ConfigurationError):
+            MatlabSimConfig(cold_rms_v=0.0)
+
+
+class TestSimulation:
+    def test_true_ratio_matches_eq(self):
+        sim = MatlabSimulation()
+        # Te for a 10 dB DUT is 2610 K.
+        assert sim.te_k == pytest.approx(2610.0, rel=1e-4)
+        assert sim.true_power_ratio == pytest.approx(12610.0 / 3610.0)
+
+    def test_noise_rms_anchored_to_cold(self):
+        sim = MatlabSimulation()
+        assert sim.noise_rms("cold") == 0.30
+        assert sim.noise_rms("hot") == pytest.approx(
+            0.30 * np.sqrt(sim.true_power_ratio)
+        )
+
+    def test_invalid_state_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MatlabSimulation().noise_rms("lukewarm")
+
+    def test_reference_amplitude(self):
+        sim = MatlabSimulation()
+        assert sim.reference_amplitude_v == pytest.approx(0.06)
+
+    def test_rendered_noise_levels(self):
+        cfg = MatlabSimConfig(n_samples=100000, nperseg=5000)
+        sim = MatlabSimulation(cfg)
+        hot = sim.render_noise("hot", rng=1)
+        cold = sim.render_noise("cold", rng=2)
+        assert hot.rms() == pytest.approx(sim.noise_rms("hot"), rel=0.02)
+        assert cold.rms() == pytest.approx(sim.noise_rms("cold"), rel=0.02)
+
+    def test_reference_is_square_at_60hz(self):
+        cfg = MatlabSimConfig(n_samples=10000, nperseg=5000)
+        ref = MatlabSimulation(cfg).reference_waveform()
+        assert set(np.unique(ref.samples)) == {-0.06, 0.06}
+
+    def test_bitstream_is_pm_one(self):
+        cfg = MatlabSimConfig(n_samples=20000, nperseg=5000)
+        bits = MatlabSimulation(cfg).bitstream("cold", rng=3)
+        assert set(np.unique(bits.samples)) <= {-1.0, 1.0}
+
+    def test_estimator_calibration(self):
+        sim = MatlabSimulation()
+        est = sim.make_estimator()
+        assert est.t_hot_k == 10000.0
+        assert est.t_cold_k == 1000.0
+        assert est.config.harmonic_kind == "odd"

@@ -1,0 +1,108 @@
+"""Tests for repro.soc.memory."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, ResourceError
+from repro.signals.waveform import Waveform
+from repro.soc.memory import SampleMemory
+
+
+def bitstream(n=1000, fs=10000.0, seed=0):
+    rng = np.random.default_rng(seed)
+    return Waveform(np.where(rng.random(n) > 0.5, 1.0, -1.0), fs)
+
+
+class TestCapacityMath:
+    def test_bytes_required_bits(self):
+        assert SampleMemory.bytes_required_bits(8) == 1
+        assert SampleMemory.bytes_required_bits(9) == 2
+        assert SampleMemory.bytes_required_bits(1_000_000) == 125000
+
+    def test_words_required(self):
+        # 1e6 samples at 12 bits = 1.5 MB.
+        assert SampleMemory.words_required(1_000_000, 12) == 1_500_000
+        assert SampleMemory.words_required(4, 12) == 6
+
+    def test_rejects_zero_bits_per_sample(self):
+        with pytest.raises(ConfigurationError):
+            SampleMemory.words_required(100, 0)
+
+    def test_rejects_negative_samples(self):
+        with pytest.raises(ConfigurationError):
+            SampleMemory.bytes_required_bits(-1)
+
+
+class TestStoreLoad:
+    def test_roundtrip(self):
+        mem = SampleMemory(1024)
+        original = bitstream(1000)
+        mem.store_bitstream("cap", original)
+        restored = mem.load_bitstream("cap")
+        assert restored == original
+
+    def test_roundtrip_non_multiple_of_8(self):
+        mem = SampleMemory(1024)
+        original = bitstream(1003)
+        mem.store_bitstream("cap", original)
+        assert mem.load_bitstream("cap") == original
+
+    def test_accounting(self):
+        mem = SampleMemory(1024)
+        mem.store_bitstream("cap", bitstream(800))
+        assert mem.bytes_used == 100
+        assert mem.bytes_free == 924
+
+    def test_overflow_raises(self):
+        mem = SampleMemory(10)
+        with pytest.raises(ResourceError):
+            mem.store_bitstream("cap", bitstream(1000))
+
+    def test_overflow_message_mentions_capacity(self):
+        mem = SampleMemory(10)
+        with pytest.raises(ResourceError, match="capacity"):
+            mem.store_bitstream("cap", bitstream(1000))
+
+    def test_duplicate_key_raises(self):
+        mem = SampleMemory(1024)
+        mem.store_bitstream("cap", bitstream(100))
+        with pytest.raises(ConfigurationError):
+            mem.store_bitstream("cap", bitstream(100))
+
+    def test_rejects_non_bitstream(self):
+        mem = SampleMemory(1024)
+        with pytest.raises(ConfigurationError):
+            mem.store_bitstream("cap", Waveform([0.5, 1.0], 10.0))
+
+    def test_missing_key_raises(self):
+        mem = SampleMemory(1024)
+        with pytest.raises(ConfigurationError):
+            mem.load_bitstream("nope")
+
+    def test_free_releases(self):
+        mem = SampleMemory(1024)
+        mem.store_bitstream("cap", bitstream(800))
+        mem.free("cap")
+        assert mem.bytes_used == 0
+        mem.store_bitstream("cap", bitstream(800))  # key reusable
+
+    def test_clear(self):
+        mem = SampleMemory(1024)
+        mem.store_bitstream("a", bitstream(100))
+        mem.store_bitstream("b", bitstream(100, seed=1))
+        mem.clear()
+        assert mem.bytes_used == 0
+        assert mem.records() == []
+
+    def test_records_metadata(self):
+        mem = SampleMemory(1024)
+        mem.store_bitstream("a", bitstream(800, fs=5000.0))
+        rec = mem.records()[0]
+        assert rec.key == "a"
+        assert rec.n_samples == 800
+        assert rec.sample_rate_hz == 5000.0
+        assert rec.bits_per_sample == 1.0
+
+    def test_rejects_zero_capacity(self):
+        with pytest.raises(ConfigurationError):
+            SampleMemory(0)

@@ -1,0 +1,152 @@
+"""Tests for repro.core.normalization (the paper's key trick)."""
+
+import numpy as np
+import pytest
+
+from repro.core.normalization import ReferenceNormalizer
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError, MeasurementError
+
+
+def spectrum_with_line(line_power, floor, f_line=100.0, df=1.0, n=1001):
+    freqs = np.arange(n) * df
+    psd = np.full(n, floor)
+    psd[int(round(f_line / df))] += line_power / df
+    return Spectrum(freqs, psd, enbw_hz=df)
+
+
+def normalizer(**kwargs):
+    defaults = dict(
+        reference_frequency_hz=100.0,
+        search_halfwidth_hz=10.0,
+        harmonic_kind="odd",
+    )
+    defaults.update(kwargs)
+    return ReferenceNormalizer(**defaults)
+
+
+class TestValidation:
+    def test_rejects_zero_reference_frequency(self):
+        with pytest.raises(ConfigurationError):
+            normalizer(reference_frequency_hz=0.0)
+
+    def test_rejects_zero_search_halfwidth(self):
+        with pytest.raises(ConfigurationError):
+            normalizer(search_halfwidth_hz=0.0)
+
+    def test_rejects_search_wider_than_reference(self):
+        with pytest.raises(ConfigurationError):
+            normalizer(search_halfwidth_hz=150.0)
+
+    def test_rejects_unknown_harmonic_kind(self):
+        with pytest.raises(ConfigurationError):
+            normalizer(harmonic_kind="even")
+
+
+class TestLinePower:
+    def test_measures_line(self):
+        s = spectrum_with_line(50.0, 0.0)
+        f, p = normalizer().line_power(s)
+        assert f == 100.0
+        assert p == pytest.approx(50.0)
+
+    def test_tracks_off_nominal_line(self):
+        # Low-quality generator at 104 Hz instead of 100 Hz (section 6).
+        s = spectrum_with_line(50.0, 0.0, f_line=104.0)
+        f, p = normalizer().line_power(s)
+        assert f == 104.0
+        assert p == pytest.approx(50.0)
+
+
+class TestExclusionZones:
+    def test_odd_harmonics(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer(harmonic_kind="odd").exclusion_zones(s)
+        centers = [c for c, _ in zones]
+        assert centers[:4] == [100.0, 300.0, 500.0, 700.0]
+
+    def test_all_harmonics(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer(harmonic_kind="all").exclusion_zones(s)
+        centers = [c for c, _ in zones]
+        assert centers[:4] == [100.0, 200.0, 300.0, 400.0]
+
+    def test_none_keeps_only_fundamental(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer(harmonic_kind="none").exclusion_zones(s)
+        assert len(zones) == 1
+
+    def test_zones_bounded_by_spectrum(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer(harmonic_kind="all").exclusion_zones(s)
+        assert all(c <= s.f_max + zones[0][1] for c, _ in zones)
+
+    def test_explicit_fundamental_override(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer().exclusion_zones(s, fundamental_hz=90.0)
+        assert zones[0][0] == 90.0
+
+    def test_custom_exclusion_halfwidth(self):
+        s = spectrum_with_line(50.0, 1.0)
+        zones = normalizer(exclusion_halfwidth_hz=7.5).exclusion_zones(s)
+        assert zones[0][1] == 7.5
+
+
+class TestNormalizePair:
+    def test_unit_line_power_after_normalization(self):
+        hot = spectrum_with_line(10.0, 1.0)
+        cold = spectrum_with_line(40.0, 1.0)
+        result = normalizer().normalize_pair(hot, cold)
+        _, p_hot = normalizer().line_power(result.hot)
+        _, p_cold = normalizer().line_power(result.cold)
+        assert p_hot == pytest.approx(1.0, rel=1e-6)
+        assert p_cold == pytest.approx(1.0, rel=1e-6)
+
+    def test_scales_are_reciprocal_line_powers(self):
+        hot = spectrum_with_line(10.0, 1.0)
+        cold = spectrum_with_line(40.0, 1.0)
+        result = normalizer().normalize_pair(hot, cold)
+        assert result.scale_hot == pytest.approx(1.0 / 10.0, rel=0.05)
+        assert result.scale_cold == pytest.approx(1.0 / 40.0, rel=0.05)
+
+    def test_recovers_power_ratio(self):
+        # Hot floor 4x cold floor but weaker line: after normalization
+        # the floor ratio must be (4/1) regardless of the line powers.
+        hot = spectrum_with_line(10.0, 4.0)
+        cold = spectrum_with_line(40.0, 1.0)
+        norm = normalizer()
+        result = norm.normalize_pair(hot, cold)
+        p_hot, p_cold = norm.normalized_band_powers(result, 150.0, 250.0)
+        # Expected ratio: (4/10)/(1/40) = 16.
+        assert p_hot / p_cold == pytest.approx(16.0, rel=0.05)
+
+    def test_line_power_ratio_property(self):
+        hot = spectrum_with_line(10.0, 1.0)
+        cold = spectrum_with_line(40.0, 1.0)
+        result = normalizer().normalize_pair(hot, cold)
+        assert result.line_power_ratio == pytest.approx(4.0, rel=0.05)
+
+    def test_inconsistent_line_frequencies_rejected(self):
+        hot = spectrum_with_line(50.0, 0.0, f_line=100.0)
+        cold = spectrum_with_line(50.0, 0.0, f_line=109.0)
+        with pytest.raises(MeasurementError):
+            normalizer().normalize_pair(hot, cold)
+
+    def test_missing_line_rejected(self):
+        flat = Spectrum(np.arange(1001.0), np.ones(1001))
+        hot = spectrum_with_line(50.0, 1.0)
+        with pytest.raises(MeasurementError):
+            normalizer().normalize_pair(hot, flat)
+
+    def test_band_powers_exclude_harmonics(self):
+        # Place a harmonic spur inside the noise band; it must not leak
+        # into the band power.
+        hot = spectrum_with_line(10.0, 1.0)
+        cold_psd = spectrum_with_line(40.0, 1.0)
+        norm = normalizer(harmonic_kind="odd")
+        result = norm.normalize_pair(hot, cold_psd)
+        # Band 250-350 contains the 3rd harmonic at 300 Hz.  Equal floors
+        # scaled by 1/10 and 1/40 give ratio 4 once the harmonic zone is
+        # excluded.
+        p_hot, p_cold = norm.normalized_band_powers(result, 250.0, 350.0)
+        assert p_hot / p_cold == pytest.approx(4.0, rel=0.05)

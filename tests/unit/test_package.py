@@ -1,0 +1,69 @@
+"""Package-surface tests: exports, error hierarchy, version."""
+
+import pytest
+
+import repro
+from repro.errors import (
+    ConfigurationError,
+    MeasurementError,
+    ReproError,
+    ResourceError,
+)
+
+
+class TestTopLevelExports:
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolvable(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_key_classes_exported(self):
+        assert repro.Waveform is not None
+        assert repro.OneBitDigitizer is not None
+        assert repro.OneBitNoiseFigureBIST is not None
+        assert repro.ReferenceNormalizer is not None
+
+    def test_constants_exported(self):
+        assert repro.T0_KELVIN == 290.0
+        assert repro.BOLTZMANN == pytest.approx(1.380649e-23)
+
+
+class TestErrorHierarchy:
+    def test_all_derive_from_repro_error(self):
+        for exc in (ConfigurationError, MeasurementError, ResourceError):
+            assert issubclass(exc, ReproError)
+
+    def test_repro_error_is_exception(self):
+        assert issubclass(ReproError, Exception)
+
+    def test_catchable_as_base(self):
+        with pytest.raises(ReproError):
+            raise MeasurementError("x")
+
+
+class TestSubpackageImports:
+    def test_all_subpackages_import(self):
+        import repro.analog
+        import repro.cli
+        import repro.core
+        import repro.digitizer
+        import repro.dsp
+        import repro.experiments
+        import repro.instruments
+        import repro.reporting
+        import repro.signals
+        import repro.soc
+
+    def test_subpackage_all_resolvable(self):
+        import repro.analog as analog
+        import repro.core as core
+        import repro.digitizer as digitizer
+        import repro.dsp as dsp
+        import repro.signals as signals
+        import repro.soc as soc
+
+        for module in (analog, core, digitizer, dsp, signals, soc):
+            for name in module.__all__:
+                assert hasattr(module, name), f"{module.__name__}.{name}"

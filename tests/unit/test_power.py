@@ -1,0 +1,63 @@
+"""Tests for repro.dsp.power."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.power import (
+    band_power_from_spectrum,
+    mean_square,
+    power_ratio,
+    power_ratio_db,
+    snr_db,
+)
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform
+
+
+class TestMeanSquare:
+    def test_waveform_input(self):
+        assert mean_square(Waveform([3.0, -3.0], 1.0)) == 9.0
+
+    def test_array_input(self):
+        assert mean_square(np.array([1.0, 1.0])) == 1.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            mean_square(np.array([]))
+
+
+class TestPowerRatio:
+    def test_basic_ratio(self):
+        a = Waveform([2.0, -2.0], 1.0)
+        b = Waveform([1.0, -1.0], 1.0)
+        assert power_ratio(a, b) == pytest.approx(4.0)
+
+    def test_db_form(self):
+        a = Waveform([np.sqrt(10.0)], 1.0)
+        b = Waveform([1.0], 1.0)
+        assert power_ratio_db(a, b) == pytest.approx(10.0)
+
+    def test_zero_denominator_raises(self):
+        with pytest.raises(ConfigurationError):
+            power_ratio(Waveform([1.0], 1.0), Waveform([0.0], 1.0))
+
+
+class TestSnr:
+    def test_snr_10db(self):
+        assert snr_db(10.0, 1.0) == pytest.approx(10.0)
+
+    def test_rejects_zero_noise(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(1.0, 0.0)
+
+    def test_rejects_zero_signal(self):
+        with pytest.raises(ConfigurationError):
+            snr_db(0.0, 1.0)
+
+
+class TestBandPowerWrapper:
+    def test_matches_spectrum_method(self):
+        from repro.dsp.spectrum import Spectrum
+
+        s = Spectrum(np.arange(100.0), np.ones(100))
+        assert band_power_from_spectrum(s, 10.0, 20.0) == s.band_power(10.0, 20.0)

@@ -1,0 +1,93 @@
+"""Tests for repro.soc.processor."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.soc.processor import DSPProcessor
+
+
+class TestAccounting:
+    def test_starts_at_zero(self):
+        assert DSPProcessor().total_cycles == 0
+
+    def test_window_cost(self):
+        proc = DSPProcessor(cycles_per_mac=2)
+        proc.cost_window(1000)
+        assert proc.total_cycles == 2000
+
+    def test_fft_cost_power_of_two(self):
+        proc = DSPProcessor(cycles_per_butterfly=6)
+        proc.cost_fft(1024)
+        assert proc.total_cycles == 6 * (512 * 10)
+
+    def test_fft_cost_non_power_of_two_rounds_up(self):
+        proc = DSPProcessor(cycles_per_butterfly=6)
+        proc.cost_fft(1000)  # charged as 1024
+        assert proc.total_cycles == 6 * (512 * 10)
+
+    def test_magnitude_accumulate(self):
+        proc = DSPProcessor()
+        proc.cost_magnitude_accumulate(513)
+        assert proc.total_cycles == 2 * 513
+
+    def test_band_power(self):
+        proc = DSPProcessor()
+        proc.cost_band_power(250)
+        assert proc.total_cycles == 250
+
+    def test_welch_cost_composition(self):
+        proc = DSPProcessor()
+        total = proc.cost_welch(10000, 1000, overlap=0.0)
+        # 10 segments x (window + fft + mag); the 1000-point FFT is
+        # charged as the next power of two (1024 -> 512 x 10 butterflies).
+        per_segment = 1000 + 6 * (512 * 10) + 2 * 501
+        assert total == 10 * per_segment
+        assert proc.total_cycles == total
+
+    def test_welch_overlap_increases_segments(self):
+        a = DSPProcessor()
+        b = DSPProcessor()
+        a.cost_welch(10000, 1000, overlap=0.0)
+        b.cost_welch(10000, 1000, overlap=0.5)
+        assert b.total_cycles > a.total_cycles
+
+    def test_execution_time(self):
+        proc = DSPProcessor(clock_hz=1e6)
+        proc.cost_band_power(1000)
+        assert proc.execution_time_s == pytest.approx(1e-3)
+
+    def test_breakdown_aggregates_labels(self):
+        proc = DSPProcessor()
+        proc.cost_band_power(10, label="x")
+        proc.cost_band_power(20, label="x")
+        proc.cost_band_power(5, label="y")
+        assert proc.breakdown() == {"x": 30, "y": 5}
+
+    def test_reset(self):
+        proc = DSPProcessor()
+        proc.cost_window(100)
+        proc.reset()
+        assert proc.total_cycles == 0
+        assert proc.operations() == []
+
+
+class TestValidation:
+    def test_rejects_zero_clock(self):
+        with pytest.raises(ConfigurationError):
+            DSPProcessor(clock_hz=0.0)
+
+    def test_rejects_zero_mac_cost(self):
+        with pytest.raises(ConfigurationError):
+            DSPProcessor(cycles_per_mac=0)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(ConfigurationError):
+            DSPProcessor().cost_fft(0)
+
+    def test_welch_validates_lengths(self):
+        with pytest.raises(ConfigurationError):
+            DSPProcessor().cost_welch(100, 1000)
+
+    def test_welch_validates_overlap(self):
+        with pytest.raises(ConfigurationError):
+            DSPProcessor().cost_welch(10000, 1000, overlap=1.5)

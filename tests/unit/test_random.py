@@ -1,0 +1,52 @@
+"""Tests for repro.signals.random."""
+
+import numpy as np
+import pytest
+
+from repro.signals.random import make_rng, spawn_rngs
+
+
+class TestMakeRng:
+    def test_same_seed_same_stream(self):
+        a = make_rng(7).normal(size=10)
+        b = make_rng(7).normal(size=10)
+        assert np.allclose(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(7).normal(size=10)
+        b = make_rng(8).normal(size=10)
+        assert not np.allclose(a, b)
+
+    def test_passthrough_generator(self):
+        gen = np.random.default_rng(1)
+        assert make_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(make_rng(None), np.random.Generator)
+
+
+class TestSpawnRngs:
+    def test_count(self):
+        assert len(spawn_rngs(3, 5)) == 5
+
+    def test_children_are_independent(self):
+        a, b = spawn_rngs(3, 2)
+        assert not np.allclose(a.normal(size=10), b.normal(size=10))
+
+    def test_deterministic_from_seed(self):
+        a1, b1 = spawn_rngs(9, 2)
+        a2, b2 = spawn_rngs(9, 2)
+        assert np.allclose(a1.normal(size=5), a2.normal(size=5))
+        assert np.allclose(b1.normal(size=5), b2.normal(size=5))
+
+    def test_spawn_from_generator(self):
+        gen = np.random.default_rng(4)
+        children = spawn_rngs(gen, 3)
+        assert len(children) == 3
+
+    def test_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_zero_count_ok(self):
+        assert spawn_rngs(1, 0) == []

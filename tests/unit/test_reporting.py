@@ -1,0 +1,74 @@
+"""Tests for repro.reporting."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.reporting.series import render_series
+from repro.reporting.tables import render_table
+
+
+class TestRenderTable:
+    def test_basic_layout(self):
+        out = render_table(["a", "bb"], [[1, 2.5], ["x", "y"]])
+        lines = out.splitlines()
+        assert lines[0].startswith("a")
+        assert "bb" in lines[0]
+        assert len(lines) == 4  # header, rule, two rows
+
+    def test_title(self):
+        out = render_table(["a"], [[1]], title="Table 1")
+        assert out.splitlines()[0] == "Table 1"
+
+    def test_float_formatting(self):
+        out = render_table(["v"], [[3.14159265]], float_format=".2f")
+        assert "3.14" in out
+        assert "3.1415" not in out
+
+    def test_alignment(self):
+        out = render_table(["col"], [["short"], ["a much longer cell"]])
+        lines = out.splitlines()
+        assert len(lines[-1]) >= len("a much longer cell")
+
+    def test_row_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_table(["a", "b"], [[1]])
+
+    def test_empty_headers_raise(self):
+        with pytest.raises(ConfigurationError):
+            render_table([], [])
+
+    def test_bool_rendering(self):
+        out = render_table(["ok"], [[True]])
+        assert "True" in out
+
+
+class TestRenderSeries:
+    def test_contains_values_and_bars(self):
+        out = render_series([1.0, 2.0], [10.0, 20.0], "x", "y")
+        assert "|" in out
+        assert "10" in out and "20" in out
+
+    def test_bar_lengths_track_values(self):
+        out = render_series([1, 2, 3], [0.0, 5.0, 10.0])
+        bars = [line.split("|")[1] for line in out.splitlines() if "|" in line]
+        assert len(bars[0]) < len(bars[1]) < len(bars[2])
+
+    def test_constant_series_ok(self):
+        out = render_series([1, 2], [5.0, 5.0])
+        assert "5" in out
+
+    def test_title(self):
+        out = render_series([1], [1], title="Figure 10")
+        assert out.splitlines()[0] == "Figure 10"
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_series([1, 2], [1])
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            render_series([], [])
+
+    def test_narrow_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            render_series([1], [1], width=5)

@@ -1,0 +1,63 @@
+"""Tests for repro.digitizer.sampler."""
+
+import numpy as np
+import pytest
+
+from repro.digitizer.sampler import SampledLatch
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform
+
+
+class TestSampledLatch:
+    def test_divider_one_is_identity(self):
+        w = Waveform([1.0, -1.0, 1.0], 100.0)
+        out = SampledLatch(1).sample(w)
+        assert out == w
+
+    def test_divider_two_halves_rate_and_length(self):
+        w = Waveform(np.arange(10, dtype=float), 100.0)
+        out = SampledLatch(2).sample(w)
+        assert out.sample_rate == 50.0
+        assert np.allclose(out.samples, [0, 2, 4, 6, 8])
+
+    def test_empty_input(self):
+        out = SampledLatch(2).sample(Waveform(np.zeros(0), 100.0))
+        assert len(out) == 0
+        assert out.sample_rate == 50.0
+
+    def test_rejects_zero_divider(self):
+        with pytest.raises(ConfigurationError):
+            SampledLatch(0)
+
+    def test_rejects_float_divider(self):
+        with pytest.raises(ConfigurationError):
+            SampledLatch(1.5)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ConfigurationError):
+            SampledLatch(1, jitter_rms_samples=-1.0)
+
+
+class TestJitter:
+    def test_jitter_changes_sampling(self):
+        w = Waveform(np.arange(1000, dtype=float), 1000.0)
+        clean = SampledLatch(10).sample(w)
+        jittered = SampledLatch(10, jitter_rms_samples=2.0).sample(w, rng=5)
+        assert not np.allclose(clean.samples, jittered.samples)
+
+    def test_jitter_is_bounded_to_record(self):
+        w = Waveform(np.arange(100, dtype=float), 1000.0)
+        out = SampledLatch(10, jitter_rms_samples=50.0).sample(w, rng=1)
+        assert np.all(out.samples >= 0)
+        assert np.all(out.samples <= 99)
+
+    def test_jitter_reproducible(self):
+        w = Waveform(np.arange(1000, dtype=float), 1000.0)
+        a = SampledLatch(10, jitter_rms_samples=1.0).sample(w, rng=4)
+        b = SampledLatch(10, jitter_rms_samples=1.0).sample(w, rng=4)
+        assert a == b
+
+    def test_output_length_unchanged_by_jitter(self):
+        w = Waveform(np.arange(1000, dtype=float), 1000.0)
+        out = SampledLatch(7, jitter_rms_samples=3.0).sample(w, rng=2)
+        assert len(out) == len(SampledLatch(7).sample(w))

@@ -1,0 +1,152 @@
+"""Tests for repro.dsp.spectrum."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError, MeasurementError
+
+
+def flat_spectrum(density=1.0, df=1.0, n=1001):
+    freqs = np.arange(n) * df
+    return Spectrum(freqs, np.full(n, density), enbw_hz=df)
+
+
+def spectrum_with_line(f_line=100.0, line_density=50.0, floor=1.0, df=1.0, n=1001):
+    freqs = np.arange(n) * df
+    psd = np.full(n, floor)
+    psd[int(f_line / df)] += line_density
+    return Spectrum(freqs, psd, enbw_hz=df)
+
+
+class TestConstruction:
+    def test_basic(self):
+        s = flat_spectrum()
+        assert len(s) == 1001
+        assert s.df == 1.0
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(np.arange(5.0), np.zeros(4))
+
+    def test_rejects_non_uniform_grid(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(np.array([0.0, 1.0, 3.0]), np.zeros(3))
+
+    def test_rejects_negative_psd(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(np.arange(3.0), np.array([0.0, -1.0, 0.0]))
+
+    def test_rejects_single_bin(self):
+        with pytest.raises(ConfigurationError):
+            Spectrum(np.array([0.0]), np.array([1.0]))
+
+    def test_default_enbw_is_df(self):
+        s = Spectrum(np.arange(3.0) * 2.0, np.zeros(3))
+        assert s.enbw_hz == 2.0
+
+    def test_arrays_readonly(self):
+        s = flat_spectrum()
+        with pytest.raises(ValueError):
+            s.psd[0] = 99.0
+
+
+class TestBandPower:
+    def test_flat_band_power(self):
+        s = flat_spectrum(density=2.0)
+        assert s.band_power(100.0, 200.0) == pytest.approx(2.0 * 101)
+
+    def test_total_power(self):
+        s = flat_spectrum(density=3.0, n=11)
+        assert s.total_power() == pytest.approx(33.0)
+
+    def test_exclusion_removes_line(self):
+        s = spectrum_with_line(f_line=150.0, line_density=1000.0)
+        with_line = s.band_power(100.0, 200.0)
+        without = s.band_power(100.0, 200.0, exclude=[(150.0, 2.0)])
+        assert with_line == pytest.approx(without + 1000.0 + 5 * 1.0)
+
+    def test_fully_excluded_band_raises(self):
+        s = flat_spectrum()
+        with pytest.raises(MeasurementError):
+            s.band_power(100.0, 110.0, exclude=[(105.0, 50.0)])
+
+    def test_empty_band_raises(self):
+        s = flat_spectrum(df=10.0, n=101)
+        with pytest.raises(MeasurementError):
+            s.band_power(1001.0, 1002.0)
+
+    def test_inverted_band_raises(self):
+        s = flat_spectrum()
+        with pytest.raises(ConfigurationError):
+            s.band_power(200.0, 100.0)
+
+    def test_negative_exclusion_halfwidth_raises(self):
+        s = flat_spectrum()
+        with pytest.raises(ConfigurationError):
+            s.band_power(10.0, 20.0, exclude=[(15.0, -1.0)])
+
+    def test_band_mean_density(self):
+        s = flat_spectrum(density=4.0)
+        assert s.band_mean_density(10.0, 20.0) == pytest.approx(4.0)
+
+
+class TestPeaksAndLines:
+    def test_find_peak(self):
+        s = spectrum_with_line(f_line=123.0)
+        f, v = s.find_peak(120.0, 10.0)
+        assert f == 123.0
+        assert v == pytest.approx(51.0)
+
+    def test_find_peak_needs_positive_halfwidth(self):
+        s = flat_spectrum()
+        with pytest.raises(ConfigurationError):
+            s.find_peak(100.0, 0.0)
+
+    def test_line_power_without_floor_subtraction(self):
+        s = spectrum_with_line(line_density=50.0, floor=1.0)
+        _, p = s.line_power(100.0, 10.0, subtract_floor=False)
+        # Window +/- 1 bin: line 50 + floor 3 bins.
+        assert p == pytest.approx(53.0)
+
+    def test_line_power_with_floor_subtraction(self):
+        s = spectrum_with_line(line_density=50.0, floor=1.0)
+        _, p = s.line_power(100.0, 10.0, subtract_floor=True)
+        assert p == pytest.approx(50.0)
+
+    def test_line_power_all_floor_raises(self):
+        s = flat_spectrum()
+        with pytest.raises(MeasurementError):
+            s.line_power(500.0, 10.0, subtract_floor=True)
+
+    def test_line_frequency_tracked_off_nominal(self):
+        # Line actually at 108 Hz, nominal 100 Hz: peak search finds it.
+        s = spectrum_with_line(f_line=108.0)
+        f, _ = s.line_power(100.0, 10.0)
+        assert f == 108.0
+
+
+class TestTransforms:
+    def test_scaled(self):
+        s = flat_spectrum(density=1.0).scaled(2.5)
+        assert s.band_mean_density(10.0, 20.0) == pytest.approx(2.5)
+
+    def test_scaled_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            flat_spectrum().scaled(-1.0)
+
+    def test_slice_band(self):
+        s = flat_spectrum()
+        sl = s.slice_band(100.0, 200.0)
+        assert sl.frequencies[0] >= 100.0
+        assert sl.frequencies[-1] <= 200.0
+
+    def test_to_db(self):
+        s = flat_spectrum(density=10.0)
+        assert np.allclose(s.to_db(), 10.0)
+
+    def test_to_db_clips_zeros(self):
+        freqs = np.arange(3.0)
+        s = Spectrum(freqs, np.array([0.0, 1.0, 1.0]))
+        db = s.to_db()
+        assert db[0] == pytest.approx(-300.0)

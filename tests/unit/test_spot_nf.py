@@ -1,0 +1,83 @@
+"""Tests for repro.core.spot_nf."""
+
+import numpy as np
+import pytest
+
+from repro.core.bist import BISTMeasurementConfig, OneBitNoiseFigureBIST
+from repro.core.spot_nf import SpotNoiseFigureSweep, octave_bands
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.errors import ConfigurationError
+from repro.signals.random import spawn_rngs
+from repro.signals.sources import GaussianNoiseSource, SquareSource
+
+FS = 10000.0
+N = 200000
+
+
+def make_estimator():
+    config = BISTMeasurementConfig(
+        sample_rate_hz=FS,
+        n_samples=N,
+        nperseg=5000,
+        reference_frequency_hz=60.0,
+        noise_band_hz=(100.0, 4500.0),
+        harmonic_kind="odd",
+    )
+    return OneBitNoiseFigureBIST(config, 2900.0, 290.0)
+
+
+def white_bitstreams(f_dut=2.0, seed=1):
+    te = (f_dut - 1.0) * 290.0
+    ref = SquareSource(60.0, 0.2).render(N, FS)
+    dig = OneBitDigitizer()
+    rng_h, rng_c = spawn_rngs(seed, 2)
+    sigma_h = np.sqrt((2900.0 + te) / (290.0 + te))
+    hot = GaussianNoiseSource(sigma_h).render(N, FS, rng_h)
+    cold = GaussianNoiseSource(1.0).render(N, FS, rng_c)
+    return dig.digitize(hot, ref), dig.digitize(cold, ref)
+
+
+class TestOctaveBands:
+    def test_doubling(self):
+        bands = octave_bands(100.0, 3, 5000.0)
+        assert bands == [(100.0, 200.0), (200.0, 400.0), (400.0, 800.0)]
+
+    def test_exceeding_nyquist_raises(self):
+        with pytest.raises(ConfigurationError):
+            octave_bands(1000.0, 4, 5000.0)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            octave_bands(0.0, 2, 5000.0)
+        with pytest.raises(ConfigurationError):
+            octave_bands(100.0, 0, 5000.0)
+
+
+class TestSweep:
+    def test_white_dut_is_flat(self):
+        # With white noise in all bands, every band reads the same NF.
+        est = make_estimator()
+        sweep = SpotNoiseFigureSweep(
+            est, [(200.0, 400.0), (800.0, 1600.0), (3000.0, 4400.0)]
+        )
+        bits_hot, bits_cold = white_bitstreams(f_dut=2.0, seed=3)
+        result = sweep.estimate(bits_hot, bits_cold)
+        values = result.nf_db
+        assert np.max(values) - np.min(values) < 1.0
+        assert np.mean(values) == pytest.approx(3.01, abs=0.7)
+
+    def test_band_metadata(self):
+        est = make_estimator()
+        sweep = SpotNoiseFigureSweep(est, [(100.0, 400.0)])
+        bits = white_bitstreams(seed=4)
+        result = sweep.estimate(*bits)
+        assert result.points[0].f_center_hz == pytest.approx(200.0)
+
+    def test_validation(self):
+        est = make_estimator()
+        with pytest.raises(ConfigurationError):
+            SpotNoiseFigureSweep(est, [])
+        with pytest.raises(ConfigurationError):
+            SpotNoiseFigureSweep(est, [(100.0, 9000.0)])
+        with pytest.raises(ConfigurationError):
+            SpotNoiseFigureSweep("est", [(100.0, 400.0)])

@@ -1,0 +1,88 @@
+"""Tests for repro.analog.twoport."""
+
+import pytest
+
+from repro.analog.twoport import TwoPort, attenuator_twoport, cascade
+from repro.constants import T0_KELVIN
+from repro.errors import ConfigurationError
+
+
+class TestTwoPort:
+    def test_from_db(self):
+        tp = TwoPort.from_db(20.0, 3.0103)
+        assert tp.gain_linear == pytest.approx(100.0)
+        assert tp.noise_factor == pytest.approx(2.0, rel=1e-4)
+
+    def test_noise_temperature(self):
+        tp = TwoPort(10.0, 2.0)
+        assert tp.noise_temperature_k == pytest.approx(T0_KELVIN)
+
+    def test_from_noise_temperature_roundtrip(self):
+        tp = TwoPort.from_noise_temperature(10.0, 870.0)
+        assert tp.noise_factor == pytest.approx(4.0)
+
+    def test_noise_figure_db(self):
+        assert TwoPort(1.0, 10.0).noise_figure_db == pytest.approx(10.0)
+
+    def test_rejects_zero_gain(self):
+        with pytest.raises(ConfigurationError):
+            TwoPort(0.0, 2.0)
+
+    def test_rejects_subunity_noise_factor(self):
+        with pytest.raises(ConfigurationError):
+            TwoPort(1.0, 0.5)
+
+    def test_rejects_negative_te(self):
+        with pytest.raises(ConfigurationError):
+            TwoPort.from_noise_temperature(1.0, -10.0)
+
+
+class TestCascade:
+    def test_single_stage_identity(self):
+        tp = TwoPort(10.0, 2.0)
+        out = cascade([tp])
+        assert out.gain_linear == tp.gain_linear
+        assert out.noise_factor == tp.noise_factor
+
+    def test_friis_two_stages(self):
+        first = TwoPort(100.0, 2.0)
+        second = TwoPort(10.0, 11.0)
+        out = cascade([first, second])
+        assert out.noise_factor == pytest.approx(2.0 + 10.0 / 100.0)
+        assert out.gain_linear == pytest.approx(1000.0)
+
+    def test_first_stage_dominates_with_high_gain(self):
+        # Paper section 6: cascade NF ~ first-stage NF when G1 is large.
+        lna = TwoPort(10000.0, 2.0)
+        noisy_post = TwoPort(10.0, 100.0)
+        out = cascade([lna, noisy_post])
+        assert out.noise_figure_db == pytest.approx(lna.noise_figure_db, abs=0.05)
+
+    def test_order_matters(self):
+        a = TwoPort(100.0, 2.0)
+        b = TwoPort(100.0, 4.0)
+        assert cascade([a, b]).noise_factor < cascade([b, a]).noise_factor
+
+    def test_empty_cascade_raises(self):
+        with pytest.raises(ConfigurationError):
+            cascade([])
+
+
+class TestAttenuator:
+    def test_attenuator_at_t0_nf_equals_loss(self):
+        tp = attenuator_twoport(3.0, T0_KELVIN)
+        assert tp.noise_figure_db == pytest.approx(3.0, abs=1e-6)
+
+    def test_cold_attenuator_quieter(self):
+        cold = attenuator_twoport(3.0, 77.0)
+        warm = attenuator_twoport(3.0, T0_KELVIN)
+        assert cold.noise_factor < warm.noise_factor
+
+    def test_zero_loss_is_transparent(self):
+        tp = attenuator_twoport(0.0)
+        assert tp.gain_linear == pytest.approx(1.0)
+        assert tp.noise_factor == pytest.approx(1.0)
+
+    def test_rejects_negative_loss(self):
+        with pytest.raises(ConfigurationError):
+            attenuator_twoport(-1.0)

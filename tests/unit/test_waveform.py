@@ -1,0 +1,156 @@
+"""Tests for repro.signals.waveform."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.signals.waveform import Waveform, concatenate
+
+
+class TestConstruction:
+    def test_basic_construction(self):
+        w = Waveform([1.0, -1.0, 2.0], 100.0)
+        assert len(w) == 3
+        assert w.sample_rate == 100.0
+
+    def test_samples_are_copied_and_readonly(self):
+        data = np.array([1.0, 2.0])
+        w = Waveform(data, 10.0)
+        data[0] = 99.0
+        assert w.samples[0] == 1.0
+        with pytest.raises(ValueError):
+            w.samples[0] = 5.0
+
+    def test_rejects_2d_samples(self):
+        with pytest.raises(ConfigurationError):
+            Waveform(np.zeros((2, 2)), 10.0)
+
+    def test_rejects_zero_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([1.0], 0.0)
+
+    def test_rejects_negative_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([1.0], -5.0)
+
+    def test_rejects_nan_sample_rate(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([1.0], float("nan"))
+
+
+class TestProperties:
+    def test_duration(self):
+        w = Waveform(np.zeros(100), 50.0)
+        assert w.duration == pytest.approx(2.0)
+
+    def test_nyquist(self):
+        assert Waveform([0.0, 1.0], 300.0).nyquist == 150.0
+
+    def test_times_start_at_zero(self):
+        w = Waveform(np.zeros(5), 10.0)
+        assert np.allclose(w.times, [0.0, 0.1, 0.2, 0.3, 0.4])
+
+
+class TestStatistics:
+    def test_mean(self):
+        assert Waveform([1.0, 3.0], 1.0).mean() == 2.0
+
+    def test_mean_square(self):
+        assert Waveform([3.0, 4.0], 1.0).mean_square() == pytest.approx(12.5)
+
+    def test_rms_of_constant(self):
+        assert Waveform([2.0, 2.0, 2.0], 1.0).rms() == pytest.approx(2.0)
+
+    def test_rms_of_sine_is_amplitude_over_sqrt2(self):
+        t = np.arange(10000) / 10000.0
+        w = Waveform(3.0 * np.sin(2 * np.pi * 100 * t), 10000.0)
+        assert w.rms() == pytest.approx(3.0 / np.sqrt(2), rel=1e-3)
+
+    def test_std_ignores_dc(self):
+        t = np.arange(1000)
+        w = Waveform(np.where(t % 2 == 0, 6.0, 4.0), 1.0)
+        assert w.std() == pytest.approx(1.0)
+        assert w.mean() == pytest.approx(5.0)
+
+    def test_peak(self):
+        assert Waveform([1.0, -5.0, 2.0], 1.0).peak() == 5.0
+
+    def test_crest_factor_of_square_is_one(self):
+        w = Waveform(np.array([1.0, -1.0] * 50), 1.0)
+        assert w.crest_factor() == pytest.approx(1.0)
+
+    def test_crest_factor_of_zero_waveform_is_inf(self):
+        assert Waveform(np.zeros(4), 1.0).crest_factor() == float("inf")
+
+
+class TestTransformations:
+    def test_scaled(self):
+        w = Waveform([1.0, 2.0], 1.0).scaled(3.0)
+        assert np.allclose(w.samples, [3.0, 6.0])
+
+    def test_offset(self):
+        w = Waveform([1.0, 2.0], 1.0).offset(-1.0)
+        assert np.allclose(w.samples, [0.0, 1.0])
+
+    def test_remove_mean(self):
+        w = Waveform([1.0, 3.0], 1.0).remove_mean()
+        assert w.mean() == pytest.approx(0.0)
+
+    def test_slice(self):
+        w = Waveform([0.0, 1.0, 2.0, 3.0], 1.0).slice(1, 3)
+        assert np.allclose(w.samples, [1.0, 2.0])
+
+    def test_slice_out_of_range_raises(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([0.0, 1.0], 1.0).slice(0, 3)
+
+
+class TestArithmetic:
+    def test_add_waveforms(self):
+        a = Waveform([1.0, 2.0], 10.0)
+        b = Waveform([10.0, 20.0], 10.0)
+        assert np.allclose((a + b).samples, [11.0, 22.0])
+
+    def test_subtract_waveforms(self):
+        a = Waveform([1.0, 2.0], 10.0)
+        b = Waveform([10.0, 20.0], 10.0)
+        assert np.allclose((b - a).samples, [9.0, 18.0])
+
+    def test_add_scalar(self):
+        w = Waveform([1.0], 1.0) + 5.0
+        assert w.samples[0] == 6.0
+
+    def test_multiply_scalar(self):
+        w = 2.0 * Waveform([1.0, 2.0], 1.0)
+        assert np.allclose(w.samples, [2.0, 4.0])
+
+    def test_rate_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([1.0], 10.0) + Waveform([1.0], 20.0)
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            Waveform([1.0], 10.0) + Waveform([1.0, 2.0], 10.0)
+
+    def test_equality(self):
+        a = Waveform([1.0, 2.0], 10.0)
+        b = Waveform([1.0, 2.0], 10.0)
+        c = Waveform([1.0, 2.5], 10.0)
+        assert a == b
+        assert a != c
+
+
+class TestConcatenate:
+    def test_concatenate_two(self):
+        a = Waveform([1.0], 10.0)
+        b = Waveform([2.0, 3.0], 10.0)
+        out = concatenate([a, b])
+        assert np.allclose(out.samples, [1.0, 2.0, 3.0])
+
+    def test_concatenate_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            concatenate([])
+
+    def test_concatenate_rate_mismatch_raises(self):
+        with pytest.raises(ConfigurationError):
+            concatenate([Waveform([1.0], 10.0), Waveform([1.0], 20.0)])

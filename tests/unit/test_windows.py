@@ -1,0 +1,100 @@
+"""Tests for repro.dsp.windows."""
+
+import numpy as np
+import pytest
+
+from repro.dsp.windows import (
+    blackman,
+    enbw_bins,
+    flattop,
+    get_window,
+    hamming,
+    hann,
+    rectangular,
+    window_gains,
+)
+from repro.errors import ConfigurationError
+
+
+class TestShapes:
+    @pytest.mark.parametrize(
+        "name", ["rectangular", "hann", "hamming", "blackman", "flattop"]
+    )
+    def test_length(self, name):
+        assert get_window(name, 128).size == 128
+
+    @pytest.mark.parametrize("name", ["hann", "hamming", "blackman"])
+    def test_values_in_unit_range(self, name):
+        w = get_window(name, 256)
+        assert np.all(w >= -1e-12)
+        assert np.all(w <= 1.0 + 1e-12)
+
+    def test_rectangular_all_ones(self):
+        assert np.all(rectangular(10) == 1.0)
+
+    def test_hann_starts_at_zero(self):
+        assert hann(64)[0] == pytest.approx(0.0, abs=1e-12)
+
+    def test_hann_periodic_peak(self):
+        # Periodic Hann of even length peaks at exactly n/2.
+        w = hann(64)
+        assert w[32] == pytest.approx(1.0)
+
+    def test_hamming_endpoint(self):
+        assert hamming(64)[0] == pytest.approx(0.08, abs=1e-12)
+
+    def test_length_one_window_is_one(self):
+        for name in ("hann", "hamming", "blackman", "flattop"):
+            assert get_window(name, 1)[0] == 1.0
+
+
+class TestLookup:
+    def test_case_insensitive(self):
+        assert np.allclose(get_window("HANN", 16), hann(16))
+
+    def test_alias_boxcar(self):
+        assert np.all(get_window("boxcar", 8) == 1.0)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_window("kaiser", 16)
+
+    def test_zero_length_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_window("hann", 0)
+
+
+class TestGains:
+    def test_rectangular_gains(self):
+        coherent, noise = window_gains(rectangular(100))
+        assert coherent == 1.0
+        assert noise == 1.0
+
+    def test_hann_coherent_gain_half(self):
+        coherent, _ = window_gains(hann(4096))
+        assert coherent == pytest.approx(0.5, abs=1e-3)
+
+    def test_hann_noise_gain(self):
+        _, noise = window_gains(hann(4096))
+        assert noise == pytest.approx(0.375, abs=1e-3)
+
+    def test_empty_raises(self):
+        with pytest.raises(ConfigurationError):
+            window_gains(np.array([]))
+
+
+class TestEnbw:
+    def test_rectangular_enbw_is_one_bin(self):
+        assert enbw_bins(rectangular(512)) == pytest.approx(1.0)
+
+    def test_hann_enbw_is_1p5_bins(self):
+        assert enbw_bins(hann(4096)) == pytest.approx(1.5, abs=1e-3)
+
+    def test_flattop_enbw_is_largest(self):
+        assert enbw_bins(flattop(1024)) > enbw_bins(blackman(1024)) > enbw_bins(
+            hann(1024)
+        )
+
+    def test_zero_sum_window_raises(self):
+        with pytest.raises(ConfigurationError):
+            enbw_bins(np.array([1.0, -1.0]))

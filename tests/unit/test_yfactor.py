@@ -1,0 +1,73 @@
+"""Tests for repro.core.yfactor (full-ADC reference estimator)."""
+
+import numpy as np
+import pytest
+
+from repro.core.definitions import y_factor_expected
+from repro.core.yfactor import YFactorMethod
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.sources import GaussianNoiseSource
+
+
+class TestFromPowers:
+    def test_recovers_factor(self):
+        method = YFactorMethod(2900.0, 290.0)
+        y = y_factor_expected(2.0, 2900.0, 290.0)
+        res = method.from_powers(y * 1.0, 1.0)
+        assert res.noise_factor == pytest.approx(2.0)
+
+    def test_gain_invariance(self):
+        # Eq 11: scaling both powers by any gain leaves the result alone.
+        method = YFactorMethod(2900.0, 290.0)
+        a = method.from_powers(5.5, 1.0)
+        b = method.from_powers(5.5e6, 1.0e6)
+        assert a.noise_factor == pytest.approx(b.noise_factor)
+
+    def test_hot_below_cold_rejected(self):
+        method = YFactorMethod(2900.0, 290.0)
+        with pytest.raises(MeasurementError):
+            method.from_powers(1.0, 2.0)
+
+    def test_zero_power_rejected(self):
+        method = YFactorMethod(2900.0, 290.0)
+        with pytest.raises(MeasurementError):
+            method.from_powers(0.0, 1.0)
+
+    def test_temperature_validation(self):
+        with pytest.raises(ConfigurationError):
+            YFactorMethod(290.0, 290.0)
+
+
+class TestFromRecords:
+    def test_simulated_measurement(self, rng):
+        # Source + DUT noise in voltage domain: powers proportional to
+        # (T_state + Te).
+        te = 290.0  # F = 2
+        method = YFactorMethod(2900.0, 290.0)
+        hot = GaussianNoiseSource(np.sqrt(2900.0 + te)).render(200000, 1e4, rng)
+        cold = GaussianNoiseSource(np.sqrt(290.0 + te)).render(200000, 1e4, rng)
+        res = method.from_records(hot, cold)
+        assert res.noise_figure_db == pytest.approx(3.01, abs=0.15)
+
+
+class TestFromSpectra:
+    def test_band_limited_estimate(self):
+        freqs = np.arange(1000.0)
+        hot = Spectrum(freqs, np.full(1000, 5.5))
+        cold = Spectrum(freqs, np.ones(1000))
+        method = YFactorMethod(2900.0, 290.0)
+        res = method.from_spectra(hot, cold, 100.0, 400.0)
+        assert res.y == pytest.approx(5.5)
+
+    def test_exclusions_applied(self):
+        freqs = np.arange(1000.0)
+        hot_psd = np.full(1000, 5.5)
+        hot_psd[200] = 1e6  # spur that must be excluded
+        hot = Spectrum(freqs, hot_psd)
+        cold = Spectrum(freqs, np.ones(1000))
+        method = YFactorMethod(2900.0, 290.0)
+        res = method.from_spectra(
+            hot, cold, 100.0, 400.0, exclude=[(200.0, 2.0)]
+        )
+        assert res.y == pytest.approx(5.5)
