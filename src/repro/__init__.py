@@ -20,6 +20,9 @@ The package is organized as:
     end-to-end ``OneBitNoiseFigureBIST`` pipeline.
 ``repro.soc``
     SoC resource reuse model (sample memory, DSP cycle costs, controller).
+``repro.engine``
+    Batched measurement engine: stacked-record acquisition, batched
+    Welch estimation and sweep fan-out (serial or multiprocess).
 ``repro.instruments``
     Simulated bench instruments and the Figure-11 prototype testbench.
 ``repro.experiments``
@@ -41,6 +44,7 @@ from repro.core.definitions import (
 )
 from repro.core.normalization import NormalizationResult, ReferenceNormalizer
 from repro.digitizer.digitizer import OneBitDigitizer
+from repro.engine import MeasurementEngine
 from repro.signals.waveform import Waveform
 
 __version__ = "1.0.0"
@@ -52,6 +56,7 @@ __all__ = [
     "linear_to_db",
     "Waveform",
     "OneBitDigitizer",
+    "MeasurementEngine",
     "ReferenceNormalizer",
     "NormalizationResult",
     "OneBitNoiseFigureBIST",

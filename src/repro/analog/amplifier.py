@@ -33,7 +33,11 @@ import numpy as np
 from repro.constants import BOLTZMANN, T0_KELVIN
 from repro.analog.opamp import OpAmpNoiseModel
 from repro.errors import ConfigurationError
-from repro.signals.filters import single_pole_lowpass, single_pole_magnitude
+from repro.signals.filters import (
+    single_pole_lowpass,
+    single_pole_lowpass_array,
+    single_pole_magnitude,
+)
 from repro.signals.random import GeneratorLike, make_rng
 from repro.signals.sources import GaussianNoiseSource, ShapedNoiseSource
 from repro.signals.waveform import Waveform
@@ -211,6 +215,38 @@ class NonInvertingAmplifier:
             total = total + johnson.render(n_samples, sample_rate, gen)
         return total
 
+    def render_input_noise_batch(
+        self, n_samples: int, sample_rate: float, rngs
+    ) -> np.ndarray:
+        """Stacked input-referred noise records, one per generator.
+
+        Row ``i`` is bit-exact equal to ``render_input_noise(...,
+        rngs[i]).samples``: each record's contributors draw from its own
+        generator in the serial order (en, then in, then Johnson) while
+        the 1/f spectral shaping runs as batched FFTs across records.
+        """
+        gens = [make_rng(rng) for rng in rngs]
+        rs = self.source_resistance_ohm
+        rp = self.feedback_parallel_ohm
+        r_eq = float(np.hypot(rs, rp))
+
+        en_source = ShapedNoiseSource.one_over_f(
+            self.opamp.en_v_per_rthz**2, self.opamp.en_corner_hz
+        )
+        total = en_source.render_batch(n_samples, sample_rate, gens)
+
+        if self.opamp.in_a_per_rthz > 0 and r_eq > 0:
+            in_source = ShapedNoiseSource.one_over_f(
+                (self.opamp.in_a_per_rthz * r_eq) ** 2, self.opamp.in_corner_hz
+            )
+            total = total + in_source.render_batch(n_samples, sample_rate, gens)
+
+        johnson_density = 4.0 * BOLTZMANN * self.temperature_k * rp
+        if johnson_density > 0:
+            johnson = GaussianNoiseSource.from_density(johnson_density, sample_rate)
+            total = total + johnson.render_batch(n_samples, sample_rate, gens)
+        return total
+
     def process(
         self,
         input_wave: Waveform,
@@ -237,6 +273,48 @@ class NonInvertingAmplifier:
         if self.bandwidth_hz < input_wave.nyquist:
             total = single_pole_lowpass(total, self.bandwidth_hz)
         return total.scaled(self.actual_gain)
+
+    def process_batch(
+        self,
+        records: np.ndarray,
+        sample_rate: float,
+        rngs=None,
+        include_noise: bool = True,
+    ) -> np.ndarray:
+        """Amplify a stack of records (batch form of :meth:`process`).
+
+        ``records`` is ``(n_records, n_samples)``; ``rngs`` supplies one
+        generator per record for the amplifier's own noise.  Row ``i`` is
+        bit-exact equal to ``process(Waveform(records[i], sample_rate),
+        rngs[i]).samples``.
+        """
+        arr = np.asarray(records, dtype=float)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"records must be a 2-D array, got shape {arr.shape}"
+            )
+        if sample_rate <= 0:
+            raise ConfigurationError(
+                f"sample rate must be > 0, got {sample_rate}"
+            )
+        total = arr
+        if include_noise:
+            if rngs is None:
+                rngs = [None] * arr.shape[0]
+            rngs = list(rngs)
+            if len(rngs) != arr.shape[0]:
+                raise ConfigurationError(
+                    f"got {arr.shape[0]} records but {len(rngs)} generators"
+                )
+            noise = self.render_input_noise_batch(
+                arr.shape[-1], sample_rate, rngs
+            )
+            total = arr + noise
+        if self.bandwidth_hz < sample_rate / 2.0:
+            total = single_pole_lowpass_array(
+                total, sample_rate, self.bandwidth_hz
+            )
+        return total * self.actual_gain
 
     def __repr__(self) -> str:  # pragma: no cover
         return (

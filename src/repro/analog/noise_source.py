@@ -18,7 +18,7 @@ import numpy as np
 
 from repro.constants import BOLTZMANN, T0_KELVIN
 from repro.errors import ConfigurationError
-from repro.signals.random import GeneratorLike
+from repro.signals.random import GeneratorLike, make_rng
 from repro.signals.sources import GaussianNoiseSource
 from repro.signals.thermal import temperature_from_enr_db
 from repro.signals.waveform import Waveform
@@ -119,6 +119,43 @@ class CalibratedNoiseSource:
         """Render the source noise waveform for one state."""
         source = GaussianNoiseSource.from_density(self.density(state), sample_rate)
         return source.render(n_samples, sample_rate, rng)
+
+    def render_batch(
+        self,
+        states,
+        n_samples: int,
+        sample_rate: float,
+        rngs,
+    ) -> np.ndarray:
+        """Render one record per ``(state, rng)`` pair as a stacked array.
+
+        ``states`` and ``rngs`` are equal-length sequences; row ``i``
+        is bit-exact equal to ``render(states[i], ..., rngs[i])`` so a
+        hot/cold pair (or a whole repeat batch) can be generated in one
+        call without losing per-record reproducibility.
+        """
+        states = list(states)
+        rngs = list(rngs)
+        if len(states) != len(rngs):
+            raise ConfigurationError(
+                f"got {len(states)} states but {len(rngs)} generators"
+            )
+        sources = {
+            state: GaussianNoiseSource.from_density(
+                self.density(state), sample_rate
+            )
+            for state in set(states)
+        }
+        # The draws themselves are the work here and must replay each
+        # record's own generator stream; only the Waveform copy of the
+        # scalar render() is skipped.
+        out = np.empty((len(states), int(n_samples)))
+        for i, (state, rng) in enumerate(zip(states, rngs)):
+            source = sources[state]
+            out[i] = make_rng(rng).normal(
+                source.mean, source.rms, size=int(n_samples)
+            )
+        return out
 
     @property
     def y_factor_true(self) -> float:

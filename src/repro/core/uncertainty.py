@@ -136,24 +136,21 @@ def monte_carlo_nf(
     if rel_sigma_y > 0:
         y_actual = y_actual * (1.0 + rel_sigma_y * gen.standard_normal(n_trials))
 
-    nf_values = []
-    n_rejected = 0
-    for y in y_actual:
-        if y <= 1.0:
-            n_rejected += 1
-            continue
-        numerator = (t_hot_k / t0_k - 1.0) - y * (t_cold_k / t0_k - 1.0)
-        f_est = numerator / (y - 1.0)
-        if f_est < 1.0:
-            n_rejected += 1
-            continue
-        nf_values.append(linear_to_db(f_est))
-    if not nf_values:
+    # Vectorized eq-8 re-evaluation: trials with Y <= 1 or F < 1 are
+    # rejected (measurements a test engineer would flag), the rest map
+    # straight to dB.  Same arithmetic as the per-trial loop, 1e4x fewer
+    # Python iterations.
+    with np.errstate(divide="ignore", invalid="ignore"):
+        numerator = (t_hot_k / t0_k - 1.0) - y_actual * (t_cold_k / t0_k - 1.0)
+        f_est = numerator / (y_actual - 1.0)
+    accepted = (y_actual > 1.0) & (f_est >= 1.0)
+    n_rejected = int(n_trials - np.count_nonzero(accepted))
+    if not np.any(accepted):
         raise ConfigurationError(
             "all Monte-Carlo trials rejected; errors are too large for the "
             "configured temperatures"
         )
-    values = np.asarray(nf_values)
+    values = linear_to_db(f_est[accepted])
     return MonteCarloResult(
         nf_mean_db=float(np.mean(values)),
         nf_std_db=float(np.std(values)),

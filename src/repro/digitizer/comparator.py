@@ -81,6 +81,62 @@ class Comparator:
             bits = self._compare_with_hysteresis(diff)
         return Waveform(bits, signal.sample_rate)
 
+    def compare_batch(
+        self,
+        signals: np.ndarray,
+        reference: np.ndarray,
+        rngs=None,
+        overwrite_input: bool = False,
+    ) -> np.ndarray:
+        """Batch decision: stacked signals against one shared reference.
+
+        ``signals`` is ``(n_records, n_samples)`` and ``reference`` a
+        1-D array broadcast across records.  Row ``i`` is bit-exact
+        equal to the scalar :meth:`compare` of record ``i`` with
+        ``rngs[i]`` (the comparator's own input noise, when enabled,
+        draws from each record's generator).
+
+        Records are processed row by row through one recycled scratch
+        buffer — at paper scale a whole-batch broadcast would churn
+        hundreds of megabytes of fresh pages.  With ``overwrite_input``
+        the decisions are written back into ``signals`` (valid when the
+        caller owns the array and is done with the analog samples).
+        """
+        sig = np.asarray(signals, dtype=float)
+        ref = np.asarray(reference, dtype=float)
+        if sig.ndim != 2 or ref.ndim != 1:
+            raise ConfigurationError(
+                f"need (n_records, n) signals and 1-D reference, got "
+                f"{sig.shape} and {ref.shape}"
+            )
+        if sig.shape[-1] != ref.size:
+            raise ConfigurationError(
+                "signal/reference length mismatch: "
+                f"{sig.shape[-1]} vs {ref.size} samples"
+            )
+        if rngs is None:
+            rngs = [None] * sig.shape[0]
+        else:
+            rngs = list(rngs)
+            if len(rngs) != sig.shape[0]:
+                raise ConfigurationError(
+                    f"got {sig.shape[0]} records but {len(rngs)} generators"
+                )
+        bits = sig if (overwrite_input and sig is signals) else np.empty_like(sig)
+        diff = np.empty(ref.size)
+        for i, rng in enumerate(rngs):
+            np.subtract(sig[i], ref, out=diff)
+            if self.offset_v != 0.0:
+                diff += self.offset_v
+            if self.input_noise_rms > 0:
+                gen = make_rng(rng)
+                diff += gen.normal(0.0, self.input_noise_rms, size=ref.size)
+            if self.hysteresis_v == 0.0:
+                bits[i] = np.where(diff >= 0.0, 1.0, -1.0)
+            else:
+                bits[i] = self._compare_with_hysteresis(diff)
+        return bits
+
     def _compare_with_hysteresis(self, diff: np.ndarray) -> np.ndarray:
         """Sequential Schmitt-trigger evaluation."""
         half = self.hysteresis_v / 2.0

@@ -60,6 +60,53 @@ class OneBitDigitizer:
         decisions = self.comparator.compare(signal, reference, comp_rng)
         return self.sampler.sample(decisions, latch_rng)
 
+    def digitize_batch(
+        self,
+        signals: np.ndarray,
+        reference: np.ndarray,
+        sample_rate: float,
+        rngs=None,
+        overwrite_input: bool = False,
+    ) -> np.ndarray:
+        """Digitize stacked records against one shared reference.
+
+        ``signals`` is ``(n_records, n_samples)``; ``rngs`` supplies one
+        generator per record.  Row ``i`` is bit-exact equal to
+        :meth:`digitize` of record ``i`` with ``rngs[i]`` — the per-record
+        child generators for comparator noise and latch jitter are
+        spawned exactly as in the scalar path.  The output sample rate is
+        ``sample_rate / divider`` (see :attr:`output_sample_rate_factor`).
+        With ``overwrite_input`` the comparator reuses the signal array
+        for its decisions (pass True only when the analog samples are
+        dead after this call).
+        """
+        sig = np.asarray(signals, dtype=float)
+        if sig.ndim != 2:
+            raise ConfigurationError(
+                f"signals must be a 2-D array, got shape {sig.shape}"
+            )
+        if sample_rate <= 0:
+            raise ConfigurationError(
+                f"sample rate must be > 0, got {sample_rate}"
+            )
+        if rngs is None:
+            rngs = [None] * sig.shape[0]
+        rngs = list(rngs)
+        if len(rngs) != sig.shape[0]:
+            raise ConfigurationError(
+                f"got {sig.shape[0]} records but {len(rngs)} generators"
+            )
+        comp_rngs = []
+        latch_rngs = []
+        for rng in rngs:
+            comp_rng, latch_rng = spawn_rngs(make_rng(rng), 2)
+            comp_rngs.append(comp_rng)
+            latch_rngs.append(latch_rng)
+        decisions = self.comparator.compare_batch(
+            sig, reference, comp_rngs, overwrite_input=overwrite_input
+        )
+        return self.sampler.sample_batch(decisions, latch_rngs)
+
     @staticmethod
     def level_ratio(signal: Waveform, reference: Waveform) -> float:
         """Reference-to-noise amplitude ratio ``Vref_peak / Vnoise_rms``.

@@ -53,3 +53,41 @@ class SampledLatch:
             indices = np.clip(indices + jitter, 0, n - 1)
         samples = decisions.samples[indices]
         return Waveform(samples, decisions.sample_rate / self.divider)
+
+    def sample_batch(self, decisions: np.ndarray, rngs=None) -> np.ndarray:
+        """Latch a stack of decision records (batch form of :meth:`sample`).
+
+        Row ``i`` is bit-exact equal to the scalar path with ``rngs[i]``
+        (jitter, when enabled, draws from each record's generator).  The
+        pass-through configuration (divider 1, no jitter) returns the
+        input unchanged.
+        """
+        arr = np.asarray(decisions, dtype=float)
+        if arr.ndim != 2:
+            raise ConfigurationError(
+                f"decisions must be a 2-D array, got shape {arr.shape}"
+            )
+        n = arr.shape[-1]
+        if n == 0:
+            return arr
+        if self.divider == 1 and self.jitter_rms_samples == 0:
+            return arr
+        indices = np.arange(0, n, self.divider)
+        if self.jitter_rms_samples == 0:
+            return arr[:, indices]
+        if rngs is None:
+            rngs = [None] * arr.shape[0]
+        else:
+            rngs = list(rngs)
+            if len(rngs) != arr.shape[0]:
+                raise ConfigurationError(
+                    f"got {arr.shape[0]} records but {len(rngs)} generators"
+                )
+        out = np.empty((arr.shape[0], indices.size))
+        for i, rng in enumerate(rngs):
+            gen = make_rng(rng)
+            jitter = np.rint(
+                gen.normal(0.0, self.jitter_rms_samples, size=indices.size)
+            ).astype(int)
+            out[i] = arr[i, np.clip(indices + jitter, 0, n - 1)]
+        return out

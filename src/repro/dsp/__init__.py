@@ -9,8 +9,8 @@ autocorrelation and plain power utilities.
 
 from repro.dsp.autocorr import autocorrelation, normalized_autocorrelation
 from repro.dsp.power import band_power_from_spectrum, mean_square, power_ratio_db
-from repro.dsp.psd import periodogram, welch
-from repro.dsp.spectrum import Spectrum
+from repro.dsp.psd import periodogram, welch, welch_batch
+from repro.dsp.spectrum import Spectrum, SpectrumBatch
 from repro.dsp.windows import get_window, window_gains
 
 __all__ = [
@@ -18,7 +18,9 @@ __all__ = [
     "window_gains",
     "periodogram",
     "welch",
+    "welch_batch",
     "Spectrum",
+    "SpectrumBatch",
     "autocorrelation",
     "normalized_autocorrelation",
     "mean_square",

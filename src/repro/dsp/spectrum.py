@@ -222,3 +222,52 @@ class Spectrum:
             raise ConfigurationError(f"reference must be > 0, got {reference}")
         safe = np.maximum(self.psd / reference, 1e-30)
         return 10.0 * np.log10(safe)
+
+
+@dataclass(frozen=True)
+class SpectrumBatch:
+    """A stack of one-sided PSDs sharing one frequency grid.
+
+    This is the batched counterpart of :class:`Spectrum`, produced by
+    :func:`repro.dsp.psd.welch_batch`: ``psd`` holds one record's density
+    per row.  Rows are materialized as :class:`Spectrum` objects on
+    demand (indexing or :meth:`spectra`), so downstream code written
+    against the scalar container keeps working.
+    """
+
+    frequencies: np.ndarray
+    psd: np.ndarray
+    enbw_hz: float
+
+    def __init__(self, frequencies, psd, enbw_hz: Optional[float] = None):
+        f = np.asarray(frequencies, dtype=float)
+        p = np.asarray(psd, dtype=float)
+        if f.ndim != 1 or p.ndim != 2 or p.shape[1] != f.size:
+            raise ConfigurationError(
+                "frequencies must be 1-D and psd (n_records, n_bins) with "
+                f"matching bins, got {f.shape} and {p.shape}"
+            )
+        if f.size < 2:
+            raise ConfigurationError("a spectrum needs at least two bins")
+        object.__setattr__(self, "frequencies", f)
+        object.__setattr__(self, "psd", p)
+        object.__setattr__(
+            self,
+            "enbw_hz",
+            float(enbw_hz) if enbw_hz is not None else float(f[1] - f[0]),
+        )
+
+    @property
+    def n_records(self) -> int:
+        """Number of stacked PSDs."""
+        return self.psd.shape[0]
+
+    def __len__(self) -> int:
+        return self.psd.shape[0]
+
+    def __getitem__(self, index: int) -> Spectrum:
+        return Spectrum(self.frequencies, self.psd[index], self.enbw_hz)
+
+    def spectra(self) -> List[Spectrum]:
+        """All rows as scalar :class:`Spectrum` objects."""
+        return [self[i] for i in range(self.psd.shape[0])]

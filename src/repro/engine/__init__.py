@@ -1,0 +1,27 @@
+"""Batched measurement engine — the high-throughput orchestration layer.
+
+The paper's workload is batch-shaped: 1e6-sample records, FFT size 1e4,
+repeated across hot/cold states, devices, sweeps and Monte-Carlo
+repeats.  This package stacks those independent records into 2-D arrays
+and drives the whole hot path — noise rendering, amplifier processing,
+1-bit digitizing, Welch PSDs — through the vectorized batch kernels of
+:mod:`repro.signals`, :mod:`repro.analog`, :mod:`repro.digitizer` and
+:mod:`repro.dsp.psd`, while preserving bit-exact per-record
+reproducibility (each record draws from its own ``spawn_rngs`` child).
+
+``MeasurementEngine.run_batch`` replaces serial repeat loops,
+``MeasurementEngine.measure`` a single two-state acquisition, and
+``MeasurementEngine.map_sweep`` fans independent sweep tasks out either
+in-process or over a ``ProcessPoolExecutor`` with per-task child seeds.
+"""
+
+from repro.engine.engine import BatchAcquirer, Engine, MeasurementEngine
+from repro.engine.executors import run_serial, run_with_processes
+
+__all__ = [
+    "BatchAcquirer",
+    "Engine",
+    "MeasurementEngine",
+    "run_serial",
+    "run_with_processes",
+]

@@ -1,0 +1,58 @@
+"""Task executors for the measurement engine's ``map_sweep``.
+
+Two backends: plain in-process iteration and a ``ProcessPoolExecutor``
+fan-out.  Both receive one child generator per task (spawned by the
+caller from a single seed), so a sweep's results are reproducible and
+independent of the backend — a task sees the same generator whether it
+runs inline or in a worker process (``numpy`` generators pickle with
+their full state).
+
+Worker functions must be picklable (module-level) for the process
+backend; the serial backend accepts anything callable.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Callable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+
+def _invoke(payload):
+    fn, task, rng = payload
+    return fn(task, rng)
+
+
+def run_serial(
+    fn: Callable,
+    tasks: Sequence,
+    rngs: Sequence[np.random.Generator],
+) -> List:
+    """Run ``fn(task, rng)`` for each task, in order, in this process."""
+    return [fn(task, rng) for task, rng in zip(tasks, rngs)]
+
+
+def run_with_processes(
+    fn: Callable,
+    tasks: Sequence,
+    rngs: Sequence[np.random.Generator],
+    max_workers: Optional[int] = None,
+) -> List:
+    """Run ``fn(task, rng)`` over a process pool; results keep task order.
+
+    Each task ships with its own pre-spawned generator, so results are
+    identical to :func:`run_serial` regardless of scheduling.
+    """
+    if max_workers is not None and max_workers < 1:
+        raise ConfigurationError(
+            f"max_workers must be >= 1, got {max_workers}"
+        )
+    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    workers = max(1, min(workers, len(tasks)))
+    payloads = [(fn, task, rng) for task, rng in zip(tasks, rngs)]
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        return list(pool.map(_invoke, payloads))

@@ -13,6 +13,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.engine import MeasurementEngine
 from repro.errors import MeasurementError
 from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -62,6 +63,7 @@ def run_fig10(
     ratios=DEFAULT_RATIOS,
     n_average: int = 4,
     seed: GeneratorLike = 2005,
+    engine: Optional[MeasurementEngine] = None,
 ) -> Fig10Result:
     """Sweep the reference amplitude and record power-ratio errors.
 
@@ -69,7 +71,8 @@ def run_fig10(
     small-amplitude region has a noisy line estimate); a point is marked
     failed only when every acquisition fails.  A smaller record than
     Table 2's default keeps the sweep fast; pass a custom ``config`` to
-    reproduce at full length.
+    reproduce at full length.  Each point's acquisitions run as one
+    stacked batch through the measurement engine.
     """
     # Keep the 60 Hz reference on-bin (df = 2 Hz) for the default sweep;
     # off-bin leakage interacts with the line measurement and would
@@ -79,6 +82,7 @@ def run_fig10(
     )
     if n_average < 1:
         raise ValueError(f"n_average must be >= 1, got {n_average}")
+    eng = engine if engine is not None else MeasurementEngine()
     gen = make_rng(seed)
     rngs = spawn_rngs(gen, len(tuple(ratios)))
 
@@ -87,18 +91,10 @@ def run_fig10(
     for ratio, rng in zip(ratios, rngs):
         sim = MatlabSimulation(replace(base, reference_ratio=ratio))
         estimator = sim.make_estimator()
-        trial_rngs = spawn_rngs(rng, n_average)
-        y_values = []
-        for trial_rng in trial_rngs:
-            rng_hot, rng_cold = spawn_rngs(trial_rng, 2)
-            try:
-                result = estimator.estimate_from_bitstreams(
-                    sim.bitstream("hot", rng_hot),
-                    sim.bitstream("cold", rng_cold),
-                )
-            except MeasurementError:
-                continue
-            y_values.append(result.y)
+        results = eng.run_batch(
+            sim, estimator, n_average, rng=rng, allow_failures=True
+        )
+        y_values = [r.y for r in results if r is not None]
         if not y_values:
             points.append(
                 Fig10Point(reference_ratio=ratio, power_ratio=None, error_pct=None)

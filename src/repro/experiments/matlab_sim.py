@@ -70,6 +70,7 @@ class MatlabSimulation:
         self.config = config if config is not None else MatlabSimConfig()
         factor = nf_to_f(self.config.dut_nf_db)
         self.te_k = noise_temperature_from_factor(factor, self.config.t0_k)
+        self._reference: Optional[Waveform] = None
 
     # ------------------------------------------------------------------
     @property
@@ -104,10 +105,19 @@ class MatlabSimulation:
         return source.render(c.n_samples, c.sample_rate_hz, rng)
 
     def reference_waveform(self) -> Waveform:
-        """The constant-amplitude square reference."""
-        c = self.config
-        source = SquareSource(c.reference_frequency_hz, self.reference_amplitude_v)
-        return source.render(c.n_samples, c.sample_rate_hz)
+        """The constant-amplitude square reference.
+
+        Deterministic, so it is rendered once and cached (the simulation
+        parameters are frozen; re-rendering a 1e6-sample square wave per
+        acquisition dominated the seed's serial hot path).
+        """
+        if self._reference is None:
+            c = self.config
+            source = SquareSource(
+                c.reference_frequency_hz, self.reference_amplitude_v
+            )
+            self._reference = source.render(c.n_samples, c.sample_rate_hz)
+        return self._reference
 
     def bitstream(
         self,
@@ -120,6 +130,40 @@ class MatlabSimulation:
         gen = make_rng(rng)
         noise = self.render_noise(state, gen)
         return dig.digitize(noise, self.reference_waveform(), gen)
+
+    def acquire_bitstreams(
+        self,
+        states,
+        rngs,
+        digitizer: Optional[OneBitDigitizer] = None,
+    ):
+        """Digitize a batch of states as a stacked 2-D bitstream array.
+
+        Row ``i`` is bit-exact equal to ``bitstream(states[i],
+        rngs[i]).samples``.  Returns ``(bitstreams, sample_rate)`` — the
+        batch-acquisition protocol shared with
+        :class:`~repro.instruments.testbench.PrototypeTestbench`.
+        """
+        c = self.config
+        dig = digitizer if digitizer is not None else OneBitDigitizer()
+        states = list(states)
+        gens = [make_rng(rng) for rng in rngs]
+        if len(states) != len(gens):
+            raise ConfigurationError(
+                f"got {len(states)} states but {len(gens)} generators"
+            )
+        rms = {state: self.noise_rms(state) for state in set(states)}
+        noise = np.empty((len(states), c.n_samples))
+        for i, (state, gen) in enumerate(zip(states, gens)):
+            noise[i] = gen.normal(0.0, rms[state], size=c.n_samples)
+        bits = dig.digitize_batch(
+            noise,
+            self.reference_waveform().samples,
+            c.sample_rate_hz,
+            gens,
+            overwrite_input=True,
+        )
+        return bits, c.sample_rate_hz / dig.sampler.divider
 
     # ------------------------------------------------------------------
     def make_config(self) -> BISTMeasurementConfig:

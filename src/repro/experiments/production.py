@@ -21,9 +21,31 @@ from repro.core.production import (
     ProductionNfScreen,
     screen_population,
 )
+from repro.engine import MeasurementEngine
 from repro.errors import ConfigurationError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+
+
+def _build_device_bench(true_nf_db: float, n_samples: int):
+    """Synthesize one device's testbench for a target true NF."""
+    model = OpAmpNoiseModel.from_expected_nf(
+        float(true_nf_db), 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
+    )
+    return build_prototype_testbench(model, n_samples=n_samples)
+
+
+def measure_device(task, rng) -> float:
+    """Sweep worker: one device's BIST measurement (engine-batched).
+
+    ``task`` is ``(true_nf_db, n_samples)``.  Module-level so the
+    engine's process backend can pickle it.
+    """
+    true_nf_db, n_samples = task
+    bench = _build_device_bench(true_nf_db, int(n_samples))
+    estimator = bench.make_estimator()
+    engine = MeasurementEngine()
+    return engine.measure(bench, estimator, rng=rng).noise_figure_db
 
 
 @dataclass(frozen=True)
@@ -60,33 +82,35 @@ def run_production(
     n_samples: int = 2**17,
     measurement_sigma_db: float = 0.45,
     seed: GeneratorLike = 2005,
+    engine: Optional[MeasurementEngine] = None,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
     Each device's true NF is drawn uniformly from
     ``limit +/- nf_spread`` (a worst-case lot straddling the limit), its
     opamp is synthesized to that NF, and one BIST measurement is taken.
+    The per-device measurements run on the batched engine; pass an
+    ``engine`` with ``backend="process"`` to fan devices out over worker
+    processes (per-device generators keep the results identical).
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
     if nf_spread_db <= 0:
         raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
+    eng = engine if engine is not None else MeasurementEngine()
     gen = make_rng(seed)
     draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
     true_values = draw_rng.uniform(
         limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
     )
 
-    measured_values = []
-    estimator: Optional[OneBitNoiseFigureBIST] = None
-    for true_nf, device_rng in zip(true_values, device_rngs):
-        model = OpAmpNoiseModel.from_expected_nf(
-            float(true_nf), 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
-        )
-        bench = build_prototype_testbench(model, n_samples=n_samples)
-        estimator = bench.make_estimator()
-        result = estimator.measure(bench.acquire_bitstream, rng=device_rng)
-        measured_values.append(result.noise_figure_db)
+    tasks = [(float(true_nf), int(n_samples)) for true_nf in true_values]
+    measured_values = eng.map_sweep(measure_device, tasks, rngs=device_rngs)
+    # The screen needs a configured estimator; rebuild the last device's
+    # (matching what the serial loop left behind).
+    estimator: Optional[OneBitNoiseFigureBIST] = _build_device_bench(
+        float(true_values[-1]), int(n_samples)
+    ).make_estimator()
 
     rows = []
     for sigmas in guardband_sigmas:

@@ -10,11 +10,12 @@ and standard deviation are reported.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro.analog.opamp import OpAmpNoiseModel
+from repro.engine import MeasurementEngine
 from repro.errors import ConfigurationError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -53,13 +54,19 @@ def run_record_length(
     n_trials: int = 6,
     target_nf_db: float = 6.0,
     seed: GeneratorLike = 2005,
+    engine: Optional[MeasurementEngine] = None,
 ) -> RecordLengthResult:
-    """Sweep the record length; repeat each point ``n_trials`` times."""
+    """Sweep the record length; repeat each point ``n_trials`` times.
+
+    The per-length trials run as one stacked batch through the
+    measurement engine (same per-trial generators as the serial loop).
+    """
     lengths = [int(n) for n in lengths]
     if not lengths:
         raise ConfigurationError("need at least one record length")
     if n_trials < 2:
         raise ConfigurationError(f"n_trials must be >= 2, got {n_trials}")
+    eng = engine if engine is not None else MeasurementEngine()
 
     model = OpAmpNoiseModel.from_expected_nf(
         target_nf_db, 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
@@ -75,11 +82,8 @@ def run_record_length(
         if expected is None:
             expected = bench.expected_nf_db(500.0, 1500.0)
         estimator = bench.make_estimator()
-        values = []
-        for trial_rng in spawn_rngs(rng, n_trials):
-            result = estimator.measure(bench.acquire_bitstream, rng=trial_rng)
-            values.append(result.noise_figure_db)
-        arr = np.asarray(values)
+        results = eng.run_batch(bench, estimator, n_trials, rng=rng)
+        arr = np.asarray([r.noise_figure_db for r in results])
         points.append(
             RecordLengthPoint(
                 n_samples=n_samples,

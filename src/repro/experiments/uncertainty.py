@@ -22,6 +22,7 @@ from repro.core.uncertainty import (
     monte_carlo_nf,
     nf_uncertainty_budget,
 )
+from repro.engine import MeasurementEngine
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 
@@ -64,8 +65,10 @@ def run_uncertainty(
     n_trials: int = 20000,
     end_to_end_n_samples: int = 2**18,
     seed: GeneratorLike = 2005,
+    engine: Optional[MeasurementEngine] = None,
 ) -> UncertaintyResult:
     """Regenerate the +/-0.3 dB uncertainty claim."""
+    eng = engine if engine is not None else MeasurementEngine()
     gen = make_rng(seed)
     mc_rng, e2e_rng = spawn_rngs(gen, 2)
 
@@ -117,10 +120,8 @@ def run_uncertainty(
         )
         est_ok = bench_ok.make_estimator()
         est_biased = bench_biased.make_estimator()
-        measured_ok = est_ok.measure(bench_ok.acquire_bitstream, rng=shared_seed)
-        measured_biased = est_biased.measure(
-            bench_biased.acquire_bitstream, rng=shared_seed
-        )
+        measured_ok = eng.measure(bench_ok, est_ok, rng=shared_seed)
+        measured_biased = eng.measure(bench_biased, est_biased, rng=shared_seed)
         end_to_end.append(
             EndToEndBiasRow(
                 nf_db_target=nf,

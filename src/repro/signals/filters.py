@@ -58,15 +58,32 @@ def bandpass(wave: Waveform, f_low_hz: float, f_high_hz: float, order: int = 4) 
     return Waveform(_sig.sosfilt(sos, wave.samples), wave.sample_rate)
 
 
+def single_pole_lowpass_array(
+    samples: np.ndarray, sample_rate: float, pole_hz: float
+) -> np.ndarray:
+    """Single-pole low-pass applied along the last axis of an array.
+
+    The batch form of :func:`single_pole_lowpass`: each row is filtered
+    independently (and bit-identically to the 1-D call), so stacked
+    records go through ``scipy`` in one pass.
+    """
+    _check_cutoff(pole_hz, sample_rate, "pole")
+    b, a = _sig.bilinear(
+        [1.0], [1.0 / (2.0 * np.pi * pole_hz), 1.0], fs=sample_rate
+    )
+    return _sig.lfilter(b, a, samples, axis=-1)
+
+
 def single_pole_lowpass(wave: Waveform, pole_hz: float) -> Waveform:
     """First-order (single-pole) low-pass — the closed-loop opamp response.
 
     Implemented with the bilinear transform of ``H(s)=1/(1+s/wp)`` so the
     DC gain is exactly one.
     """
-    _check_cutoff(pole_hz, wave.sample_rate, "pole")
-    b, a = _sig.bilinear([1.0], [1.0 / (2.0 * np.pi * pole_hz), 1.0], fs=wave.sample_rate)
-    return Waveform(_sig.lfilter(b, a, wave.samples), wave.sample_rate)
+    return Waveform(
+        single_pole_lowpass_array(wave.samples, wave.sample_rate, pole_hz),
+        wave.sample_rate,
+    )
 
 
 def single_pole_magnitude(freqs_hz: np.ndarray, pole_hz: float) -> np.ndarray:

@@ -43,6 +43,23 @@ class SignalSource(abc.ABC):
     ) -> Waveform:
         """Render ``n_samples`` at ``sample_rate`` Hz."""
 
+    def render_batch(
+        self, n_samples: int, sample_rate: float, rngs: Sequence[GeneratorLike]
+    ) -> np.ndarray:
+        """Render one record per generator as a stacked 2-D array.
+
+        Row ``i`` is bit-exact equal to ``render(n_samples, sample_rate,
+        rngs[i]).samples`` — batch paths must preserve per-record
+        reproducibility.  Subclasses override this to vectorize the
+        deterministic work (e.g. FFT shaping) across records while
+        keeping each record's random draws on its own generator.
+        """
+        rngs = list(rngs)
+        out = np.empty((len(rngs), int(n_samples)))
+        for i, rng in enumerate(rngs):
+            out[i] = self.render(n_samples, sample_rate, rng).samples
+        return out
+
     def __add__(self, other: "SignalSource") -> "CompositeSource":
         if not isinstance(other, SignalSource):
             return NotImplemented
@@ -161,6 +178,15 @@ class GaussianNoiseSource(SignalSource):
         samples = gen.normal(self.mean, self.rms, size=n_samples)
         return Waveform(samples, sample_rate)
 
+    def render_batch(self, n_samples, sample_rate, rngs) -> np.ndarray:
+        """Stacked records, one per generator (no Waveform copies)."""
+        _validate_render_args(n_samples, sample_rate)
+        rngs = list(rngs)
+        out = np.empty((len(rngs), int(n_samples)))
+        for i, rng in enumerate(rngs):
+            out[i] = make_rng(rng).normal(self.mean, self.rms, size=int(n_samples))
+        return out
+
 
 class ThermalNoiseSource(SignalSource):
     """Johnson noise of a resistor at a given temperature.
@@ -232,11 +258,7 @@ class ShapedNoiseSource(SignalSource):
 
         return cls(density)
 
-    def render(self, n_samples, sample_rate, rng=None) -> Waveform:
-        _validate_render_args(n_samples, sample_rate)
-        if n_samples == 0:
-            return Waveform(np.zeros(0), sample_rate)
-        gen = make_rng(rng)
+    def _checked_density(self, n_samples: int, sample_rate: float) -> np.ndarray:
         freqs = np.fft.rfftfreq(n_samples, d=1.0 / sample_rate)
         density = np.asarray(self.density_fn(freqs), dtype=float)
         if density.shape != freqs.shape:
@@ -248,6 +270,14 @@ class ShapedNoiseSource(SignalSource):
             raise ConfigurationError(
                 "density_fn must return finite non-negative values"
             )
+        return density
+
+    def render(self, n_samples, sample_rate, rng=None) -> Waveform:
+        _validate_render_args(n_samples, sample_rate)
+        if n_samples == 0:
+            return Waveform(np.zeros(0), sample_rate)
+        gen = make_rng(rng)
+        density = self._checked_density(n_samples, sample_rate)
         # White Gaussian noise has a flat one-sided PSD of 2/fs per unit
         # variance; weight its spectrum by sqrt(S(f) * fs / 2) to reach the
         # requested density.
@@ -257,6 +287,28 @@ class ShapedNoiseSource(SignalSource):
         spectrum[0] = 0.0  # force zero mean
         samples = np.fft.irfft(spectrum, n=n_samples)
         return Waveform(samples, sample_rate)
+
+    def render_batch(self, n_samples, sample_rate, rngs) -> np.ndarray:
+        """Stacked shaped-noise records with one batched FFT round trip.
+
+        Each record's white draws come from its own generator (in the
+        same order as :meth:`render`); the spectral shaping runs as a
+        single batched ``rfft``/``irfft`` pair, which is bit-identical to
+        the per-record transforms.
+        """
+        _validate_render_args(n_samples, sample_rate)
+        rngs = list(rngs)
+        n = int(n_samples)
+        if n == 0:
+            return np.zeros((len(rngs), 0))
+        density = self._checked_density(n, sample_rate)
+        white = np.empty((len(rngs), n))
+        for i, rng in enumerate(rngs):
+            white[i] = make_rng(rng).normal(0.0, 1.0, size=n)
+        spectrum = np.fft.rfft(white, axis=-1)
+        spectrum *= np.sqrt(density * sample_rate / 2.0)
+        spectrum[..., 0] = 0.0  # force zero mean
+        return np.fft.irfft(spectrum, n=n, axis=-1)
 
 
 class CompositeSource(SignalSource):

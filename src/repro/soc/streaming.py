@@ -7,6 +7,14 @@ accumulator and discard samples immediately after each FFT.  Memory
 drops from O(n_samples) to O(nperseg), at identical numerical results
 for overlap = 0 (and a one-segment-buffer variant for 50 % overlap).
 
+The host implementation mirrors that discipline: incoming samples land
+in a fixed preallocated staging buffer (no per-push ``np.concatenate``
+reallocation, whose cost grows with the buffered history), complete
+segments are transformed with the same chunk-batched FFT kernel as
+:func:`repro.dsp.psd.welch`, and the tail is scrolled back to the front
+of the buffer.  A chunk that arrives while the buffer is empty and
+already spans full segments is framed zero-copy straight from the input.
+
 This module provides the streaming accumulator and a helper that
 digitizes an analog stream chunk-by-chunk, so an entire measurement can
 run with only a few kilobytes of buffer.
@@ -18,6 +26,11 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.dsp.psd import (
+    DEFAULT_BLOCK_SEGMENTS,
+    accumulate_spectral_power,
+    frame_segments,
+)
 from repro.dsp.spectrum import Spectrum
 from repro.dsp.windows import get_window, window_gains
 from repro.errors import ConfigurationError, MeasurementError
@@ -38,6 +51,9 @@ class StreamingWelch:
         streaming buffer keeps ``nperseg`` history for the 50 % case).
     detrend:
         Remove each segment's mean before transforming.
+    block_segments:
+        Segments per batched FFT call when a chunk completes several
+        segments at once (see :mod:`repro.dsp.psd`).
     """
 
     def __init__(
@@ -47,6 +63,7 @@ class StreamingWelch:
         window: str = "hann",
         overlap: float = 0.5,
         detrend: bool = True,
+        block_segments: int = DEFAULT_BLOCK_SEGMENTS,
     ):
         if nperseg < 8:
             raise ConfigurationError(f"nperseg must be >= 8, got {nperseg}")
@@ -58,14 +75,24 @@ class StreamingWelch:
             raise ConfigurationError(
                 f"streaming mode supports overlap 0 or 0.5, got {overlap}"
             )
+        if block_segments < 1:
+            raise ConfigurationError(
+                f"block_segments must be >= 1, got {block_segments}"
+            )
         self.nperseg = int(nperseg)
         self.sample_rate_hz = float(sample_rate_hz)
         self.overlap = float(overlap)
         self.detrend = bool(detrend)
+        self.block_segments = int(block_segments)
         self._window = get_window(window, self.nperseg)
         self._window_name = window
         self._step = self.nperseg if overlap == 0.0 else self.nperseg // 2
-        self._buffer = np.zeros(0)
+        # Fixed staging buffer: one block of segments plus the carried
+        # history fits, so pushes never reallocate.
+        self._staging = np.zeros(
+            self.nperseg + self.block_segments * self._step
+        )
+        self._staged = 0
         self._acc = np.zeros(self.nperseg // 2 + 1)
         self._n_segments = 0
         self._n_samples_seen = 0
@@ -84,7 +111,7 @@ class StreamingWelch:
     @property
     def buffer_samples(self) -> int:
         """Current history buffer length (the memory working set)."""
-        return int(self._buffer.size)
+        return int(self._staged)
 
     def push(self, chunk) -> int:
         """Feed a chunk of samples; returns segments completed by it."""
@@ -102,34 +129,53 @@ class StreamingWelch:
                     f"chunk must be 1-D, got shape {data.shape}"
                 )
         self._n_samples_seen += data.size
-        self._buffer = np.concatenate([self._buffer, data])
         completed = 0
-        while self._buffer.size >= self.nperseg:
-            seg = self._buffer[: self.nperseg]
-            if self.detrend:
-                seg = seg - np.mean(seg)
-            spectrum = np.fft.rfft(seg * self._window)
-            psd = (np.abs(spectrum) ** 2) / (
-                self.sample_rate_hz * np.sum(self._window**2)
-            )
-            if self.nperseg % 2 == 0:
-                psd[1:-1] *= 2.0
-            else:
-                psd[1:] *= 2.0
-            self._acc += psd
-            self._n_segments += 1
-            completed += 1
-            self._buffer = self._buffer[self._step :]
+        position = 0
+        if self._staged == 0 and data.size >= self.nperseg:
+            # Zero-copy fast path: frame complete segments directly from
+            # the chunk; only the incomplete tail enters the buffer.
+            completed += self._consume(data)
+            position = data.size
+        while position < data.size:
+            take = min(data.size - position, self._staging.size - self._staged)
+            self._staging[self._staged : self._staged + take] = data[
+                position : position + take
+            ]
+            self._staged += take
+            position += take
+            if self._staged >= self.nperseg:
+                completed += self._consume(self._staging[: self._staged])
         return completed
+
+    def _consume(self, samples: np.ndarray) -> int:
+        """Accumulate all complete segments of ``samples``; keep the tail."""
+        segments = frame_segments(samples, self.nperseg, self._step)
+        n_new = segments.shape[0]
+        accumulate_spectral_power(
+            segments, self._window, self._acc, self.detrend, self.block_segments
+        )
+        self._n_segments += n_new
+        tail = samples[n_new * self._step :]
+        # Scroll the unconsumed history to the buffer front (tail may
+        # alias the staging buffer, so go through a copy).
+        self._staging[: tail.size] = np.array(tail, copy=True)
+        self._staged = tail.size
+        return n_new
 
     def result(self) -> Spectrum:
         """The accumulated PSD (raises before the first full segment)."""
         if self._n_segments == 0:
             raise MeasurementError(
                 "no complete segment accumulated yet "
-                f"(buffered {self._buffer.size}/{self.nperseg} samples)"
+                f"(buffered {self._staged}/{self.nperseg} samples)"
             )
-        psd = self._acc / self._n_segments
+        psd = self._acc / (
+            self.sample_rate_hz * np.sum(self._window**2) * self._n_segments
+        )
+        if self.nperseg % 2 == 0:
+            psd[1:-1] *= 2.0
+        else:
+            psd[1:] *= 2.0
         freqs = np.fft.rfftfreq(self.nperseg, d=1.0 / self.sample_rate_hz)
         coherent, noise = window_gains(self._window)
         enbw_hz = self.sample_rate_hz * noise / (coherent**2) / self.nperseg
@@ -137,7 +183,7 @@ class StreamingWelch:
 
     def reset(self) -> None:
         """Discard all accumulated state."""
-        self._buffer = np.zeros(0)
+        self._staged = 0
         self._acc = np.zeros(self.nperseg // 2 + 1)
         self._n_segments = 0
         self._n_samples_seen = 0
