@@ -1,0 +1,176 @@
+"""Benchmark (extension): packed 1-bit record pipeline vs float64.
+
+Runs the paper-scale measurement workload (1e6-sample records, FFT size
+1e4, hot/cold pairs) through the engine twice — once with float64
+records (``packed=False``) and once with the packed 1-bit record model
+— and records, per pipeline:
+
+* records/sec over the full acquire->digitize->Welch->NF pipeline;
+* the per-record storage footprint (measured ``nbytes``, not a
+  formula) and the pickled transport cost a process backend would pay
+  per record;
+* the Python-heap peak (``tracemalloc``, which numpy's allocator
+  reports into) around the measurement loop, plus the process
+  ``ru_maxrss`` high-water mark for context.
+
+Results are merged into ``BENCH_engine.json`` at the repo root under
+the ``"packed"`` key, so the perf trajectory of the engine PR and this
+refactor live in one tracked file.  The run re-asserts the acceptance
+bars: packed and float NF values agree to <= 1e-9 dB and the record
+footprint shrinks by >= 32x.
+"""
+
+import json
+import os
+import pathlib
+import pickle
+import resource
+import time
+import tracemalloc
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.buffers import default_pool
+from repro.engine import MeasurementEngine
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.reporting.tables import render_table
+from repro.signals.random import make_rng, spawn_rngs
+
+REPO_ROOT = pathlib.Path(__file__).parent.parent
+
+N_REPEATS = 4
+PAPER_CONFIG = MatlabSimConfig()  # 1e6 samples, nperseg 1e4
+
+
+def run_pipeline(sim, estimator, engine, seed):
+    results = engine.run_batch(sim, estimator, N_REPEATS, rng=seed)
+    return [r.noise_figure_db for r in results]
+
+
+def _timed_with_peak(fn, *args):
+    # Cold measurement: drop pooled scratch first so neither pipeline
+    # hides pre-warmed allocations from tracemalloc, then trace the
+    # whole run (numpy reports its allocations into tracemalloc).
+    default_pool.clear()
+    tracemalloc.start()
+    start = time.perf_counter()
+    result = fn(*args)
+    seconds = time.perf_counter() - start
+    _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return result, seconds, peak
+
+
+def test_packed_pipeline(benchmark, emit):
+    sim = MatlabSimulation(PAPER_CONFIG)
+    estimator = sim.make_estimator()
+    seed = 2005
+    records = 2 * N_REPEATS
+
+    # Record formats, measured on an actual hot/cold acquisition.
+    float_records, _ = sim.acquire_bitstreams(
+        ["hot", "cold"], spawn_rngs(make_rng(seed), 2)
+    )
+    packed_records, _ = sim.acquire_bitstreams(
+        ["hot", "cold"], spawn_rngs(make_rng(seed), 2), packed=True
+    )
+    assert np.array_equal(packed_records.unpack(), float_records)
+    float_bytes = float_records.nbytes // 2
+    packed_bytes = packed_records.nbytes // 2
+    float_pickled = len(pickle.dumps(float_records[0]))
+    packed_pickled = len(pickle.dumps(packed_records[0].words))
+    footprint_ratio = float_bytes / packed_bytes
+    assert footprint_ratio >= 32.0
+
+    nf_float, t_float, peak_float = _timed_with_peak(
+        run_pipeline, sim, estimator, MeasurementEngine(packed=False), seed
+    )
+    nf_packed = run_once(
+        benchmark, run_pipeline, sim, estimator, MeasurementEngine(), seed
+    )
+    _, t_packed, peak_packed = _timed_with_peak(
+        run_pipeline, sim, estimator, MeasurementEngine(), seed
+    )
+
+    nf_diff = max(abs(a - b) for a, b in zip(nf_float, nf_packed))
+    assert nf_diff <= 1e-9
+    # The packed pipeline streams acquisition record by record, so its
+    # cold heap peak must sit well below the float pipeline's
+    # full-batch stack.
+    assert peak_packed < 0.5 * peak_float
+
+    pooled_bytes = default_pool.nbytes  # scratch retained after the run
+    rss_peak_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+
+    rows = [
+        [
+            "float64",
+            t_float,
+            records / t_float,
+            float_bytes,
+            peak_float / 1e6,
+        ],
+        [
+            "packed",
+            t_packed,
+            records / t_packed,
+            packed_bytes,
+            peak_packed / 1e6,
+        ],
+    ]
+    emit(
+        "packed",
+        render_table(
+            ["pipeline", "seconds", "records/s", "B/record", "heap peak MB"],
+            rows,
+            title=(
+                f"Packed vs float pipeline - {records} records of "
+                f"{sim.config.n_samples:.0e} samples, nperseg "
+                f"{sim.config.nperseg:.0e} ({footprint_ratio:.0f}x smaller "
+                f"records, NF diff {nf_diff:.1e} dB)"
+            ),
+        ),
+    )
+
+    bench_path = REPO_ROOT / "BENCH_engine.json"
+    try:
+        payload = json.loads(bench_path.read_text())
+    except (FileNotFoundError, json.JSONDecodeError):
+        payload = {}  # self-heal a missing or truncated file
+    payload["packed"] = {
+        "workload": {
+            "n_samples": sim.config.n_samples,
+            "nperseg": sim.config.nperseg,
+            "n_repeats": N_REPEATS,
+            "n_records": records,
+        },
+        "n_cpus": os.cpu_count(),
+        "bytes_per_record": {
+            "float64": float_bytes,
+            "packed": packed_bytes,
+            "ratio": round(footprint_ratio, 1),
+        },
+        "pickled_transport_bytes_per_record": {
+            "float64": float_pickled,
+            "packed": packed_pickled,
+            "ratio": round(float_pickled / packed_pickled, 1),
+        },
+        "nf_max_abs_diff_db": nf_diff,
+        "process_rss_peak_kb": rss_peak_kb,
+        "pooled_scratch_bytes_after_run": int(pooled_bytes),
+        "pipelines": {
+            "float64": {
+                "seconds": round(t_float, 4),
+                "records_per_sec": round(records / t_float, 3),
+                "tracemalloc_peak_bytes": int(peak_float),
+            },
+            "packed": {
+                "seconds": round(t_packed, 4),
+                "records_per_sec": round(records / t_packed, 3),
+                "tracemalloc_peak_bytes": int(peak_packed),
+            },
+        },
+    }
+    bench_path.write_text(json.dumps(payload, indent=2) + "\n")

@@ -31,6 +31,12 @@ The package is organized as:
     ASCII rendering of tables and series.
 """
 
+from repro.bitstream import (
+    PackedBitstream,
+    PackedRecordBatch,
+    RecordProvenance,
+)
+from repro.buffers import ArrayPool, default_pool
 from repro.constants import BOLTZMANN, T0_KELVIN, db_to_linear, linear_to_db
 from repro.core.bist import BISTMeasurementConfig, OneBitNoiseFigureBIST
 from repro.core.definitions import (
@@ -55,6 +61,11 @@ __all__ = [
     "db_to_linear",
     "linear_to_db",
     "Waveform",
+    "PackedBitstream",
+    "PackedRecordBatch",
+    "RecordProvenance",
+    "ArrayPool",
+    "default_pool",
     "OneBitDigitizer",
     "MeasurementEngine",
     "ReferenceNormalizer",

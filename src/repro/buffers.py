@@ -1,0 +1,111 @@
+"""Reusable scratch-array pools.
+
+The comparator's batch path recycled one scratch row to avoid churning
+hundreds of megabytes of fresh pages per paper-scale batch; this module
+generalizes that discipline.  An :class:`ArrayPool` hands out named
+scratch arrays that persist across calls, so the hot loops (comparator
+diff rows, packed-Welch unpack blocks, batched noise rendering) touch
+warm pages instead of faulting new ones on every batch.
+
+Ownership discipline: an array returned by :meth:`ArrayPool.take` is
+valid until the next ``take`` of the same name — callers must never
+return pooled scratch to their own callers.  A plain :class:`ArrayPool`
+is not thread-safe; the process-wide :data:`default_pool` is
+**thread-local** (each thread sees its own pool), so the public APIs
+that draw scratch from it — ``compare_batch``, the packed Welch
+kernels — stay safe to call from concurrent threads.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+ShapeLike = Union[int, Tuple[int, ...]]
+
+
+class ArrayPool:
+    """Named, shape-checked scratch arrays reused across calls."""
+
+    def __init__(self):
+        self._arrays: Dict[str, np.ndarray] = {}
+
+    def take(
+        self, name: str, shape: ShapeLike, dtype=np.float64
+    ) -> np.ndarray:
+        """Return the scratch array for ``name``, (re)allocating on a
+        shape or dtype change.
+
+        Contents are uninitialized — callers must fully overwrite the
+        region they use.
+        """
+        if isinstance(shape, (int, np.integer)):
+            shape = (int(shape),)
+        else:
+            shape = tuple(int(s) for s in shape)
+        if any(s < 0 for s in shape):
+            raise ConfigurationError(f"invalid scratch shape {shape}")
+        dtype = np.dtype(dtype)
+        arr = self._arrays.get(name)
+        if arr is None or arr.shape != shape or arr.dtype != dtype:
+            arr = np.empty(shape, dtype=dtype)
+            self._arrays[name] = arr
+        return arr
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes currently held by the pool."""
+        return sum(arr.nbytes for arr in self._arrays.values())
+
+    def __len__(self) -> int:
+        return len(self._arrays)
+
+    def clear(self) -> None:
+        """Release every pooled array."""
+        self._arrays.clear()
+
+
+class ThreadLocalArrayPool:
+    """An :class:`ArrayPool` per thread behind one interface.
+
+    Scratch handed out on one thread is invisible to every other, so
+    concurrent callers of the pooled hot paths cannot corrupt each
+    other's in-flight blocks.
+    """
+
+    def __init__(self):
+        self._local = threading.local()
+
+    def _pool(self) -> ArrayPool:
+        pool = getattr(self._local, "pool", None)
+        if pool is None:
+            pool = ArrayPool()
+            self._local.pool = pool
+        return pool
+
+    def take(
+        self, name: str, shape: ShapeLike, dtype=np.float64
+    ) -> np.ndarray:
+        """This thread's scratch array for ``name`` (see
+        :meth:`ArrayPool.take`)."""
+        return self._pool().take(name, shape, dtype)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes held by the calling thread's pool."""
+        return self._pool().nbytes
+
+    def __len__(self) -> int:
+        return len(self._pool())
+
+    def clear(self) -> None:
+        """Release the calling thread's pooled arrays."""
+        self._pool().clear()
+
+
+#: Process-wide default pool used by the hot paths (thread-local).
+default_pool = ThreadLocalArrayPool()

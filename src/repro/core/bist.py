@@ -15,10 +15,11 @@ figure:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Optional, Tuple
+from typing import Callable, Optional, Tuple, Union
 
 import numpy as np
 
+from repro.bitstream import PackedBitstream, PackedRecordBatch
 from repro.constants import T0_KELVIN
 from repro.core.definitions import YFactorResult
 from repro.core.normalization import NormalizationResult, ReferenceNormalizer
@@ -150,14 +151,25 @@ class BISTResult:
         )
 
 
-def check_bitstream_samples(samples: np.ndarray, label: str) -> None:
-    """Validate that ``samples`` (any shape) contain only +/-1 values.
+def check_bitstream_samples(samples, label: str) -> None:
+    """Validate a +/-1 bitstream in whatever representation it arrives.
 
-    A vectorized ``|x| == 1`` pass — the previous ``np.unique`` sorted
-    every 1e6-sample record (O(n log n)) on each call.  Stacked batches
-    are checked row by row so the scratch stays one record wide; the
-    sorted diagnostic is only computed on failure.
+    Packed records (:class:`~repro.bitstream.PackedBitstream` /
+    :class:`~repro.bitstream.PackedRecordBatch`) are validated directly
+    on the packed words — every stored bit decodes to a valid ``+/-1``
+    sample, so the check reduces to the O(1) padding-bit invariant and
+    no unpack round-trip happens.  Float arrays get the vectorized
+    ``|x| == 1`` pass — the seed's ``np.unique`` sorted every
+    1e6-sample record (O(n log n)) on each call.  Stacked batches are
+    checked row by row so the scratch stays one record wide; the sorted
+    diagnostic is only computed on failure.
     """
+    if isinstance(samples, (PackedBitstream, PackedRecordBatch)):
+        try:
+            samples.validate()
+        except ConfigurationError as exc:
+            raise ConfigurationError(f"{label} bitstream invalid: {exc}")
+        return
     arr = np.asarray(samples)
     rows = arr.reshape(-1, arr.shape[-1]) if arr.ndim > 1 else arr[np.newaxis]
     if all(bool(np.all(np.abs(row) == 1.0)) for row in rows):
@@ -169,7 +181,10 @@ def check_bitstream_samples(samples: np.ndarray, label: str) -> None:
     )
 
 
-def _check_bitstream(wave: Waveform, label: str) -> None:
+def _check_bitstream(wave, label: str) -> None:
+    if isinstance(wave, PackedBitstream):
+        check_bitstream_samples(wave, label)
+        return
     check_bitstream_samples(wave.samples, label)
 
 
@@ -214,8 +229,12 @@ class OneBitNoiseFigureBIST:
         """The reference-line normalizer in use."""
         return self._normalizer
 
-    def spectrum_of(self, bitstream: Waveform) -> Spectrum:
-        """Welch PSD of a bitstream with the configured parameters."""
+    def spectrum_of(
+        self, bitstream: Union[Waveform, PackedBitstream]
+    ) -> Spectrum:
+        """Welch PSD of a (float or packed) bitstream with the
+        configured parameters.  Packed records unpack one FFT block at
+        a time and yield bit-identical PSDs."""
         return welch(
             bitstream,
             nperseg=self.config.nperseg,
@@ -225,9 +244,16 @@ class OneBitNoiseFigureBIST:
         )
 
     def estimate_from_bitstreams(
-        self, bits_hot: Waveform, bits_cold: Waveform
+        self,
+        bits_hot: Union[Waveform, PackedBitstream],
+        bits_cold: Union[Waveform, PackedBitstream],
     ) -> BISTResult:
-        """Run the full pipeline on captured hot/cold bitstreams."""
+        """Run the full pipeline on captured hot/cold bitstreams.
+
+        Both captures may be float waveforms or packed records
+        (:class:`~repro.bitstream.PackedBitstream`); results are
+        identical either way.
+        """
         _check_bitstream(bits_hot, "hot")
         _check_bitstream(bits_cold, "cold")
         if bits_hot.sample_rate != self.config.sample_rate_hz:

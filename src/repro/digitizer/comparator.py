@@ -5,12 +5,26 @@ the non-idealities that matter for a BIST cell on silicon: input-referred
 offset, input noise and hysteresis.  Hysteresis makes the decision
 state-dependent, so that path is evaluated sequentially; the common
 zero-hysteresis case is fully vectorized.
+
+Decisions can be emitted either as float ``+/-1`` arrays (the legacy
+representation) or bit-packed (``packed=True``) — one bit per decision,
+exactly what the hardware flip-flop chain stores.  The packed output is
+produced from the same thresholded comparison, so unpacking it yields
+the float path's values bit-for-bit.
 """
 
 from __future__ import annotations
 
+from typing import Optional, Union
+
 import numpy as np
 
+from repro.bitstream import (
+    PackedBitstream,
+    PackedRecordBatch,
+    packed_words_required,
+)
+from repro.buffers import default_pool
 from repro.errors import ConfigurationError
 from repro.signals.random import GeneratorLike, make_rng
 from repro.signals.waveform import Waveform
@@ -54,11 +68,16 @@ class Comparator:
         signal: Waveform,
         reference: Waveform,
         rng: GeneratorLike = None,
-    ) -> Waveform:
-        """Return the +/-1 comparator decision waveform.
+        packed: bool = False,
+    ) -> Union[Waveform, PackedBitstream]:
+        """Return the +/-1 comparator decision stream.
 
         ``signal`` and ``reference`` must share sample rate and length.
         Exact zero differences resolve to +1 (deterministic tie-break).
+        With ``packed`` the decisions come back bit-packed
+        (:class:`~repro.bitstream.PackedBitstream`, 1 bit/decision)
+        instead of as a float waveform; unpacking reproduces the float
+        output exactly.
         """
         if signal.sample_rate != reference.sample_rate:
             raise ConfigurationError(
@@ -76,9 +95,18 @@ class Comparator:
             diff = diff + gen.normal(0.0, self.input_noise_rms, size=diff.size)
 
         if self.hysteresis_v == 0.0:
+            if packed:
+                return PackedBitstream.from_bits(
+                    diff >= 0.0, signal.sample_rate
+                )
             bits = np.where(diff >= 0.0, 1.0, -1.0)
         else:
-            bits = self._compare_with_hysteresis(diff)
+            decisions = self._compare_with_hysteresis(diff)
+            if packed:
+                return PackedBitstream.from_bits(
+                    decisions > 0, signal.sample_rate
+                )
+            bits = decisions
         return Waveform(bits, signal.sample_rate)
 
     def compare_batch(
@@ -87,32 +115,45 @@ class Comparator:
         reference: np.ndarray,
         rngs=None,
         overwrite_input: bool = False,
-    ) -> np.ndarray:
-        """Batch decision: stacked signals against one shared reference.
+        packed: bool = False,
+        sample_rate: Optional[float] = None,
+    ) -> Union[np.ndarray, PackedRecordBatch]:
+        """Batch decision: stacked signals against a reference.
 
-        ``signals`` is ``(n_records, n_samples)`` and ``reference`` a
-        1-D array broadcast across records.  Row ``i`` is bit-exact
-        equal to the scalar :meth:`compare` of record ``i`` with
-        ``rngs[i]`` (the comparator's own input noise, when enabled,
-        draws from each record's generator).
+        ``signals`` is ``(n_records, n_samples)``; ``reference`` is a
+        1-D array broadcast across records, or a ``(n_records,
+        n_samples)`` stack supplying one reference row per record (the
+        multi-device case, where each DUT's bench sizes its own
+        reference amplitude).  Row ``i`` is bit-exact equal to the
+        scalar :meth:`compare` of record ``i`` with ``rngs[i]`` (the
+        comparator's own input noise, when enabled, draws from each
+        record's generator).
 
-        Records are processed row by row through one recycled scratch
-        buffer — at paper scale a whole-batch broadcast would churn
+        Records are processed row by row through one pooled scratch
+        row — at paper scale a whole-batch broadcast would churn
         hundreds of megabytes of fresh pages.  With ``overwrite_input``
-        the decisions are written back into ``signals`` (valid when the
-        caller owns the array and is done with the analog samples).
+        the float decisions are written back into ``signals`` (valid
+        when the caller owns the array and is done with the analog
+        samples).  With ``packed`` the decisions come back as a
+        :class:`~repro.bitstream.PackedRecordBatch` (1 bit/decision,
+        carrying ``sample_rate``) and the input is never modified.
         """
         sig = np.asarray(signals, dtype=float)
         ref = np.asarray(reference, dtype=float)
-        if sig.ndim != 2 or ref.ndim != 1:
+        if sig.ndim != 2 or ref.ndim not in (1, 2):
             raise ConfigurationError(
-                f"need (n_records, n) signals and 1-D reference, got "
+                f"need (n_records, n) signals and 1-D or 2-D reference, got "
                 f"{sig.shape} and {ref.shape}"
             )
-        if sig.shape[-1] != ref.size:
+        if ref.ndim == 2 and ref.shape[0] != sig.shape[0]:
+            raise ConfigurationError(
+                f"got {sig.shape[0]} records but {ref.shape[0]} reference "
+                "rows"
+            )
+        if sig.shape[-1] != ref.shape[-1]:
             raise ConfigurationError(
                 "signal/reference length mismatch: "
-                f"{sig.shape[-1]} vs {ref.size} samples"
+                f"{sig.shape[-1]} vs {ref.shape[-1]} samples"
             )
         if rngs is None:
             rngs = [None] * sig.shape[0]
@@ -122,19 +163,46 @@ class Comparator:
                 raise ConfigurationError(
                     f"got {sig.shape[0]} records but {len(rngs)} generators"
                 )
-        bits = sig if (overwrite_input and sig is signals) else np.empty_like(sig)
-        diff = np.empty(ref.size)
+        n = sig.shape[-1]
+        if packed:
+            if sample_rate is None or sample_rate <= 0:
+                raise ConfigurationError(
+                    "packed decisions need the sample_rate the batch "
+                    f"carries, got {sample_rate!r}"
+                )
+            words = np.empty(
+                (sig.shape[0], packed_words_required(n)), dtype=np.uint8
+            )
+            bits = None
+        else:
+            bits = (
+                sig if (overwrite_input and sig is signals)
+                else np.empty_like(sig)
+            )
+        diff = default_pool.take("comparator.diff", n)
         for i, rng in enumerate(rngs):
-            np.subtract(sig[i], ref, out=diff)
+            row_ref = ref if ref.ndim == 1 else ref[i]
+            np.subtract(sig[i], row_ref, out=diff)
             if self.offset_v != 0.0:
                 diff += self.offset_v
             if self.input_noise_rms > 0:
                 gen = make_rng(rng)
-                diff += gen.normal(0.0, self.input_noise_rms, size=ref.size)
+                diff += gen.normal(0.0, self.input_noise_rms, size=n)
             if self.hysteresis_v == 0.0:
-                bits[i] = np.where(diff >= 0.0, 1.0, -1.0)
+                if packed:
+                    words[i] = np.packbits(diff >= 0.0)
+                else:
+                    bits[i] = np.where(diff >= 0.0, 1.0, -1.0)
             else:
-                bits[i] = self._compare_with_hysteresis(diff)
+                decisions = self._compare_with_hysteresis(diff)
+                if packed:
+                    words[i] = np.packbits(decisions > 0)
+                else:
+                    bits[i] = decisions
+        if packed:
+            return PackedRecordBatch(
+                words, n, sample_rate, validate=False, copy=False
+            )
         return bits
 
     def _compare_with_hysteresis(self, diff: np.ndarray) -> np.ndarray:

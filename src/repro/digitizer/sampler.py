@@ -9,6 +9,11 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.bitstream import (
+    PackedBitstream,
+    PackedRecordBatch,
+    packed_words_required,
+)
 from repro.errors import ConfigurationError
 from repro.signals.random import GeneratorLike, make_rng
 from repro.signals.waveform import Waveform
@@ -91,3 +96,100 @@ class SampledLatch:
             ).astype(int)
             out[i] = arr[i, np.clip(indices + jitter, 0, n - 1)]
         return out
+
+    # ------------------------------------------------------------------
+    # Packed paths
+    # ------------------------------------------------------------------
+    def sample_packed(
+        self, decisions: PackedBitstream, rng: GeneratorLike = None
+    ) -> PackedBitstream:
+        """Latch a packed decision stream (packed form of :meth:`sample`).
+
+        Selecting latched bits happens on a transient 1-byte-per-sample
+        bit view; the result is repacked, so unpacking it matches the
+        float :meth:`sample` output bit-for-bit.  The pass-through
+        configuration returns the input unchanged (zero copy).
+        """
+        n = decisions.n_samples
+        out_rate = decisions.sample_rate / self.divider
+        if n == 0:
+            return PackedBitstream(
+                np.zeros(0, dtype=np.uint8), 0, out_rate,
+                provenance=decisions.provenance,
+            )
+        if self.divider == 1 and self.jitter_rms_samples == 0:
+            return decisions
+        indices = np.arange(0, n, self.divider)
+        if self.jitter_rms_samples > 0:
+            gen = make_rng(rng)
+            jitter = np.rint(
+                gen.normal(0.0, self.jitter_rms_samples, size=indices.size)
+            ).astype(int)
+            indices = np.clip(indices + jitter, 0, n - 1)
+        latched = decisions.unpack_bits()[indices]
+        return PackedBitstream.from_bits(
+            latched, out_rate, provenance=decisions.provenance
+        )
+
+    def sample_batch_packed(
+        self, decisions: PackedRecordBatch, rngs=None
+    ) -> PackedRecordBatch:
+        """Latch a packed decision batch (packed :meth:`sample_batch`).
+
+        Row ``i`` is bit-exact equal to :meth:`sample_packed` of record
+        ``i`` with ``rngs[i]``.
+        """
+        n = decisions.n_samples
+        out_rate = decisions.sample_rate / self.divider
+        if n == 0 or (self.divider == 1 and self.jitter_rms_samples == 0):
+            if self.divider == 1:
+                return decisions
+            return PackedRecordBatch(
+                decisions.words[:, :0], 0, out_rate,
+                provenance=decisions.provenance, validate=False,
+            )
+        indices = np.arange(0, n, self.divider)
+        if self.jitter_rms_samples == 0:
+            # Per record, so the unpacked scratch stays one record wide
+            # (a whole-batch unpack would cost 1 byte/sample across the
+            # full stack — exactly what packing is meant to avoid).
+            words = np.empty(
+                (decisions.n_records, packed_words_required(indices.size)),
+                dtype=np.uint8,
+            )
+            for i in range(decisions.n_records):
+                words[i] = np.packbits(decisions[i].unpack_bits()[indices])
+            return PackedRecordBatch(
+                words,
+                indices.size,
+                out_rate,
+                provenance=decisions.provenance,
+                validate=False,
+                copy=False,
+            )
+        if rngs is None:
+            rngs = [None] * decisions.n_records
+        else:
+            rngs = list(rngs)
+            if len(rngs) != decisions.n_records:
+                raise ConfigurationError(
+                    f"got {decisions.n_records} records but {len(rngs)} "
+                    "generators"
+                )
+        words = np.empty(
+            (decisions.n_records, packed_words_required(indices.size)),
+            dtype=np.uint8,
+        )
+        for i, rng in enumerate(rngs):
+            gen = make_rng(rng)
+            jitter = np.rint(
+                gen.normal(0.0, self.jitter_rms_samples, size=indices.size)
+            ).astype(int)
+            row_bits = decisions[i].unpack_bits()
+            words[i] = np.packbits(
+                row_bits[np.clip(indices + jitter, 0, n - 1)]
+            )
+        return PackedRecordBatch(
+            words, indices.size, out_rate,
+            provenance=decisions.provenance, validate=False, copy=False,
+        )

@@ -8,6 +8,12 @@ autocorrelation and plain power utilities.
 """
 
 from repro.dsp.autocorr import autocorrelation, normalized_autocorrelation
+from repro.dsp.fft_backend import (
+    fft_backend,
+    get_fft_backend,
+    scipy_fft_available,
+    set_fft_backend,
+)
 from repro.dsp.power import band_power_from_spectrum, mean_square, power_ratio_db
 from repro.dsp.psd import periodogram, welch, welch_batch
 from repro.dsp.spectrum import Spectrum, SpectrumBatch
@@ -19,6 +25,10 @@ __all__ = [
     "periodogram",
     "welch",
     "welch_batch",
+    "fft_backend",
+    "get_fft_backend",
+    "set_fft_backend",
+    "scipy_fft_available",
     "Spectrum",
     "SpectrumBatch",
     "autocorrelation",

@@ -1,0 +1,94 @@
+"""Selectable FFT backend for the blocked batched Welch transforms.
+
+``numpy.fft`` is the default and always available.  ``scipy.fft``
+(pocketfft with a ``workers=`` thread pool) can be opted into for the
+batched transforms — scipy's pocketfft is bit-identical to numpy's for
+real input (verified in the engine PR and re-asserted in
+``tests/unit/test_fft_backend.py``), so switching backends changes
+wall-clock only, never results.  On single-core hosts the thread pool
+buys nothing; see docs/PERFORMANCE.md.
+
+The backend is process-global state (like numpy's own error state):
+worker processes of the engine's process backend start at the numpy
+default unless their initializer opts in.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+
+_BACKENDS = ("numpy", "scipy")
+
+_backend: str = "numpy"
+_workers: Optional[int] = None
+
+
+def _scipy_fft():
+    try:
+        import scipy.fft as sp_fft
+    except ImportError:  # pragma: no cover - depends on environment
+        return None
+    return sp_fft
+
+
+def scipy_fft_available() -> bool:
+    """True when ``scipy.fft`` can be imported."""
+    return _scipy_fft() is not None
+
+
+def set_fft_backend(name: str, workers: Optional[int] = None) -> None:
+    """Select the FFT backend for the blocked batched transforms.
+
+    Parameters
+    ----------
+    name:
+        ``"numpy"`` (default) or ``"scipy"``.
+    workers:
+        Thread count for scipy's pocketfft (``None`` = scipy default,
+        single-threaded; ``-1`` = all cores).  Ignored by numpy.
+    """
+    global _backend, _workers
+    if name not in _BACKENDS:
+        raise ConfigurationError(
+            f"fft backend must be one of {_BACKENDS}, got {name!r}"
+        )
+    if name == "scipy" and not scipy_fft_available():
+        raise ConfigurationError(
+            "scipy.fft backend requested but scipy is not installed; "
+            "the numpy fallback remains active"
+        )
+    if workers is not None and workers == 0:
+        raise ConfigurationError("workers must be nonzero (or None)")
+    _backend = name
+    _workers = workers
+
+
+def get_fft_backend() -> Tuple[str, Optional[int]]:
+    """The active ``(backend, workers)`` pair."""
+    return _backend, _workers
+
+
+@contextmanager
+def fft_backend(name: str, workers: Optional[int] = None):
+    """Temporarily select an FFT backend (restores on exit)."""
+    previous = get_fft_backend()
+    set_fft_backend(name, workers)
+    try:
+        yield
+    finally:
+        set_fft_backend(*previous)
+
+
+def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    """Real FFT through the selected backend (bit-identical results)."""
+    if _backend == "scipy":
+        sp_fft = _scipy_fft()
+        if sp_fft is not None:
+            return sp_fft.rfft(x, axis=axis, workers=_workers)
+        # scipy vanished after selection (e.g. broken env): fall through.
+    return np.fft.rfft(x, axis=axis)

@@ -8,7 +8,7 @@ Matlab post-processing (1e6 samples, FFT size 1e4) performs.
 
 The Welch hot path is fully vectorized: segments are framed with
 ``numpy.lib.stride_tricks.sliding_window_view`` (a zero-copy view) and
-transformed with batched ``np.fft.rfft`` calls over blocks of segments.
+transformed with batched real-FFT calls over blocks of segments.
 Blocks rather than one monolithic ``(n_segments, nperseg)`` transform keep
 the detrend/window/square intermediates cache-resident, which on
 memory-bandwidth-limited hosts is roughly 2x faster than either the
@@ -16,6 +16,18 @@ per-segment loop or the single giant batch.  ``welch_batch`` extends the
 same kernel across a stack of records — the
 ``(n_records, n_segments, nperseg)`` framing used by the measurement
 engine (:mod:`repro.engine`).
+
+Both estimators also accept packed 1-bit records
+(:class:`~repro.bitstream.PackedBitstream` /
+:class:`~repro.bitstream.PackedRecordBatch`): the kernel unpacks one
+FFT block at a time into a pooled scratch buffer, so a paper-scale
+record is held at ~1 bit/sample for its whole analysis.  Because the
+unpacked floats and the block boundaries are identical to the float
+path, packed PSDs are bit-identical to their float64 counterparts.
+
+The batched transforms go through :mod:`repro.dsp.fft_backend`, which
+defaults to ``numpy.fft`` and can be switched to ``scipy.fft`` with a
+``workers=`` thread pool (bit-identical results).
 """
 
 from __future__ import annotations
@@ -25,6 +37,9 @@ from typing import Optional, Union
 import numpy as np
 from numpy.lib.stride_tricks import sliding_window_view
 
+from repro.bitstream import PackedBitstream, PackedRecordBatch
+from repro.buffers import default_pool
+from repro.dsp.fft_backend import rfft
 from repro.dsp.spectrum import Spectrum, SpectrumBatch
 from repro.dsp.windows import get_window, window_gains
 from repro.errors import ConfigurationError
@@ -107,10 +122,43 @@ def accumulate_spectral_power(
             block *= window
         else:
             block = block * window
-        spectra = np.fft.rfft(block, axis=-1)
+        spectra = rfft(block, axis=-1)
         power = spectra.real**2
         power += spectra.imag**2
         acc += power.sum(axis=0)
+
+
+def accumulate_packed_spectral_power(
+    packed: PackedBitstream,
+    nperseg: int,
+    step: int,
+    window: np.ndarray,
+    acc: np.ndarray,
+    detrend: bool,
+    block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+) -> int:
+    """Blocked :func:`accumulate_spectral_power` over a packed record.
+
+    Unpacks only the samples one FFT block needs (a pooled float
+    scratch of ``(block_segments - 1) * step + nperseg`` samples), so
+    the record itself stays at 1 bit/sample.  Block boundaries match
+    the float path exactly, so the accumulated sums are bit-identical.
+    Returns the number of segments accumulated.
+    """
+    n_segments = 1 + (packed.n_samples - nperseg) // step
+    scratch = default_pool.take(
+        "psd.unpack_block", (block_segments - 1) * step + nperseg
+    )
+    for start in range(0, n_segments, block_segments):
+        nb = min(block_segments, n_segments - start)
+        lo = start * step
+        hi = (start + nb - 1) * step + nperseg
+        samples = packed.unpack_range(lo, hi, out=scratch)
+        segments = frame_segments(samples, nperseg, step)
+        accumulate_spectral_power(
+            segments[:nb], window, acc, detrend, block_segments
+        )
+    return n_segments
 
 
 def _one_sided_scale(acc: np.ndarray, nperseg: int, denominator: float) -> np.ndarray:
@@ -174,7 +222,7 @@ def _welch_grid(win: np.ndarray, nperseg: int, fs: float):
 
 
 def welch(
-    signal: Union[Waveform, np.ndarray],
+    signal: Union[Waveform, np.ndarray, PackedBitstream],
     nperseg: int,
     sample_rate: Optional[float] = None,
     window: str = "hann",
@@ -186,6 +234,11 @@ def welch(
 
     Parameters
     ----------
+    signal:
+        Waveform, raw array plus ``sample_rate``, or a packed 1-bit
+        record (:class:`~repro.bitstream.PackedBitstream`) — the packed
+        path unpacks one FFT block at a time and is bit-identical to
+        analyzing the unpacked float record.
     nperseg:
         Segment (FFT) length; the paper uses 1e4 on 1e6-sample records.
     overlap:
@@ -196,14 +249,27 @@ def welch(
     block_segments:
         Segments per batched FFT call (cache-residency knob).
     """
-    samples, fs = _as_samples(signal, sample_rate)
-    step = _welch_params(nperseg, overlap, samples.size)
-    win = get_window(window, nperseg)
-    segments = frame_segments(samples, nperseg, step)
-    n_segments = segments.shape[0]
-
-    acc = np.zeros(nperseg // 2 + 1)
-    accumulate_spectral_power(segments, win, acc, detrend, block_segments)
+    if isinstance(signal, PackedBitstream):
+        fs = signal.sample_rate
+        if sample_rate is not None and float(sample_rate) != fs:
+            raise ConfigurationError(
+                f"sample_rate {sample_rate} Hz does not match the packed "
+                f"record rate {fs} Hz"
+            )
+        step = _welch_params(nperseg, overlap, signal.n_samples)
+        win = get_window(window, nperseg)
+        acc = np.zeros(nperseg // 2 + 1)
+        n_segments = accumulate_packed_spectral_power(
+            signal, nperseg, step, win, acc, detrend, block_segments
+        )
+    else:
+        samples, fs = _as_samples(signal, sample_rate)
+        step = _welch_params(nperseg, overlap, samples.size)
+        win = get_window(window, nperseg)
+        segments = frame_segments(samples, nperseg, step)
+        n_segments = segments.shape[0]
+        acc = np.zeros(nperseg // 2 + 1)
+        accumulate_spectral_power(segments, win, acc, detrend, block_segments)
     psd = _one_sided_scale(
         acc, nperseg, fs * np.sum(win**2) * n_segments
     )
@@ -213,9 +279,9 @@ def welch(
 
 
 def welch_batch(
-    records: np.ndarray,
+    records: Union[np.ndarray, PackedRecordBatch],
     nperseg: int,
-    sample_rate: float,
+    sample_rate: Optional[float] = None,
     window: str = "hann",
     overlap: float = 0.5,
     detrend: bool = True,
@@ -223,15 +289,40 @@ def welch_batch(
 ) -> SpectrumBatch:
     """Welch PSDs of a stack of records in one batched pipeline.
 
-    ``records`` is a ``(n_records, n_samples)`` array; the records are
-    framed into a ``(n_records, n_segments, nperseg)`` view and each
-    record's segments go through the same blocked batched FFT kernel as
-    :func:`welch`, so a row of the result matches ``welch(records[i],
-    ...)`` to machine precision (identical code path).
+    ``records`` is a ``(n_records, n_samples)`` array or a
+    :class:`~repro.bitstream.PackedRecordBatch`; each record's segments
+    go through the same blocked batched FFT kernel as :func:`welch`, so
+    a row of the result matches ``welch(records[i], ...)`` to machine
+    precision (identical code path).  Packed batches are unpacked one
+    FFT block at a time — peak float memory is one block, not the
+    record stack.  ``sample_rate`` may be omitted for packed batches
+    (they carry their rate).
 
     Returns a :class:`~repro.dsp.spectrum.SpectrumBatch` whose ``psd``
     matrix has one row per record.
     """
+    if isinstance(records, PackedRecordBatch):
+        fs = records.sample_rate
+        if sample_rate is not None and float(sample_rate) != fs:
+            raise ConfigurationError(
+                f"sample_rate {sample_rate} Hz does not match the packed "
+                f"batch rate {fs} Hz"
+            )
+        step = _welch_params(nperseg, overlap, records.n_samples)
+        win = get_window(window, nperseg)
+        accs = np.zeros((records.n_records, nperseg // 2 + 1))
+        n_segments = 1
+        for r in range(records.n_records):
+            n_segments = accumulate_packed_spectral_power(
+                records[r], nperseg, step, win, accs[r], detrend,
+                block_segments,
+            )
+        psd = _one_sided_scale(
+            accs, nperseg, fs * np.sum(win**2) * n_segments
+        )
+        freqs, enbw_hz = _welch_grid(win, nperseg, fs)
+        return SpectrumBatch(freqs, psd, enbw_hz=enbw_hz)
+
     arr = np.asarray(records, dtype=float)
     if arr.ndim == 1:
         arr = arr[np.newaxis, :]

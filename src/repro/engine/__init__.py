@@ -15,13 +15,30 @@ reproducibility (each record draws from its own ``spawn_rngs`` child).
 in-process or over a ``ProcessPoolExecutor`` with per-task child seeds.
 """
 
-from repro.engine.engine import BatchAcquirer, Engine, MeasurementEngine
+from repro.buffers import ArrayPool, default_pool
+from repro.engine.engine import (
+    AnalogBatchAcquirer,
+    BatchAcquirer,
+    Engine,
+    MeasurementEngine,
+)
 from repro.engine.executors import run_serial, run_with_processes
+from repro.engine.shm import (
+    SharedPackedBatch,
+    WelchParams,
+    welch_batch_shared,
+)
 
 __all__ = [
+    "AnalogBatchAcquirer",
+    "ArrayPool",
     "BatchAcquirer",
     "Engine",
     "MeasurementEngine",
+    "SharedPackedBatch",
+    "WelchParams",
+    "default_pool",
     "run_serial",
     "run_with_processes",
+    "welch_batch_shared",
 ]

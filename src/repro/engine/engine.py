@@ -9,9 +9,23 @@ seed implementation into stacked-array batch runs:
   all ``2 * n_repeats`` records and produces every repeat's
   :class:`~repro.core.bist.BISTResult` from one batched Welch pass over
   the ``(n_records, n_segments, nperseg)`` framing;
+* a multi-device screen (:meth:`MeasurementEngine.measure_devices`)
+  stacks records across *different* DUT models — each device's analog
+  chain runs with its own parameters and per-record noise densities,
+  then every record shares one digitize pass (per-record reference
+  rows) and one batched Welch pass;
 * parameter sweeps (:meth:`MeasurementEngine.map_sweep`) fan out over
   tasks with per-task child seeds, in-process or on a
   ``ProcessPoolExecutor``.
+
+Records travel packed by default (1 bit/sample,
+:class:`~repro.bitstream.PackedRecordBatch`): acquirers that implement
+the packed protocol hand back packed batches, the Welch kernels unpack
+one FFT block at a time, and the process backend ships batches through
+a shared-memory pool (:mod:`repro.engine.shm`) instead of pickling
+float64 records.  Acquirers without a packed path keep working — the
+engine falls back to float records transparently, and results are
+identical either way (the packed pipeline is bit-exact).
 
 Random-number discipline: the engine spawns child generators in exactly
 the order the serial code paths do (``estimator.measure`` spawns
@@ -22,23 +36,43 @@ to its serial counterpart and results are reproducible from one seed.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+import inspect
+from typing import (
+    Callable,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    Tuple,
+    Union,
+    runtime_checkable,
+)
 
 import numpy as np
 
+from repro.bitstream import PackedRecordBatch
 from repro.core.bist import (
     BISTResult,
     OneBitNoiseFigureBIST,
     check_bitstream_samples,
 )
-from repro.dsp.psd import DEFAULT_BLOCK_SEGMENTS, welch_batch
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.dsp.psd import DEFAULT_BLOCK_SEGMENTS, _welch_grid, welch_batch
 from repro.dsp.spectrum import SpectrumBatch
+from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 
 from repro.engine.executors import run_serial, run_with_processes
+from repro.engine.shm import WelchParams, welch_batch_shared
 
 _BACKENDS = ("vectorized", "process")
+
+#: Smallest packed batch the process backend fans out to workers.  A
+#: fresh ``ProcessPoolExecutor`` costs pool spawn + per-child import —
+#: far more than transforming a hot/cold pair in-process — so tiny
+#: batches (a single ``measure``) always stay local.
+MIN_SHARED_WELCH_RECORDS = 4
 
 
 @runtime_checkable
@@ -46,17 +80,52 @@ class BatchAcquirer(Protocol):
     """Anything that can capture a batch of bitstreams.
 
     Implementations return ``(bitstreams, sample_rate)`` where
-    ``bitstreams`` is ``(n_records, n_samples)`` and row ``i`` is the
-    record for ``(states[i], rngs[i])`` — bit-exact equal to the
-    corresponding serial acquisition.  Both
+    ``bitstreams`` is ``(n_records, n_samples)`` (or a
+    :class:`~repro.bitstream.PackedRecordBatch` when asked for packed
+    records) and row ``i`` is the record for ``(states[i], rngs[i])`` —
+    bit-exact equal to the corresponding serial acquisition.  Both
     :class:`~repro.instruments.testbench.PrototypeTestbench` and
     :class:`~repro.experiments.matlab_sim.MatlabSimulation` implement
-    this protocol.
+    this protocol (including the optional ``packed`` keyword).
     """
 
     def acquire_bitstreams(
         self, states: Sequence[str], rngs: Sequence[GeneratorLike]
     ) -> Tuple[np.ndarray, float]: ...
+
+
+@runtime_checkable
+class AnalogBatchAcquirer(Protocol):
+    """A bench that can expose its analog chain for cross-device batching.
+
+    ``acquire_analog_batch(states, rngs)`` runs the analog front-end
+    only — per-record child generators spawned exactly as in
+    ``acquire_bitstreams`` — and returns
+    ``(analog, reference, dig_rngs, sample_rate, digitizer)``:
+
+    * ``analog``: ``(n_records, n_samples)`` analog records;
+    * ``reference``: the bench's comparator reference (1-D);
+    * ``dig_rngs``: the per-record digitizer generators (already
+      spawned, so a later shared ``digitize_batch`` is bit-exact);
+    * ``sample_rate``: simulation rate in Hz;
+    * ``digitizer``: the bench's :class:`OneBitDigitizer`.
+
+    This is what lets :meth:`MeasurementEngine.measure_devices` stack
+    records across different DUT models into one digitize + Welch pass.
+    """
+
+    def acquire_analog_batch(
+        self, states: Sequence[str], rngs: Sequence[GeneratorLike]
+    ) -> Tuple[np.ndarray, np.ndarray, list, float, OneBitDigitizer]: ...
+
+
+def _accepts_packed(acquire) -> bool:
+    """True when an ``acquire_bitstreams`` implementation takes
+    ``packed=`` (third-party float-only acquirers keep working)."""
+    try:
+        return "packed" in inspect.signature(acquire).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
 
 
 class MeasurementEngine:
@@ -67,12 +136,18 @@ class MeasurementEngine:
     backend:
         ``"vectorized"`` keeps everything in-process (stacked-array
         batches); ``"process"`` additionally fans :meth:`map_sweep`
-        tasks over a ``ProcessPoolExecutor``.
+        tasks over a ``ProcessPoolExecutor`` and computes batched Welch
+        passes in worker processes fed from a shared-memory pool of
+        packed records.
     max_workers:
         Worker cap for the process backend (default: CPU count).
     block_segments:
         Segments per batched FFT call in the Welch kernel (see
         :mod:`repro.dsp.psd`).
+    packed:
+        Acquire and transport records bit-packed (1 bit/sample) when
+        the acquirer supports it.  Packed results are bit-exact equal
+        to the float pipeline; disable only to A/B the two paths.
     """
 
     def __init__(
@@ -80,6 +155,7 @@ class MeasurementEngine:
         backend: str = "vectorized",
         max_workers: Optional[int] = None,
         block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+        packed: bool = True,
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
@@ -96,13 +172,14 @@ class MeasurementEngine:
         self.backend = backend
         self.max_workers = max_workers
         self.block_segments = int(block_segments)
+        self.packed = bool(packed)
 
     # ------------------------------------------------------------------
     # Batched spectral estimation
     # ------------------------------------------------------------------
     def spectra_of(
         self,
-        records: np.ndarray,
+        records: Union[np.ndarray, PackedRecordBatch],
         sample_rate: float,
         estimator: OneBitNoiseFigureBIST,
     ) -> SpectrumBatch:
@@ -111,8 +188,38 @@ class MeasurementEngine:
         The batch counterpart of ``estimator.spectrum_of``: one blocked
         batched FFT pipeline over the ``(n_records, n_segments,
         nperseg)`` framing, with the estimator's analysis parameters.
+        ``records`` may be a float stack or a
+        :class:`~repro.bitstream.PackedRecordBatch`; packed batches of
+        at least :data:`MIN_SHARED_WELCH_RECORDS` records on the
+        ``"process"`` backend are shipped to worker processes through
+        shared memory (no float64 pickling) and transformed there,
+        with bit-identical results (smaller batches stay in-process —
+        pool spawn costs more than a hot/cold pair's FFTs).
         """
         config = estimator.config
+        if (
+            self.backend == "process"
+            and isinstance(records, PackedRecordBatch)
+            and records.n_records >= MIN_SHARED_WELCH_RECORDS
+        ):
+            if sample_rate is not None and float(sample_rate) != records.sample_rate:
+                raise ConfigurationError(
+                    f"sample_rate {sample_rate} Hz does not match the "
+                    f"packed batch rate {records.sample_rate} Hz"
+                )
+            params = WelchParams(
+                nperseg=config.nperseg,
+                window=config.window,
+                overlap=config.overlap,
+                detrend=True,
+                block_segments=self.block_segments,
+            )
+            psd = welch_batch_shared(records, params, self.max_workers)
+            win = get_window(config.window, config.nperseg)
+            freqs, enbw_hz = _welch_grid(
+                win, config.nperseg, records.sample_rate
+            )
+            return SpectrumBatch(freqs, psd, enbw_hz=enbw_hz)
         return welch_batch(
             records,
             nperseg=config.nperseg,
@@ -176,6 +283,18 @@ class MeasurementEngine:
         ]
         return self._measure_pairs(source, estimator, pairs, allow_failures)
 
+    def _acquire(
+        self,
+        source: BatchAcquirer,
+        states: Sequence[str],
+        rngs: Sequence[GeneratorLike],
+    ):
+        """Acquire a record batch, packed when source and engine allow."""
+        acquire = source.acquire_bitstreams
+        if self.packed and _accepts_packed(acquire):
+            return acquire(states, rngs, packed=True)
+        return acquire(states, rngs)
+
     def _measure_pairs(
         self,
         source: BatchAcquirer,
@@ -188,12 +307,20 @@ class MeasurementEngine:
         for rng_hot, rng_cold in pairs:
             states += ["hot", "cold"]
             rngs += [rng_hot, rng_cold]
-        records, sample_rate = source.acquire_bitstreams(states, rngs)
-        records = np.asarray(records, dtype=float)
-        if records.ndim != 2 or records.shape[0] != len(states):
+        records, sample_rate = self._acquire(source, states, rngs)
+        if isinstance(records, PackedRecordBatch):
+            n_records = records.n_records
+        else:
+            records = np.asarray(records, dtype=float)
+            n_records = records.shape[0] if records.ndim == 2 else -1
+        if n_records != len(states):
+            shape = (
+                records.shape
+                if isinstance(records, (np.ndarray, PackedRecordBatch))
+                else type(records)
+            )
             raise ConfigurationError(
-                f"acquirer returned shape {records.shape} for "
-                f"{len(states)} records"
+                f"acquirer returned shape {shape} for {len(states)} records"
             )
         if sample_rate != estimator.config.sample_rate_hz:
             raise ConfigurationError(
@@ -202,8 +329,17 @@ class MeasurementEngine:
             )
         check_bitstream_samples(records, "batched")
         batch = self.spectra_of(records, sample_rate, estimator)
+        return self._estimate_pairs(batch, [estimator] * len(pairs), allow_failures)
+
+    def _estimate_pairs(
+        self,
+        batch: SpectrumBatch,
+        estimators: Sequence[OneBitNoiseFigureBIST],
+        allow_failures: bool,
+    ) -> List[Optional[BISTResult]]:
+        """Per-pair Y-factor estimation over a hot/cold-interleaved batch."""
         results: List[Optional[BISTResult]] = []
-        for i in range(len(pairs)):
+        for i, estimator in enumerate(estimators):
             try:
                 results.append(
                     estimator.estimate_from_spectra(batch[2 * i], batch[2 * i + 1])
@@ -213,6 +349,137 @@ class MeasurementEngine:
                     raise
                 results.append(None)
         return results
+
+    # ------------------------------------------------------------------
+    # Multi-device batching
+    # ------------------------------------------------------------------
+    def measure_devices(
+        self,
+        sources: Sequence[AnalogBatchAcquirer],
+        estimators: Union[
+            OneBitNoiseFigureBIST, Sequence[OneBitNoiseFigureBIST]
+        ],
+        rng: GeneratorLike = None,
+        rngs: Optional[Sequence[GeneratorLike]] = None,
+        allow_failures: bool = False,
+    ) -> List[Optional[BISTResult]]:
+        """One NF measurement per device, stacked into a single batch.
+
+        Every entry of ``sources`` is a bench with its own DUT model
+        (its own noise densities, gains, reference amplitude and
+        digitizer).  The per-device analog chains run with per-record
+        child generators spawned exactly as :meth:`measure` would
+        spawn them; each device's two records are digitized (packed)
+        against its own reference as soon as they are rendered, and
+        all ``2 * n_devices`` packed records then share one batched
+        Welch pass — so device ``i``'s result is bit-exact equal to
+        ``measure(sources[i], estimators[i], rng=rngs[i])`` while the
+        whole screen runs as one giant batch.
+
+        Peak memory stays one device wide: each device's analog
+        records are digitized (and packed) as soon as they are
+        rendered, so only the 1-bit records of the whole lot
+        accumulate.
+
+        ``estimators`` is one estimator per device (or a single shared
+        one); all must share the same analysis parameters, and every
+        bench must produce records of the same length and output
+        sample rate (screens with heterogeneous analysis fall back to
+        :meth:`map_sweep`).
+        """
+        sources = list(sources)
+        if not sources:
+            raise ConfigurationError("need at least one device")
+        if isinstance(estimators, OneBitNoiseFigureBIST):
+            estimators = [estimators] * len(sources)
+        else:
+            estimators = list(estimators)
+        if len(estimators) != len(sources):
+            raise ConfigurationError(
+                f"got {len(sources)} devices but {len(estimators)} estimators"
+            )
+        if rngs is None:
+            rngs = spawn_rngs(make_rng(rng), len(sources))
+        else:
+            rngs = list(rngs)
+            if len(rngs) != len(sources):
+                raise ConfigurationError(
+                    f"got {len(sources)} devices but {len(rngs)} generators"
+                )
+        config = estimators[0].config
+        for estimator in estimators[1:]:
+            other = estimator.config
+            if (
+                other.nperseg != config.nperseg
+                or other.window != config.window
+                or other.overlap != config.overlap
+                or other.sample_rate_hz != config.sample_rate_hz
+            ):
+                raise ConfigurationError(
+                    "multi-device batching needs identical analysis "
+                    "parameters across estimators (nperseg/window/"
+                    "overlap/sample rate); use map_sweep for "
+                    "heterogeneous screens"
+                )
+
+        device_records: List = []
+        out_rate: Optional[float] = None
+        for source, device_rng in zip(sources, rngs):
+            gen = make_rng(device_rng)
+            rng_hot, rng_cold = spawn_rngs(gen, 2)
+            analog, reference, device_dig_rngs, rate, dig = (
+                source.acquire_analog_batch(
+                    ["hot", "cold"], [rng_hot, rng_cold]
+                )
+            )
+            analog = np.asarray(analog, dtype=float)
+            if analog.ndim != 2 or analog.shape[0] != 2:
+                raise ConfigurationError(
+                    f"device analog batch must be (2, n_samples), got "
+                    f"{analog.shape}"
+                )
+            device_rate = float(rate) / dig.sampler.divider
+            if out_rate is None:
+                out_rate = device_rate
+            elif device_rate != out_rate:
+                raise ConfigurationError(
+                    f"output sample-rate mismatch across devices: "
+                    f"{out_rate} vs {device_rate} Hz"
+                )
+            # Digitize immediately — the device's analog floats die
+            # here, so the lot accumulates only (packed) records.
+            device_records.append(
+                dig.digitize_batch(
+                    analog,
+                    np.asarray(reference, dtype=float),
+                    float(rate),
+                    device_dig_rngs,
+                    overwrite_input=not self.packed,
+                    packed=self.packed,
+                )
+            )
+        if self.packed:
+            records: Union[np.ndarray, PackedRecordBatch] = (
+                PackedRecordBatch.from_records(
+                    [rec[i] for rec in device_records for i in range(2)]
+                )
+            )
+        else:
+            widths = {rec.shape[-1] for rec in device_records}
+            if len(widths) > 1:
+                raise ConfigurationError(
+                    f"record-length mismatch across devices: "
+                    f"{sorted(widths)}"
+                )
+            records = np.vstack(device_records)
+        if out_rate != config.sample_rate_hz:
+            raise ConfigurationError(
+                f"acquired sample rate {out_rate} Hz does not match "
+                f"configured {config.sample_rate_hz} Hz"
+            )
+        check_bitstream_samples(records, "multi-device")
+        batch = self.spectra_of(records, out_rate, estimators[0])
+        return self._estimate_pairs(batch, estimators, allow_failures)
 
     # ------------------------------------------------------------------
     # Sweeps

@@ -16,6 +16,7 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.bitstream import PackedRecordBatch
 from repro.constants import T0_KELVIN
 from repro.core.bist import BISTMeasurementConfig, OneBitNoiseFigureBIST
 from repro.core.definitions import nf_to_f, noise_temperature_from_factor
@@ -124,27 +125,24 @@ class MatlabSimulation:
         state: str,
         rng: GeneratorLike = None,
         digitizer: Optional[OneBitDigitizer] = None,
+        packed: bool = False,
     ) -> Waveform:
-        """Digitize one state's noise against the shared reference."""
+        """Digitize one state's noise against the shared reference.
+
+        With ``packed`` the record comes back as a
+        :class:`~repro.bitstream.PackedBitstream` (1 bit/sample).
+        """
         dig = digitizer if digitizer is not None else OneBitDigitizer()
         gen = make_rng(rng)
         noise = self.render_noise(state, gen)
-        return dig.digitize(noise, self.reference_waveform(), gen)
+        return dig.digitize(
+            noise, self.reference_waveform(), gen, packed=packed
+        )
 
-    def acquire_bitstreams(
-        self,
-        states,
-        rngs,
-        digitizer: Optional[OneBitDigitizer] = None,
-    ):
-        """Digitize a batch of states as a stacked 2-D bitstream array.
-
-        Row ``i`` is bit-exact equal to ``bitstream(states[i],
-        rngs[i]).samples``.  Returns ``(bitstreams, sample_rate)`` — the
-        batch-acquisition protocol shared with
-        :class:`~repro.instruments.testbench.PrototypeTestbench`.
-        """
-        c = self.config
+    def _batch_setup(self, states, rngs, digitizer):
+        """Shared per-batch setup: generators, per-state densities and
+        the digitizer — one source of truth for every batch path, so
+        the packed and float acquisitions cannot drift apart."""
         dig = digitizer if digitizer is not None else OneBitDigitizer()
         states = list(states)
         gens = [make_rng(rng) for rng in rngs]
@@ -153,17 +151,88 @@ class MatlabSimulation:
                 f"got {len(states)} states but {len(gens)} generators"
             )
         rms = {state: self.noise_rms(state) for state in set(states)}
+        return states, gens, rms, dig
+
+    def acquire_analog_batch(
+        self,
+        states,
+        rngs,
+        digitizer: Optional[OneBitDigitizer] = None,
+    ):
+        """Render the per-record noise stack for a batch of states.
+
+        Returns ``(analog, reference, dig_rngs, sample_rate,
+        digitizer)`` — the :class:`~repro.engine.AnalogBatchAcquirer`
+        protocol.  Each record draws from its own generator at its own
+        state's noise density (the per-record-density form cross-DUT
+        batching relies on), and the same generators are handed back
+        for the digitizer spawn, exactly as in the scalar
+        :meth:`bitstream` path.
+        """
+        c = self.config
+        states, gens, rms, dig = self._batch_setup(states, rngs, digitizer)
         noise = np.empty((len(states), c.n_samples))
         for i, (state, gen) in enumerate(zip(states, gens)):
             noise[i] = gen.normal(0.0, rms[state], size=c.n_samples)
-        bits = dig.digitize_batch(
+        return (
             noise,
             self.reference_waveform().samples,
+            gens,
             c.sample_rate_hz,
+            dig,
+        )
+
+    def acquire_bitstreams(
+        self,
+        states,
+        rngs,
+        digitizer: Optional[OneBitDigitizer] = None,
+        packed: bool = False,
+    ):
+        """Digitize a batch of states as one stacked record batch.
+
+        Row ``i`` is bit-exact equal to ``bitstream(states[i],
+        rngs[i]).samples``.  Returns ``(bitstreams, sample_rate)`` — the
+        batch-acquisition protocol shared with
+        :class:`~repro.instruments.testbench.PrototypeTestbench`.
+
+        With ``packed`` the records come back as a
+        :class:`~repro.bitstream.PackedRecordBatch` and the acquisition
+        streams record by record: each record's analog noise is drawn,
+        digitized to packed words and discarded before the next one, so
+        peak float memory is one record — not the batch — no matter how
+        many records are stacked.
+        """
+        c = self.config
+        if packed:
+            states, gens, rms, dig = self._batch_setup(
+                states, rngs, digitizer
+            )
+            reference = self.reference_waveform().samples
+            rows = []
+            for state, gen in zip(states, gens):
+                noise = gen.normal(0.0, rms[state], size=c.n_samples)
+                record = dig.digitize_batch(
+                    noise[np.newaxis, :],
+                    reference,
+                    c.sample_rate_hz,
+                    [gen],
+                    packed=True,
+                )
+                rows.append(record[0])
+            batch = PackedRecordBatch.from_records(rows)
+            return batch, c.sample_rate_hz / dig.sampler.divider
+        noise, reference, gens, rate, dig = self.acquire_analog_batch(
+            states, rngs, digitizer=digitizer
+        )
+        bits = dig.digitize_batch(
+            noise,
+            reference,
+            rate,
             gens,
             overwrite_input=True,
         )
-        return bits, c.sample_rate_hz / dig.sampler.divider
+        return bits, rate / dig.sampler.divider
 
     # ------------------------------------------------------------------
     def make_config(self) -> BISTMeasurementConfig:

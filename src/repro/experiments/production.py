@@ -83,34 +83,56 @@ def run_production(
     measurement_sigma_db: float = 0.45,
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
+    multi_device_batch: Optional[bool] = None,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
     Each device's true NF is drawn uniformly from
     ``limit +/- nf_spread`` (a worst-case lot straddling the limit), its
     opamp is synthesized to that NF, and one BIST measurement is taken.
-    The per-device measurements run on the batched engine; pass an
-    ``engine`` with ``backend="process"`` to fan devices out over worker
-    processes (per-device generators keep the results identical).
+    On the (default) vectorized engine the whole lot runs as **one
+    multi-device engine batch**
+    (:meth:`~repro.engine.MeasurementEngine.measure_devices`): every
+    device's analog chain keeps its own DUT model and reference
+    amplitude, records are packed as they are digitized, and all
+    ``2 * n_devices`` records share one batched Welch pass.  An engine
+    with ``backend="process"`` instead fans whole devices over worker
+    processes (``map_sweep``) — device acquisition dominates the
+    screen, so per-device workers beat a serial-acquire batch on
+    multi-core hosts.  ``multi_device_batch`` overrides the choice
+    explicitly; the per-device generators make every path produce
+    identical measurements.
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
     if nf_spread_db <= 0:
         raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
     eng = engine if engine is not None else MeasurementEngine()
+    if multi_device_batch is None:
+        multi_device_batch = eng.backend != "process"
     gen = make_rng(seed)
     draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
     true_values = draw_rng.uniform(
         limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
     )
 
-    tasks = [(float(true_nf), int(n_samples)) for true_nf in true_values]
-    measured_values = eng.map_sweep(measure_device, tasks, rngs=device_rngs)
-    # The screen needs a configured estimator; rebuild the last device's
-    # (matching what the serial loop left behind).
-    estimator: Optional[OneBitNoiseFigureBIST] = _build_device_bench(
-        float(true_values[-1]), int(n_samples)
-    ).make_estimator()
+    if multi_device_batch:
+        benches = [
+            _build_device_bench(float(true_nf), int(n_samples))
+            for true_nf in true_values
+        ]
+        estimators = [bench.make_estimator() for bench in benches]
+        results = eng.measure_devices(benches, estimators, rngs=device_rngs)
+        measured_values = [r.noise_figure_db for r in results]
+        estimator: Optional[OneBitNoiseFigureBIST] = estimators[-1]
+    else:
+        tasks = [(float(true_nf), int(n_samples)) for true_nf in true_values]
+        measured_values = eng.map_sweep(measure_device, tasks, rngs=device_rngs)
+        # The screen needs a configured estimator; rebuild the last
+        # device's (matching what the serial loop left behind).
+        estimator = _build_device_bench(
+            float(true_values[-1]), int(n_samples)
+        ).make_estimator()
 
     rows = []
     for sigmas in guardband_sigmas:

@@ -64,8 +64,12 @@ def run_resources(
     outcome = controller.run(bench.acquire_bitstream, rng=seed)
     from repro.soc.streaming import StreamingWelch
 
+    # Packed accumulator: the reported working set is the real
+    # bit-packed staging buffer, not a 1-bit estimate over a float one.
     streaming = StreamingWelch(
-        estimator.config.nperseg, estimator.config.sample_rate_hz
+        estimator.config.nperseg,
+        estimator.config.sample_rate_hz,
+        packed=True,
     )
     return ResourcesResult(
         result=outcome.result,

@@ -127,22 +127,31 @@ class PrototypeTestbench:
             self._reference_cache = cache
         return cache[3]
 
-    def acquire_bitstream(self, state: str, rng: GeneratorLike = None) -> Waveform:
-        """Capture one state's bitstream (analog chain + digitizer)."""
+    def acquire_bitstream(
+        self, state: str, rng: GeneratorLike = None, packed: bool = False
+    ) -> Waveform:
+        """Capture one state's bitstream (analog chain + digitizer).
+
+        With ``packed`` the capture comes back as a
+        :class:`~repro.bitstream.PackedBitstream` (1 bit/sample),
+        bit-exact equal to the float waveform when unpacked.
+        """
         gen = make_rng(rng)
         analog_rng, dig_rng = spawn_rngs(gen, 2)
         analog = self.analog_output(state, analog_rng)
-        return self.digitizer.digitize(analog, self.reference_waveform(), dig_rng)
+        return self.digitizer.digitize(
+            analog, self.reference_waveform(), dig_rng, packed=packed
+        )
 
-    def acquire_bitstreams(self, states, rngs) -> Tuple[np.ndarray, float]:
-        """Capture a batch of bitstreams as a stacked 2-D array.
+    def acquire_analog_batch(self, states, rngs):
+        """Run the analog front-end for a batch of records.
 
-        ``states`` and ``rngs`` are equal-length sequences; row ``i`` is
-        bit-exact equal to ``acquire_bitstream(states[i],
-        rngs[i]).samples``.  The whole analog chain — source rendering,
-        both amplifiers, the digitizer — runs on stacked arrays with
-        per-record child generators spawned exactly as in the scalar
-        path.  Returns ``(bitstreams, output_sample_rate)``.
+        Returns ``(analog, reference, dig_rngs, sample_rate,
+        digitizer)`` — the :class:`~repro.engine.AnalogBatchAcquirer`
+        protocol.  Per-record child generators are spawned exactly as
+        in :meth:`acquire_bitstream`, and the digitizer generators are
+        handed back un-consumed, so any later (possibly cross-device)
+        ``digitize_batch`` is bit-exact vs the scalar path.
         """
         states = list(states)
         rngs = list(rngs)
@@ -168,14 +177,41 @@ class PrototypeTestbench:
         analog = self.post_amplifier.process_batch(
             dut_out, self.sample_rate_hz, post_rngs
         )
-        bits = self.digitizer.digitize_batch(
+        return (
             analog,
             self.reference_waveform().samples,
-            self.sample_rate_hz,
             dig_rngs,
-            overwrite_input=True,
+            self.sample_rate_hz,
+            self.digitizer,
         )
-        return bits, self.sample_rate_hz / self.digitizer.sampler.divider
+
+    def acquire_bitstreams(
+        self, states, rngs, packed: bool = False
+    ) -> Tuple[np.ndarray, float]:
+        """Capture a batch of bitstreams as one stacked record batch.
+
+        ``states`` and ``rngs`` are equal-length sequences; row ``i`` is
+        bit-exact equal to ``acquire_bitstream(states[i],
+        rngs[i]).samples``.  The whole analog chain — source rendering,
+        both amplifiers, the digitizer — runs on stacked arrays with
+        per-record child generators spawned exactly as in the scalar
+        path.  Returns ``(bitstreams, output_sample_rate)``; with
+        ``packed`` the bitstreams are a
+        :class:`~repro.bitstream.PackedRecordBatch` (1 bit/sample)
+        instead of a float64 stack.
+        """
+        analog, reference, dig_rngs, rate, digitizer = (
+            self.acquire_analog_batch(states, rngs)
+        )
+        bits = digitizer.digitize_batch(
+            analog,
+            reference,
+            rate,
+            dig_rngs,
+            overwrite_input=not packed,
+            packed=packed,
+        )
+        return bits, rate / digitizer.sampler.divider
 
     # ------------------------------------------------------------------
     # Analytical helpers

@@ -118,6 +118,17 @@ class Waveform:
         """Return a zero-mean copy."""
         return Waveform(self.samples - self.mean(), self.sample_rate)
 
+    def to_packed(self, provenance=None):
+        """Pack a ``+/-1`` bitstream waveform to 1 bit/sample.
+
+        Returns a :class:`~repro.bitstream.PackedBitstream` (raises
+        for non-bitstream waveforms).  The inverse is
+        ``PackedBitstream.to_waveform()``; the round-trip is exact.
+        """
+        from repro.bitstream import PackedBitstream  # avoid import cycle
+
+        return PackedBitstream.pack(self, provenance=provenance)
+
     def slice(self, start: int, stop: int) -> "Waveform":
         """Return samples ``[start:stop)`` as a new waveform."""
         if not 0 <= start <= stop <= self.samples.size:

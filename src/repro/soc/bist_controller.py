@@ -119,9 +119,12 @@ class BISTController:
         self.processor.cost_band_power(band_bins, label="band-power-hot")
         self.processor.cost_band_power(band_bins, label="band-power-cold")
 
+        # Analyze straight from the packed SRAM records: the Welch
+        # kernel unpacks one FFT block at a time, so the DSP never
+        # materializes a float copy of a full capture.
         result = self.estimator.estimate_from_bitstreams(
-            self.memory.load_bitstream("capture_hot"),
-            self.memory.load_bitstream("capture_cold"),
+            self.memory.load_packed("capture_hot"),
+            self.memory.load_packed("capture_cold"),
         )
 
         report = ResourceReport(

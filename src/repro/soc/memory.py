@@ -10,10 +10,9 @@ the resource bench.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Tuple, Union
 
-import numpy as np
-
+from repro.bitstream import PackedBitstream, packed_words_required
 from repro.errors import ConfigurationError, ResourceError
 from repro.signals.waveform import Waveform
 
@@ -44,7 +43,7 @@ class SampleMemory:
                 f"capacity must be > 0 bytes, got {capacity_bytes}"
             )
         self.capacity_bytes = int(capacity_bytes)
-        self._records: Dict[str, Tuple[StoredRecord, np.ndarray]] = {}
+        self._records: Dict[str, Tuple[StoredRecord, PackedBitstream]] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -65,9 +64,7 @@ class SampleMemory:
     @staticmethod
     def bytes_required_bits(n_samples: int) -> int:
         """Bytes to store ``n_samples`` 1-bit values (packed)."""
-        if n_samples < 0:
-            raise ConfigurationError(f"n_samples must be >= 0, got {n_samples}")
-        return (n_samples + 7) // 8
+        return packed_words_required(n_samples)
 
     @staticmethod
     def words_required(n_samples: int, bits_per_sample: int) -> int:
@@ -80,44 +77,49 @@ class SampleMemory:
         return (total_bits + 7) // 8
 
     # ------------------------------------------------------------------
-    def store_bitstream(self, key: str, bitstream: Waveform) -> StoredRecord:
-        """Pack a +/-1 bitstream into memory under ``key``.
+    def store_bitstream(
+        self, key: str, bitstream: Union[Waveform, PackedBitstream]
+    ) -> StoredRecord:
+        """Store a +/-1 bitstream packed into memory under ``key``.
 
-        Raises :class:`ResourceError` when the packed record does not fit.
+        Accepts an already-packed record
+        (:class:`~repro.bitstream.PackedBitstream` — stored as-is, zero
+        repack; this is what the packed digitizer path delivers) or a
+        float waveform (packed on entry).  Raises
+        :class:`ResourceError` when the packed record does not fit.
         """
         if key in self._records:
             raise ConfigurationError(f"record {key!r} already stored")
-        values = np.unique(bitstream.samples)
-        if not np.all(np.isin(values, (-1.0, 1.0))):
-            raise ConfigurationError(
-                f"bitstream must contain only +/-1 values, found {values[:5]}"
-            )
-        need = self.bytes_required_bits(bitstream.n_samples)
+        if isinstance(bitstream, PackedBitstream):
+            packed = bitstream
+        else:
+            packed = PackedBitstream.pack(bitstream)
+        need = packed.nbytes
         if need > self.bytes_free:
             raise ResourceError(
                 f"bitstream {key!r} needs {need} B but only "
                 f"{self.bytes_free} B are free (capacity "
                 f"{self.capacity_bytes} B)"
             )
-        packed = np.packbits(bitstream.samples > 0)
         record = StoredRecord(
             key=key,
-            n_samples=bitstream.n_samples,
+            n_samples=packed.n_samples,
             bytes_used=need,
-            sample_rate_hz=bitstream.sample_rate,
+            sample_rate_hz=packed.sample_rate,
             bits_per_sample=1.0,
         )
         self._records[key] = (record, packed)
         return record
 
-    def load_bitstream(self, key: str) -> Waveform:
-        """Unpack a stored bitstream back into a +/-1 waveform."""
+    def load_packed(self, key: str) -> PackedBitstream:
+        """The stored record in its native packed form (zero copy)."""
         if key not in self._records:
             raise ConfigurationError(f"no record stored under {key!r}")
-        record, packed = self._records[key]
-        bits = np.unpackbits(packed)[: record.n_samples]
-        samples = np.where(bits > 0, 1.0, -1.0)
-        return Waveform(samples, record.sample_rate_hz)
+        return self._records[key][1]
+
+    def load_bitstream(self, key: str) -> Waveform:
+        """Unpack a stored bitstream back into a +/-1 waveform."""
+        return self.load_packed(key).to_waveform()
 
     def free(self, key: str) -> None:
         """Release a stored record."""

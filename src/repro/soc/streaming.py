@@ -15,6 +15,14 @@ segments are transformed with the same chunk-batched FFT kernel as
 of the buffer.  A chunk that arrives while the buffer is empty and
 already spans full segments is framed zero-copy straight from the input.
 
+With ``packed=True`` the staging history is held as an actual
+bit-packed word buffer — 1 bit per buffered sample, the same
+:mod:`repro.bitstream` format the digitizer emits — and chunks may be
+:class:`~repro.bitstream.PackedBitstream` objects, ``+/-1`` arrays or
+waveforms.  Only one FFT block is ever unpacked to floats (a pooled
+scratch), so :meth:`StreamingWelch.memory_bytes` reports a buffer the
+accumulator genuinely allocates instead of an estimate.
+
 This module provides the streaming accumulator and a helper that
 digitizes an analog stream chunk-by-chunk, so an entire measurement can
 run with only a few kilobytes of buffer.
@@ -26,8 +34,10 @@ from typing import Iterable, Optional
 
 import numpy as np
 
+from repro.bitstream import PackedBitstream, packed_words_required
 from repro.dsp.psd import (
     DEFAULT_BLOCK_SEGMENTS,
+    accumulate_packed_spectral_power,
     accumulate_spectral_power,
     frame_segments,
 )
@@ -35,6 +45,11 @@ from repro.dsp.spectrum import Spectrum
 from repro.dsp.windows import get_window, window_gains
 from repro.errors import ConfigurationError, MeasurementError
 from repro.signals.waveform import Waveform
+
+#: Bytes per accumulator/window word in the SoC working-set report —
+#: the fixed-point stores of :mod:`repro.soc.fixedpoint`, not the
+#: host's float64 shadow copies.
+SOC_WORD_BYTES = 4
 
 
 class StreamingWelch:
@@ -54,6 +69,10 @@ class StreamingWelch:
     block_segments:
         Segments per batched FFT call when a chunk completes several
         segments at once (see :mod:`repro.dsp.psd`).
+    packed:
+        Keep the staging history bit-packed (1 bit/sample) — requires
+        ``+/-1`` bitstream chunks (or packed chunks) and makes
+        :meth:`memory_bytes` report the real packed buffer.
     """
 
     def __init__(
@@ -64,6 +83,7 @@ class StreamingWelch:
         overlap: float = 0.5,
         detrend: bool = True,
         block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+        packed: bool = False,
     ):
         if nperseg < 8:
             raise ConfigurationError(f"nperseg must be >= 8, got {nperseg}")
@@ -84,14 +104,21 @@ class StreamingWelch:
         self.overlap = float(overlap)
         self.detrend = bool(detrend)
         self.block_segments = int(block_segments)
+        self.packed = bool(packed)
         self._window = get_window(window, self.nperseg)
         self._window_name = window
         self._step = self.nperseg if overlap == 0.0 else self.nperseg // 2
         # Fixed staging buffer: one block of segments plus the carried
         # history fits, so pushes never reallocate.
-        self._staging = np.zeros(
-            self.nperseg + self.block_segments * self._step
-        )
+        self._capacity = self.nperseg + self.block_segments * self._step
+        if self.packed:
+            self._staging = None
+            self._staging_words = np.zeros(
+                packed_words_required(self._capacity), dtype=np.uint8
+            )
+        else:
+            self._staging = np.zeros(self._capacity)
+            self._staging_words = None
         self._staged = 0
         self._acc = np.zeros(self.nperseg // 2 + 1)
         self._n_segments = 0
@@ -114,7 +141,43 @@ class StreamingWelch:
         return int(self._staged)
 
     def push(self, chunk) -> int:
-        """Feed a chunk of samples; returns segments completed by it."""
+        """Feed a chunk of samples; returns segments completed by it.
+
+        Chunks may be :class:`~repro.signals.waveform.Waveform`, raw
+        1-D arrays, or :class:`~repro.bitstream.PackedBitstream`
+        records.  In packed mode every chunk must be a ``+/-1``
+        bitstream (the digitizer output); float mode accepts arbitrary
+        signals and unpacks packed chunks on arrival.
+        """
+        if isinstance(chunk, PackedBitstream):
+            if chunk.sample_rate != self.sample_rate_hz:
+                raise ConfigurationError(
+                    f"chunk rate {chunk.sample_rate} Hz does not match "
+                    f"stream rate {self.sample_rate_hz} Hz"
+                )
+            self._n_samples_seen += chunk.n_samples
+            if self.packed:
+                if self._staged == 0 and chunk.n_samples >= self.nperseg:
+                    # Fast path: feed the packed chunk straight to the
+                    # shared blocked kernel — no unpack/repack round
+                    # trip; only the sub-segment tail is re-staged.
+                    n_new = accumulate_packed_spectral_power(
+                        chunk,
+                        self.nperseg,
+                        self._step,
+                        self._window,
+                        self._acc,
+                        self.detrend,
+                        self.block_segments,
+                    )
+                    self._n_segments += n_new
+                    tail = chunk.unpack_range(
+                        n_new * self._step, chunk.n_samples
+                    )
+                    self._store_bits((tail > 0).astype(np.uint8))
+                    return n_new
+                return self._push_bits(chunk.unpack_bits())
+            return self._push_float(chunk.unpack())
         if isinstance(chunk, Waveform):
             if chunk.sample_rate != self.sample_rate_hz:
                 raise ConfigurationError(
@@ -129,6 +192,18 @@ class StreamingWelch:
                     f"chunk must be 1-D, got shape {data.shape}"
                 )
         self._n_samples_seen += data.size
+        if self.packed:
+            if not np.all(np.abs(data) == 1.0):
+                raise ConfigurationError(
+                    "packed streaming accepts only +/-1 bitstream chunks"
+                )
+            return self._push_bits((data > 0).astype(np.uint8))
+        return self._push_float(data)
+
+    # ------------------------------------------------------------------
+    # Float staging path
+    # ------------------------------------------------------------------
+    def _push_float(self, data: np.ndarray) -> int:
         completed = 0
         position = 0
         if self._staged == 0 and data.size >= self.nperseg:
@@ -162,6 +237,80 @@ class StreamingWelch:
         self._staged = tail.size
         return n_new
 
+    # ------------------------------------------------------------------
+    # Packed staging path
+    # ------------------------------------------------------------------
+    def _push_bits(self, bits: np.ndarray) -> int:
+        """Packed-mode push: ``bits`` is a transient 0/1 ``uint8`` view
+        of the incoming chunk (1 byte/sample, chunk-sized); the
+        persistent history stays bit-packed."""
+        completed = 0
+        position = 0
+        if self._staged == 0 and bits.size >= self.nperseg:
+            completed += self._consume_bits(bits)
+            position = bits.size
+        while position < bits.size:
+            take = min(bits.size - position, self._capacity - self._staged)
+            self._append_bits(bits[position : position + take])
+            position += take
+            if self._staged >= self.nperseg:
+                completed += self._consume_bits(self._staged_bits())
+        return completed
+
+    def _staged_bits(self) -> np.ndarray:
+        """The staged history as a transient 0/1 bit array."""
+        if self._staged == 0:
+            return np.empty(0, dtype=np.uint8)
+        return np.unpackbits(self._staging_words, count=self._staged)
+
+    def _append_bits(self, bits: np.ndarray) -> None:
+        """Append bits at the staged cursor — O(chunk), not O(history).
+
+        Whole bytes before the cursor are already packed and never
+        touched; only the cursor's partial byte is merged with the new
+        bits and repacked.
+        """
+        byte, rem = divmod(self._staged, 8)
+        if rem:
+            head = np.unpackbits(
+                self._staging_words[byte : byte + 1], count=rem
+            )
+            packed = np.packbits(np.concatenate([head, bits]))
+        else:
+            packed = np.packbits(bits)
+        self._staging_words[byte : byte + packed.size] = packed
+        self._staged += bits.size
+
+    def _store_bits(self, bits: np.ndarray) -> None:
+        """Repack ``bits`` as the new staged history (cursor reset)."""
+        packed = np.packbits(bits)
+        self._staging_words[: packed.size] = packed
+        self._staged = bits.size
+
+    def _consume_bits(self, bits: np.ndarray) -> int:
+        """Accumulate all complete segments of a 0/1 bit array.
+
+        Repacks the chunk and runs the shared blocked packed kernel
+        (:func:`repro.dsp.psd.accumulate_packed_spectral_power`), so
+        the block boundaries, bit-to-sign conversion and summation
+        order are the same code the batch estimators use — the
+        bit-identical-PSD invariant lives in one place.
+        """
+        packed = PackedBitstream.from_bits(bits, self.sample_rate_hz)
+        n_segments = accumulate_packed_spectral_power(
+            packed,
+            self.nperseg,
+            self._step,
+            self._window,
+            self._acc,
+            self.detrend,
+            self.block_segments,
+        )
+        self._n_segments += n_segments
+        self._store_bits(bits[n_segments * self._step :])
+        return n_segments
+
+    # ------------------------------------------------------------------
     def result(self) -> Spectrum:
         """The accumulated PSD (raises before the first full segment)."""
         if self._n_segments == 0:
@@ -184,23 +333,42 @@ class StreamingWelch:
     def reset(self) -> None:
         """Discard all accumulated state."""
         self._staged = 0
+        if self.packed:
+            self._staging_words[:] = 0
         self._acc = np.zeros(self.nperseg // 2 + 1)
         self._n_segments = 0
         self._n_samples_seen = 0
 
     # ------------------------------------------------------------------
-    def memory_bytes(self, packed_bits: bool = True) -> int:
-        """Working-set estimate: history buffer + accumulator + window.
+    def memory_bytes(self, packed_bits: Optional[bool] = None) -> int:
+        """SoC working set: history buffer + accumulator + window.
 
-        With ``packed_bits`` the segment history is counted at 1 bit per
-        sample (the digitizer output); the accumulator and window are
-        4-byte words.
+        The history term is the buffer this accumulator *actually
+        allocates*: the bit-packed staging words in packed mode
+        (1 bit/sample — construct with ``packed=True``), the float64
+        staging buffer otherwise.  Requesting ``packed_bits=True`` on a
+        float-mode accumulator raises — the packed footprint used to be
+        reported as an estimate the buffer didn't have.  The
+        accumulator and window are charged at :data:`SOC_WORD_BYTES`
+        per bin (the fixed-point SoC stores, cf.
+        :mod:`repro.soc.fixedpoint`); pass ``packed_bits=False`` on a
+        packed accumulator to see the float-staging equivalent.
         """
-        history = (
-            (self.nperseg + 7) // 8 if packed_bits else 8 * self.nperseg
-        )
-        accumulator = 4 * (self.nperseg // 2 + 1)
-        window = 4 * self.nperseg
+        mode = self.packed if packed_bits is None else bool(packed_bits)
+        if mode and not self.packed:
+            raise ConfigurationError(
+                "packed_bits=True requires a packed accumulator "
+                "(StreamingWelch(..., packed=True)); the float staging "
+                "buffer has no packed footprint to report"
+            )
+        if mode:
+            history = self._staging_words.nbytes
+        elif self.packed:
+            history = 8 * self._capacity
+        else:
+            history = self._staging.nbytes
+        accumulator = SOC_WORD_BYTES * (self.nperseg // 2 + 1)
+        window = SOC_WORD_BYTES * self.nperseg
         return history + accumulator + window
 
 
@@ -210,21 +378,23 @@ def accumulate_stream(
     sample_rate_hz: Optional[float] = None,
     window: str = "hann",
     overlap: float = 0.5,
+    packed: bool = False,
 ) -> Spectrum:
-    """Convenience: accumulate an iterable of waveform chunks."""
+    """Convenience: accumulate an iterable of waveform/packed chunks."""
     streamer = None
     for chunk in chunks:
         if streamer is None:
-            rate = (
-                chunk.sample_rate
-                if isinstance(chunk, Waveform)
-                else sample_rate_hz
-            )
+            if isinstance(chunk, (Waveform, PackedBitstream)):
+                rate = chunk.sample_rate
+            else:
+                rate = sample_rate_hz
             if rate is None:
                 raise ConfigurationError(
                     "sample_rate_hz required for raw-array chunks"
                 )
-            streamer = StreamingWelch(nperseg, rate, window, overlap)
+            streamer = StreamingWelch(
+                nperseg, rate, window, overlap, packed=packed
+            )
         streamer.push(chunk)
     if streamer is None:
         raise ConfigurationError("no chunks provided")

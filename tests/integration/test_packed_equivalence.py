@@ -1,0 +1,348 @@
+"""Packed-pipeline equivalence: every packed path matches the float path.
+
+The acceptance bar of the packed-record refactor: PSDs computed from
+packed records must match the float64 paths to <= 1e-10 for ``welch``,
+``welch_batch``, ``StreamingWelch`` and both engine backends (serial
+and process), and the multi-device production batch must reproduce the
+per-device sweep exactly.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import PackedBitstream, PackedRecordBatch
+from repro.digitizer.comparator import Comparator
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.digitizer.sampler import SampledLatch
+from repro.dsp.psd import welch, welch_batch
+from repro.engine import MeasurementEngine, WelchParams, welch_batch_shared
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.experiments.production import run_production
+from repro.signals.random import make_rng, spawn_rngs
+from repro.signals.waveform import Waveform
+from repro.soc.streaming import StreamingWelch
+
+FS = 10000.0
+TOL = 1e-10
+
+
+def random_bitstream(rng, n):
+    return np.where(rng.random(n) > 0.5, 1.0, -1.0)
+
+
+def rel_diff(a, b):
+    return float(np.max(np.abs(a - b)) / np.max(np.abs(b)))
+
+
+class TestWelchEquivalence:
+    @pytest.mark.parametrize(
+        "n,nperseg,overlap,detrend",
+        [
+            (100003, 1000, 0.5, True),
+            (50000, 999, 0.0, False),
+            (20000, 1024, 0.5, False),
+            (30001, 500, 0.0, True),
+        ],
+    )
+    def test_welch_packed_matches_float(self, rng, n, nperseg, overlap, detrend):
+        x = random_bitstream(rng, n)
+        float_psd = welch(
+            x, nperseg, sample_rate=FS, overlap=overlap, detrend=detrend
+        ).psd
+        packed_psd = welch(
+            PackedBitstream.pack(x, FS),
+            nperseg,
+            overlap=overlap,
+            detrend=detrend,
+        ).psd
+        assert rel_diff(packed_psd, float_psd) <= TOL
+
+    @pytest.mark.parametrize("block_segments", [1, 3, 16, 64])
+    def test_block_size_irrelevant(self, rng, block_segments):
+        x = random_bitstream(rng, 40000)
+        reference = welch(x, 2000, sample_rate=FS).psd
+        packed = welch(
+            PackedBitstream.pack(x, FS), 2000, block_segments=block_segments
+        ).psd
+        assert rel_diff(packed, reference) <= TOL
+
+    def test_welch_batch_packed_matches_float(self, rng):
+        records = np.where(rng.random((6, 30000)) > 0.5, 1.0, -1.0)
+        float_batch = welch_batch(records, 1500, sample_rate=FS)
+        packed_batch = welch_batch(PackedRecordBatch.pack(records, FS), 1500)
+        assert rel_diff(packed_batch.psd, float_batch.psd) <= TOL
+        assert np.array_equal(packed_batch.frequencies, float_batch.frequencies)
+
+    def test_welch_batch_rate_mismatch_rejected(self, rng):
+        records = PackedRecordBatch.pack(
+            np.where(rng.random((2, 5000)) > 0.5, 1.0, -1.0), FS
+        )
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            welch_batch(records, 1000, sample_rate=FS / 2)
+
+
+class TestStreamingEquivalence:
+    @pytest.mark.parametrize("overlap", [0.0, 0.5])
+    @pytest.mark.parametrize("chunk", [997, 2000, 100000])
+    def test_packed_streaming_matches_float_and_batch(self, rng, overlap, chunk):
+        x = random_bitstream(rng, 100000)
+        batch_psd = welch(x, 2000, sample_rate=FS, overlap=overlap).psd
+        packed_streamer = StreamingWelch(2000, FS, overlap=overlap, packed=True)
+        float_streamer = StreamingWelch(2000, FS, overlap=overlap)
+        for lo in range(0, x.size, chunk):
+            piece = x[lo : lo + chunk]
+            packed_streamer.push(PackedBitstream.pack(piece, FS))
+            float_streamer.push(piece)
+        packed_psd = packed_streamer.result().psd
+        assert rel_diff(packed_psd, batch_psd) <= TOL
+        assert rel_diff(packed_psd, float_streamer.result().psd) <= TOL
+
+    def test_packed_streamer_accepts_waveform_chunks(self, rng):
+        x = random_bitstream(rng, 20000)
+        streamer = StreamingWelch(1000, FS, packed=True)
+        streamer.push(Waveform(x, FS))
+        reference = welch(x, 1000, sample_rate=FS).psd
+        assert rel_diff(streamer.result().psd, reference) <= TOL
+
+    def test_packed_streamer_rejects_analog_chunks(self, rng):
+        from repro.errors import ConfigurationError
+
+        streamer = StreamingWelch(1000, FS, packed=True)
+        with pytest.raises(ConfigurationError):
+            streamer.push(rng.normal(0.0, 1.0, 500))
+
+    def test_float_streamer_unpacks_packed_chunks(self, rng):
+        x = random_bitstream(rng, 20000)
+        streamer = StreamingWelch(1000, FS)
+        streamer.push(PackedBitstream.pack(x, FS))
+        reference = welch(x, 1000, sample_rate=FS).psd
+        assert rel_diff(streamer.result().psd, reference) <= TOL
+
+
+class TestDigitizerPackedEquivalence:
+    @pytest.mark.parametrize(
+        "digitizer",
+        [
+            OneBitDigitizer(),
+            OneBitDigitizer(Comparator(offset_v=0.02, input_noise_rms=0.05)),
+            OneBitDigitizer(Comparator(hysteresis_v=0.1)),
+            OneBitDigitizer(sampler=SampledLatch(divider=4)),
+            OneBitDigitizer(
+                sampler=SampledLatch(divider=3, jitter_rms_samples=0.6)
+            ),
+        ],
+    )
+    def test_packed_digitize_bit_exact(self, rng, digitizer):
+        n = 8001
+        signal = Waveform(rng.normal(0.0, 1.0, n), FS)
+        reference = Waveform(
+            0.2 * np.sign(np.sin(0.01 * np.arange(n)) + 0.5), FS
+        )
+        float_wave = digitizer.digitize(signal, reference, rng=11)
+        packed = digitizer.digitize(signal, reference, rng=11, packed=True)
+        assert np.array_equal(packed.unpack(), float_wave.samples)
+        assert packed.sample_rate == float_wave.sample_rate
+
+        signals = rng.normal(0.0, 1.0, (3, n))
+        float_batch = digitizer.digitize_batch(
+            signals, reference.samples, FS, rngs=[1, 2, 3]
+        )
+        packed_batch = digitizer.digitize_batch(
+            signals, reference.samples, FS, rngs=[1, 2, 3], packed=True
+        )
+        assert np.array_equal(packed_batch.unpack(), float_batch)
+
+    def test_per_record_reference_rows_match_scalar(self, rng):
+        # The 2-D reference form: row i digitized against its own
+        # reference, float and packed, equal to the scalar path.
+        digitizer = OneBitDigitizer()
+        n = 3001
+        signals = rng.normal(0.0, 1.0, (3, n))
+        references = np.vstack(
+            [amp * np.sign(np.sin(0.01 * np.arange(n)) + 0.3)
+             for amp in (0.1, 0.2, 0.4)]
+        )
+        float_batch = digitizer.digitize_batch(
+            signals, references, FS, rngs=[1, 2, 3]
+        )
+        packed_batch = digitizer.digitize_batch(
+            signals, references, FS, rngs=[1, 2, 3], packed=True
+        )
+        assert np.array_equal(packed_batch.unpack(), float_batch)
+        for i in range(3):
+            scalar = digitizer.digitize(
+                Waveform(signals[i], FS), Waveform(references[i], FS), rng=i + 1
+            )
+            assert np.array_equal(float_batch[i], scalar.samples)
+
+    def test_batch_provenance_replays_the_record(self, rng):
+        # The recorded seed identity must re-create the exact record,
+        # even when the caller passed rngs=None (OS entropy).
+        digitizer = OneBitDigitizer(Comparator(input_noise_rms=0.1))
+        n = 4096
+        signals = rng.normal(0.0, 1.0, (2, n))
+        reference = np.zeros(n)
+        first = digitizer.digitize_batch(
+            signals, reference, FS, rngs=None, packed=True
+        )
+        replay_rngs = [
+            np.random.default_rng(prov.entropy) for prov in first.provenance
+        ]
+        replay = digitizer.digitize_batch(
+            signals, reference, FS, rngs=replay_rngs, packed=True
+        )
+        assert np.array_equal(first.words, replay.words)
+
+    def test_packed_compare_batch_requires_sample_rate(self, rng):
+        from repro.errors import ConfigurationError
+
+        comparator = Comparator()
+        with pytest.raises(ConfigurationError):
+            comparator.compare_batch(
+                rng.normal(size=(2, 64)), np.zeros(64), packed=True
+            )
+
+
+class TestEngineBackendsEquivalence:
+    @pytest.fixture
+    def sim(self):
+        return MatlabSimulation(MatlabSimConfig(n_samples=50000, nperseg=2000))
+
+    def test_serial_engine_packed_matches_float(self, sim):
+        estimator = sim.make_estimator()
+        packed_engine = MeasurementEngine(packed=True)
+        float_engine = MeasurementEngine(packed=False)
+        states = ["hot", "cold", "hot", "cold"]
+        packed_records, rate = sim.acquire_bitstreams(
+            states, spawn_rngs(make_rng(31), 4), packed=True
+        )
+        float_records, _ = sim.acquire_bitstreams(
+            states, spawn_rngs(make_rng(31), 4)
+        )
+        assert isinstance(packed_records, PackedRecordBatch)
+        assert np.array_equal(packed_records.unpack(), float_records)
+        packed_psd = packed_engine.spectra_of(packed_records, rate, estimator)
+        float_psd = float_engine.spectra_of(float_records, rate, estimator)
+        assert rel_diff(packed_psd.psd, float_psd.psd) <= TOL
+
+    def test_process_engine_packed_matches_float(self, sim):
+        estimator = sim.make_estimator()
+        states = ["hot", "cold", "hot", "cold"]
+        packed_records, rate = sim.acquire_bitstreams(
+            states, spawn_rngs(make_rng(77), 4), packed=True
+        )
+        float_records, _ = sim.acquire_bitstreams(
+            states, spawn_rngs(make_rng(77), 4)
+        )
+        process_engine = MeasurementEngine(backend="process", max_workers=2)
+        process_psd = process_engine.spectra_of(packed_records, rate, estimator)
+        float_psd = MeasurementEngine(packed=False).spectra_of(
+            float_records, rate, estimator
+        )
+        assert rel_diff(process_psd.psd, float_psd.psd) <= TOL
+
+    def test_run_batch_identical_across_backends_and_packing(self, sim):
+        estimator = sim.make_estimator()
+        reference = [
+            r.noise_figure_db
+            for r in MeasurementEngine(packed=False).run_batch(
+                sim, estimator, 3, rng=7
+            )
+        ]
+        for engine in (
+            MeasurementEngine(),
+            MeasurementEngine(backend="process", max_workers=2),
+        ):
+            values = [
+                r.noise_figure_db
+                for r in engine.run_batch(sim, estimator, 3, rng=7)
+            ]
+            assert max(
+                abs(a - b) for a, b in zip(values, reference)
+            ) <= 1e-9
+
+    def test_shared_memory_welch_matches_inprocess(self, sim):
+        estimator = sim.make_estimator()
+        rngs = spawn_rngs(make_rng(5), 4)
+        records, rate = sim.acquire_bitstreams(
+            ["hot", "cold", "hot", "cold"], rngs, packed=True
+        )
+        config = estimator.config
+        params = WelchParams(
+            nperseg=config.nperseg,
+            window=config.window,
+            overlap=config.overlap,
+            detrend=True,
+            block_segments=16,
+        )
+        shared_psd = welch_batch_shared(records, params, max_workers=2)
+        local_psd = welch_batch(records, config.nperseg).psd
+        assert rel_diff(shared_psd, local_psd) <= TOL
+
+    def test_process_spectra_rate_mismatch_rejected(self, sim):
+        from repro.errors import ConfigurationError
+
+        estimator = sim.make_estimator()
+        records, rate = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(make_rng(5), 2), packed=True
+        )
+        engine = MeasurementEngine(backend="process", max_workers=2)
+        with pytest.raises(ConfigurationError):
+            engine.spectra_of(records, rate / 2.0, estimator)
+
+    def test_packed_records_are_64x_smaller(self, sim):
+        packed_records, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(make_rng(5), 2), packed=True
+        )
+        float_records, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(make_rng(5), 2)
+        )
+        assert float_records.nbytes / packed_records.nbytes == 64.0
+
+
+class TestMultiDeviceEquivalence:
+    def test_measure_devices_matches_per_device(self):
+        from dataclasses import replace
+
+        base = MatlabSimConfig(n_samples=40000, nperseg=2000)
+        sims = [
+            MatlabSimulation(replace(base, dut_nf_db=nf))
+            for nf in (6.0, 10.0, 14.0)
+        ]
+        estimators = [sim.make_estimator() for sim in sims]
+        engine = MeasurementEngine()
+        batched = engine.measure_devices(sims, estimators, rng=99)
+        rngs = spawn_rngs(make_rng(99), len(sims))
+        individual = [
+            engine.measure(sim, est, rng=rng)
+            for sim, est, rng in zip(sims, estimators, rngs)
+        ]
+        for a, b in zip(batched, individual):
+            assert abs(a.noise_figure_db - b.noise_figure_db) <= 1e-9
+            assert abs(a.y - b.y) <= 1e-12
+
+    def test_estimator_config_mismatch_rejected(self):
+        from repro.errors import ConfigurationError
+
+        sims = [
+            MatlabSimulation(MatlabSimConfig(n_samples=40000, nperseg=n))
+            for n in (2000, 1000)
+        ]
+        estimators = [sim.make_estimator() for sim in sims]
+        with pytest.raises(ConfigurationError):
+            MeasurementEngine().measure_devices(sims, estimators, rng=1)
+
+
+class TestProductionSingleBatch:
+    def test_batch_screen_identical_to_sweep(self):
+        batch = run_production(n_devices=5, n_samples=2**14, seed=2005)
+        sweep = run_production(
+            n_devices=5, n_samples=2**14, seed=2005, multi_device_batch=False
+        )
+        assert batch.true_nf_db == sweep.true_nf_db
+        for a, b in zip(batch.measured_nf_db, sweep.measured_nf_db):
+            assert abs(a - b) <= 1e-9
+        for row_a, row_b in zip(batch.rows, sweep.rows):
+            assert row_a.outcome == row_b.outcome

@@ -1,0 +1,51 @@
+"""Tests for repro.buffers — the generalized scratch-array pools."""
+
+import numpy as np
+import pytest
+
+from repro.buffers import ArrayPool, default_pool
+from repro.errors import ConfigurationError
+
+
+class TestArrayPool:
+    def test_same_key_reuses_array(self):
+        pool = ArrayPool()
+        a = pool.take("scratch", (4, 8))
+        b = pool.take("scratch", (4, 8))
+        assert a is b
+
+    def test_shape_change_reallocates(self):
+        pool = ArrayPool()
+        a = pool.take("scratch", 16)
+        b = pool.take("scratch", 32)
+        assert a is not b
+        assert b.shape == (32,)
+
+    def test_dtype_change_reallocates(self):
+        pool = ArrayPool()
+        a = pool.take("scratch", 8)
+        b = pool.take("scratch", 8, dtype=np.uint8)
+        assert b.dtype == np.uint8
+        assert a is not b
+
+    def test_int_shape_accepted(self):
+        pool = ArrayPool()
+        assert pool.take("row", 7).shape == (7,)
+
+    def test_negative_shape_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ArrayPool().take("bad", (-1,))
+
+    def test_accounting_and_clear(self):
+        pool = ArrayPool()
+        pool.take("a", 10)
+        pool.take("b", (2, 5), dtype=np.float32)
+        assert len(pool) == 2
+        assert pool.nbytes == 10 * 8 + 10 * 4
+        pool.clear()
+        assert len(pool) == 0
+        assert pool.nbytes == 0
+
+    def test_default_pool_exists(self):
+        arr = default_pool.take("test_buffers.unit", 3)
+        assert arr.shape == (3,)

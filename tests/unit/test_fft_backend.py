@@ -1,0 +1,71 @@
+"""Tests for repro.dsp.fft_backend — the opt-in scipy.fft backend."""
+
+import numpy as np
+import pytest
+
+from repro.dsp import welch
+from repro.dsp.fft_backend import (
+    fft_backend,
+    get_fft_backend,
+    rfft,
+    scipy_fft_available,
+    set_fft_backend,
+)
+from repro.errors import ConfigurationError
+
+needs_scipy = pytest.mark.skipif(
+    not scipy_fft_available(), reason="scipy not installed"
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_backend():
+    yield
+    set_fft_backend("numpy")
+
+
+class TestSelection:
+    def test_default_is_numpy(self):
+        assert get_fft_backend() == ("numpy", None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_fft_backend("fftw")
+
+    def test_zero_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            set_fft_backend("numpy", workers=0)
+
+    @needs_scipy
+    def test_context_manager_restores(self):
+        with fft_backend("scipy", workers=2):
+            assert get_fft_backend() == ("scipy", 2)
+        assert get_fft_backend() == ("numpy", None)
+
+    @needs_scipy
+    def test_context_manager_restores_on_error(self):
+        with pytest.raises(RuntimeError):
+            with fft_backend("scipy"):
+                raise RuntimeError("boom")
+        assert get_fft_backend() == ("numpy", None)
+
+
+class TestBitIdentical:
+    @needs_scipy
+    def test_rfft_bit_identical(self, rng):
+        block = rng.normal(0.0, 1.0, size=(16, 1000))
+        reference = np.fft.rfft(block, axis=-1)
+        with fft_backend("scipy", workers=2):
+            assert np.array_equal(rfft(block, axis=-1), reference)
+
+    @needs_scipy
+    def test_welch_bit_identical_across_backends(self, rng):
+        x = rng.normal(0.0, 1.0, size=50000)
+        reference = welch(x, 2000, sample_rate=1e4)
+        with fft_backend("scipy", workers=2):
+            threaded = welch(x, 2000, sample_rate=1e4)
+        assert np.array_equal(threaded.psd, reference.psd)
+
+    def test_numpy_fallback_always_works(self, rng):
+        x = rng.normal(0.0, 1.0, size=(4, 256))
+        assert np.array_equal(rfft(x), np.fft.rfft(x))

@@ -3,6 +3,7 @@
 import numpy as np
 import pytest
 
+from repro.bitstream import PackedBitstream
 from repro.errors import ConfigurationError, ResourceError
 from repro.signals.waveform import Waveform
 from repro.soc.memory import SampleMemory
@@ -11,6 +12,30 @@ from repro.soc.memory import SampleMemory
 def bitstream(n=1000, fs=10000.0, seed=0):
     rng = np.random.default_rng(seed)
     return Waveform(np.where(rng.random(n) > 0.5, 1.0, -1.0), fs)
+
+
+class TestPackedStoreLoad:
+    def test_store_packed_record_as_is(self):
+        wave = bitstream(1001)
+        packed = PackedBitstream.pack(wave)
+        memory = SampleMemory(1024)
+        record = memory.store_bitstream("cap", packed)
+        assert record.bytes_used == packed.nbytes
+        # Zero-copy: the stored record is the same packed object.
+        assert memory.load_packed("cap") is packed
+        assert memory.load_bitstream("cap") == wave
+
+    def test_load_packed_of_float_store(self):
+        wave = bitstream(64)
+        memory = SampleMemory(1024)
+        memory.store_bitstream("cap", wave)
+        packed = memory.load_packed("cap")
+        assert isinstance(packed, PackedBitstream)
+        assert np.array_equal(packed.unpack(), wave.samples)
+
+    def test_load_packed_missing_key(self):
+        with pytest.raises(ConfigurationError):
+            SampleMemory(64).load_packed("nope")
 
 
 class TestCapacityMath:

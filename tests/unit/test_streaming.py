@@ -86,9 +86,19 @@ class TestStreamingWelch:
             StreamingWelch(1000, FS, overlap=0.25)
 
     def test_memory_far_below_full_capture(self):
-        streamer = StreamingWelch(8192, 32768.0)
+        streamer = StreamingWelch(8192, 32768.0, packed=True)
         full_capture = SampleMemory.bytes_required_bits(2**20)
+        # The packed staging buffer is real (allocated words), not an
+        # estimate, and sits far below even the packed full capture.
         assert streamer.memory_bytes() < full_capture / 2
+        assert streamer.memory_bytes(packed_bits=True) == streamer.memory_bytes()
+
+    def test_float_mode_has_no_packed_footprint(self):
+        streamer = StreamingWelch(8192, 32768.0)
+        with pytest.raises(ConfigurationError):
+            streamer.memory_bytes(packed_bits=True)
+        # The float staging buffer is reported at its actual size.
+        assert streamer.memory_bytes() > 8 * 8192
 
 
 class TestAccumulateStream:
