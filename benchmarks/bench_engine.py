@@ -127,11 +127,11 @@ def _measure_one(sim, rng):
 
 
 def run_engine_mp(sim, estimator, seed):
-    engine = MeasurementEngine(backend="process")
     repeat_rngs = spawn_rngs(make_rng(seed), N_REPEATS)
-    return engine.map_sweep(
-        _measure_one, [sim] * N_REPEATS, rngs=repeat_rngs
-    )
+    with MeasurementEngine(backend="process") as engine:
+        return engine.map_sweep(
+            _measure_one, [sim] * N_REPEATS, rngs=repeat_rngs
+        )
 
 
 def _time(fn, *args):

@@ -6,22 +6,33 @@ Usage::
     python -m repro run table2
     python -m repro run table3 --fast
     python -m repro run fig10
+    python -m repro run production --backend process --workers 4
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
-the benchmark suite (paper scale).
+the benchmark suite (paper scale).  ``--backend``/``--workers`` pick
+the execution backend for the sweep/production experiments: every
+experiment of a ``run`` invocation shares one
+:class:`~repro.engine.MeasurementScheduler` (and, on the process
+backend, one persistent worker pool).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.reporting.series import render_series
 from repro.reporting.tables import render_table
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.engine.scheduler import MeasurementScheduler
 
-def _run_table1(fast: bool) -> str:
+#: An experiment runner: (fast, scheduler) -> rendered table/series.
+ExperimentRunner = Callable[[bool, "MeasurementScheduler"], str]
+
+
+def _run_table1(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.table1 import run_table1
 
     result = run_table1()
@@ -32,7 +43,7 @@ def _run_table1(fast: bool) -> str:
     )
 
 
-def _run_table2(fast: bool) -> str:
+def _run_table2(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.matlab_sim import MatlabSimConfig
     from repro.experiments.table2 import run_table2
 
@@ -48,7 +59,7 @@ def _run_table2(fast: bool) -> str:
     )
 
 
-def _run_table3(fast: bool) -> str:
+def _run_table3(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.table3 import run_table3
 
     result = run_table3(
@@ -64,7 +75,7 @@ def _run_table3(fast: bool) -> str:
     )
 
 
-def _run_fig7(fast: bool) -> str:
+def _run_fig7(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig7 import run_fig7
     from repro.experiments.matlab_sim import MatlabSimConfig
 
@@ -80,7 +91,7 @@ def _run_fig7(fast: bool) -> str:
     )
 
 
-def _run_fig8(fast: bool) -> str:
+def _run_fig8(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig8 import run_fig8
     from repro.experiments.matlab_sim import MatlabSimConfig
 
@@ -96,7 +107,7 @@ def _run_fig8(fast: bool) -> str:
     )
 
 
-def _run_fig9(fast: bool) -> str:
+def _run_fig9(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig9 import run_fig9
     from repro.experiments.matlab_sim import MatlabSimConfig
 
@@ -113,10 +124,10 @@ def _run_fig9(fast: bool) -> str:
     )
 
 
-def _run_fig10(fast: bool) -> str:
+def _run_fig10(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig10 import run_fig10
 
-    result = run_fig10(n_average=2 if fast else 4, seed=2005)
+    result = run_fig10(n_average=2 if fast else 4, seed=2005, scheduler=sched)
     ok = [p for p in result.points if not p.failed]
     return render_series(
         [100 * p.reference_ratio for p in ok],
@@ -127,7 +138,7 @@ def _run_fig10(fast: bool) -> str:
     )
 
 
-def _run_fig13(fast: bool) -> str:
+def _run_fig13(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig13 import run_fig13
 
     result = run_fig13(n_samples=2**17 if fast else 2**20, seed=2005)
@@ -142,11 +153,12 @@ def _run_fig13(fast: bool) -> str:
     )
 
 
-def _run_uncertainty(fast: bool) -> str:
+def _run_uncertainty(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.uncertainty import run_uncertainty
 
     result = run_uncertainty(
-        end_to_end_n_samples=2**16 if fast else 2**18, seed=2005
+        end_to_end_n_samples=2**16 if fast else 2**18, seed=2005,
+        scheduler=sched,
     )
     return render_table(
         ["NF (dB)", "sigma analytic (dB)", "MC std (dB)", "within 0.3 dB"],
@@ -158,7 +170,7 @@ def _run_uncertainty(fast: bool) -> str:
     )
 
 
-def _run_spot_nf(fast: bool) -> str:
+def _run_spot_nf(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.spot_nf import run_spot_nf
 
     result = run_spot_nf(n_samples=2**17 if fast else 2**19, seed=2005)
@@ -177,7 +189,7 @@ def _run_spot_nf(fast: bool) -> str:
     )
 
 
-def _run_resources(fast: bool) -> str:
+def _run_resources(fast: bool, sched: MeasurementScheduler) -> str:
     from repro.experiments.resources import run_resources
 
     result = run_resources(n_samples=2**16 if fast else 2**20, seed=2005)
@@ -194,7 +206,112 @@ def _run_resources(fast: bool) -> str:
     )
 
 
-EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
+def _run_production(fast: bool, sched: MeasurementScheduler) -> str:
+    from repro.experiments.production import run_production
+
+    result = run_production(
+        n_devices=8 if fast else 24,
+        n_samples=2**15 if fast else 2**17,
+        seed=2005,
+        scheduler=sched,
+    )
+    return render_table(
+        [
+            "guardband (sigma)",
+            "guardband (dB)",
+            "pass",
+            "retest",
+            "fail",
+            "escapes",
+            "overkill",
+        ],
+        [
+            [
+                r.guardband_sigmas,
+                r.guardband_db,
+                r.outcome.n_pass,
+                r.outcome.n_retest,
+                r.outcome.n_fail,
+                r.outcome.n_escapes,
+                r.outcome.n_overkill,
+            ]
+            for r in result.rows
+        ],
+        title=(
+            f"Production screen - {result.n_devices} devices, limit "
+            f"{result.limit_db} dB, {result.n_plan_groups} plan group(s)"
+        ),
+    )
+
+
+def _run_record_length(fast: bool, sched: MeasurementScheduler) -> str:
+    from repro.experiments.record_length import run_record_length
+
+    lengths = (2**14, 2**15, 2**16) if fast else None
+    kwargs = {} if lengths is None else {"lengths": lengths, "n_trials": 3}
+    result = run_record_length(seed=2005, scheduler=sched, **kwargs)
+    return render_table(
+        ["n_samples", "trials", "NF mean (dB)", "NF std (dB)", "error (dB)"],
+        [
+            [p.n_samples, p.n_trials, p.nf_mean_db, p.nf_std_db, p.mean_error_db]
+            for p in result.points
+        ],
+        title=(
+            f"Record-length ablation (expected NF "
+            f"{result.expected_nf_db:.2f} dB)"
+        ),
+    )
+
+
+def _run_robustness(fast: bool, sched: MeasurementScheduler) -> str:
+    from repro.experiments.robustness import run_robustness
+
+    result = run_robustness(
+        n_samples=2**15 if fast else 2**18, seed=2005, scheduler=sched
+    )
+    return render_table(
+        ["kind", "level", "NF (dB)", "shift (dB)"],
+        [
+            [
+                p.kind,
+                p.relative_level,
+                "failed" if p.nf_db is None else p.nf_db,
+                "-" if p.shift_db is None else p.shift_db,
+            ]
+            for p in result.points
+        ],
+        title=(
+            f"Comparator robustness (baseline "
+            f"{result.baseline_nf_db:.2f} dB)"
+        ),
+    )
+
+
+def _run_gain_sensitivity(fast: bool, sched: MeasurementScheduler) -> str:
+    from repro.experiments.gain_sensitivity import run_gain_sensitivity
+
+    result = run_gain_sensitivity(
+        n_samples=2**15 if fast else 2**17, seed=2005, scheduler=sched
+    )
+    return render_table(
+        ["drift", "direct analytic (dB)", "direct sim (dB)", "Y-factor (dB)"],
+        [
+            [
+                p.gain_drift,
+                p.direct_error_analytic_db,
+                p.direct_error_simulated_db,
+                p.yfactor_error_simulated_db,
+            ]
+            for p in result.points
+        ],
+        title=(
+            f"Gain-drift sensitivity (expected NF "
+            f"{result.expected_nf_db:.2f} dB)"
+        ),
+    )
+
+
+EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "table1": _run_table1,
     "table2": _run_table2,
     "table3": _run_table3,
@@ -206,6 +323,10 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "uncertainty": _run_uncertainty,
     "resources": _run_resources,
     "spot_nf": _run_spot_nf,
+    "production": _run_production,
+    "record_length": _run_record_length,
+    "robustness": _run_robustness,
+    "gain_sensitivity": _run_gain_sensitivity,
 }
 
 
@@ -225,22 +346,49 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="reduced record lengths for a quick look",
     )
+    run.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="serial",
+        help="execution backend for the scheduler-driven experiments "
+        "(production, record_length, robustness, gain_sensitivity, "
+        "fig10, uncertainty); process = persistent worker pool; "
+        "other experiments always run serial",
+    )
+    run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker cap for the process backend (default: CPU count)",
+    )
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command == "run" and args.workers is not None:
+        if args.backend != "process":
+            parser.error("--workers requires --backend process")
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
-    if args.experiment == "all":
-        for name in sorted(EXPERIMENTS):
-            print(EXPERIMENTS[name](args.fast))
-            print()
-        return 0
-    print(EXPERIMENTS[args.experiment](args.fast))
+    from repro.engine.scheduler import MeasurementScheduler
+
+    # One scheduler per invocation: `run all --backend process` reuses a
+    # single worker pool across every experiment.
+    with MeasurementScheduler(
+        backend=args.backend, max_workers=args.workers
+    ) as sched:
+        if args.experiment == "all":
+            for name in sorted(EXPERIMENTS):
+                print(EXPERIMENTS[name](args.fast, sched))
+                print()
+            return 0
+        print(EXPERIMENTS[args.experiment](args.fast, sched))
     return 0
 
 

@@ -12,7 +12,14 @@ reproducibility (each record draws from its own ``spawn_rngs`` child).
 ``MeasurementEngine.run_batch`` replaces serial repeat loops,
 ``MeasurementEngine.measure`` a single two-state acquisition, and
 ``MeasurementEngine.map_sweep`` fans independent sweep tasks out either
-in-process or over a ``ProcessPoolExecutor`` with per-task child seeds.
+in-process or over a persistent worker pool with per-task child seeds.
+
+:mod:`repro.engine.scheduler` sits on top: :class:`WorkerPool` keeps
+one process pool alive across a whole session of sweeps and batched
+Welch passes, and :class:`MeasurementScheduler` plans arbitrary
+mixed-configuration screens into compatible sub-batches
+(:func:`plan_measurements`) with results bit-identical to per-device
+measurement.
 """
 
 from repro.buffers import ArrayPool, default_pool
@@ -23,9 +30,20 @@ from repro.engine.engine import (
     MeasurementEngine,
 )
 from repro.engine.executors import run_serial, run_with_processes
+from repro.engine.scheduler import (
+    MeasurementPlan,
+    MeasurementScheduler,
+    MeasurementTask,
+    PlanGroup,
+    WorkerPool,
+    as_scheduler,
+    plan_measurements,
+)
 from repro.engine.shm import (
     SharedPackedBatch,
     WelchParams,
+    publish_packed_tasks,
+    resolve_shared_task,
     welch_batch_shared,
 )
 
@@ -35,9 +53,18 @@ __all__ = [
     "BatchAcquirer",
     "Engine",
     "MeasurementEngine",
+    "MeasurementPlan",
+    "MeasurementScheduler",
+    "MeasurementTask",
+    "PlanGroup",
     "SharedPackedBatch",
     "WelchParams",
+    "WorkerPool",
+    "as_scheduler",
     "default_pool",
+    "plan_measurements",
+    "publish_packed_tasks",
+    "resolve_shared_task",
     "run_serial",
     "run_with_processes",
     "welch_batch_shared",

@@ -64,6 +64,7 @@ from repro.errors import ConfigurationError, MeasurementError
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 
 from repro.engine.executors import run_serial, run_with_processes
+from repro.engine.scheduler import WorkerPool
 from repro.engine.shm import WelchParams, welch_batch_shared
 
 _BACKENDS = ("vectorized", "process")
@@ -148,6 +149,13 @@ class MeasurementEngine:
         Acquire and transport records bit-packed (1 bit/sample) when
         the acquirer supports it.  Packed results are bit-exact equal
         to the float pipeline; disable only to A/B the two paths.
+    pool:
+        An existing :class:`~repro.engine.scheduler.WorkerPool` to
+        share (e.g. one pool across several engines of a session).
+        Without one, a ``"process"`` engine lazily creates — and owns —
+        its own persistent pool on first fan-out; call :meth:`close`
+        (or use the engine as a context manager) to release its worker
+        processes.
     """
 
     def __init__(
@@ -156,6 +164,7 @@ class MeasurementEngine:
         max_workers: Optional[int] = None,
         block_segments: int = DEFAULT_BLOCK_SEGMENTS,
         packed: bool = True,
+        pool: Optional[WorkerPool] = None,
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
@@ -173,6 +182,42 @@ class MeasurementEngine:
         self.max_workers = max_workers
         self.block_segments = int(block_segments)
         self.packed = bool(packed)
+        self._pool = pool
+        self._owns_pool = pool is None
+
+    # ------------------------------------------------------------------
+    # Pool lifetime
+    # ------------------------------------------------------------------
+    @property
+    def worker_pool(self) -> Optional[WorkerPool]:
+        """The persistent pool behind every process fan-out.
+
+        Created lazily (spawning workers costs real time, so a
+        ``"process"`` engine that never fans out never pays it) and
+        reused across ``map_sweep`` calls and batched Welch passes.
+        ``None`` on the in-process backend.
+        """
+        if self.backend != "process":
+            return None
+        if self._pool is None:
+            self._pool = WorkerPool(max_workers=self.max_workers)
+        return self._pool
+
+    def close(self) -> None:
+        """Release the engine's worker processes (idempotent).
+
+        Only a pool the engine created itself is shut down; a pool
+        passed in by the caller stays the caller's responsibility.  The
+        engine remains usable — the next fan-out respawns.
+        """
+        if self._owns_pool and self._pool is not None:
+            self._pool.close()
+
+    def __enter__(self) -> "MeasurementEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # ------------------------------------------------------------------
     # Batched spectral estimation
@@ -214,7 +259,9 @@ class MeasurementEngine:
                 detrend=True,
                 block_segments=self.block_segments,
             )
-            psd = welch_batch_shared(records, params, self.max_workers)
+            psd = welch_batch_shared(
+                records, params, self.max_workers, pool=self.worker_pool
+            )
             win = get_window(config.window, config.nperseg)
             freqs, enbw_hz = _welch_grid(
                 win, config.nperseg, records.sample_rate
@@ -496,9 +543,12 @@ class MeasurementEngine:
         Each task receives its own child generator — spawned from
         ``seed`` unless an explicit ``rngs`` sequence is given (use the
         latter to keep seed-compatibility with an existing serial
-        sweep).  The ``"process"`` backend distributes tasks over a
-        ``ProcessPoolExecutor``; since the generators travel with the
-        tasks, results are identical across backends.  ``fn`` must be a
+        sweep).  The ``"process"`` backend distributes tasks over the
+        engine's persistent :class:`~repro.engine.scheduler.WorkerPool`
+        (spawned once, reused across sweeps until :meth:`close`), and
+        packed records found inside tasks travel through shared memory
+        instead of pickle; since the generators travel with the tasks,
+        results are identical across backends.  ``fn`` must be a
         module-level callable for the process backend (pickling).
         """
         tasks = list(tasks)
@@ -513,7 +563,9 @@ class MeasurementEngine:
         if not tasks:
             return []
         if self.backend == "process":
-            return run_with_processes(fn, tasks, rngs, self.max_workers)
+            return run_with_processes(
+                fn, tasks, rngs, self.max_workers, pool=self.worker_pool
+            )
         return run_serial(fn, tasks, rngs)
 
 

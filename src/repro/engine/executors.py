@@ -1,11 +1,18 @@
 """Task executors for the measurement engine's ``map_sweep``.
 
-Two backends: plain in-process iteration and a ``ProcessPoolExecutor``
-fan-out.  Both receive one child generator per task (spawned by the
-caller from a single seed), so a sweep's results are reproducible and
-independent of the backend — a task sees the same generator whether it
-runs inline or in a worker process (``numpy`` generators pickle with
-their full state).
+Two backends: plain in-process iteration and a process-pool fan-out.
+Both receive one child generator per task (spawned by the caller from a
+single seed), so a sweep's results are reproducible and independent of
+the backend — a task sees the same generator whether it runs inline or
+in a worker process (``numpy`` generators pickle with their full
+state).
+
+The process backend prefers a caller-supplied persistent
+:class:`~repro.engine.scheduler.WorkerPool` (one pool spawn amortized
+over a whole session of sweeps); without one it falls back to a
+throwaway ``ProcessPoolExecutor`` per call.  Packed record payloads
+found inside tasks travel through shared memory
+(:func:`repro.engine.shm.publish_packed_tasks`) instead of pickle.
 
 Worker functions must be picklable (module-level) for the process
 backend; the serial backend accepts anything callable.
@@ -14,17 +21,32 @@ backend; the serial backend accepts anything callable.
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import Callable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.engine.shm import (
+    map_over_workers,
+    publish_packed_tasks,
+    resolve_shared_task,
+)
 from repro.errors import ConfigurationError
 
 
 def _invoke(payload):
     fn, task, rng = payload
     return fn(task, rng)
+
+
+def _invoke_shared(payload):
+    """Worker entry for tasks carrying shared-memory record references."""
+    fn, task, rng = payload
+    handles: dict = {}
+    try:
+        return fn(resolve_shared_task(task, handles), rng)
+    finally:
+        for handle in handles.values():
+            handle.close()
 
 
 def run_serial(
@@ -41,18 +63,36 @@ def run_with_processes(
     tasks: Sequence,
     rngs: Sequence[np.random.Generator],
     max_workers: Optional[int] = None,
+    pool=None,
 ) -> List:
     """Run ``fn(task, rng)`` over a process pool; results keep task order.
 
     Each task ships with its own pre-spawned generator, so results are
-    identical to :func:`run_serial` regardless of scheduling.
+    identical to :func:`run_serial` regardless of scheduling.  An empty
+    task list returns ``[]`` without spawning any worker process.
+    ``pool`` may supply a persistent
+    :class:`~repro.engine.scheduler.WorkerPool` to reuse across calls;
+    the pool then sizes the fan-out from its own worker cap and
+    ``max_workers`` is not consulted.
     """
     if max_workers is not None and max_workers < 1:
         raise ConfigurationError(
             f"max_workers must be >= 1, got {max_workers}"
         )
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-    workers = max(1, min(workers, len(tasks)))
-    payloads = [(fn, task, rng) for task, rng in zip(tasks, rngs)]
-    with ProcessPoolExecutor(max_workers=workers) as pool:
-        return list(pool.map(_invoke, payloads))
+    tasks = list(tasks)
+    if not tasks:
+        return []
+    shared_tasks, blocks = publish_packed_tasks(tasks)
+    worker = _invoke_shared if blocks else _invoke
+    payloads = [(fn, task, rng) for task, rng in zip(shared_tasks, rngs)]
+    try:
+        if pool is not None:
+            return pool.map(worker, payloads)
+        workers = (
+            max_workers if max_workers is not None else (os.cpu_count() or 1)
+        )
+        workers = max(1, min(workers, len(tasks)))
+        return map_over_workers(worker, payloads, workers, None)
+    finally:
+        for block in blocks:
+            block.close()

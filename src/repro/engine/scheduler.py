@@ -1,0 +1,415 @@
+"""Measurement scheduler: persistent worker pool and sub-batch planner.
+
+The execution layer under the engine used to pay two structural taxes:
+every ``map_sweep`` / batched-Welch fan-out spawned (and tore down) its
+own ``ProcessPoolExecutor``, and :meth:`MeasurementEngine.
+measure_devices` refused to batch screens whose estimators disagreed on
+any analysis parameter.  This module removes both:
+
+* :class:`WorkerPool` is a persistent, lazily spawned process pool with
+  an explicit ``close()`` / context-manager lifetime.  One pool is
+  shared across every fan-out an engine performs — sweep tasks, batched
+  Welch passes over shared memory, repeated sweeps of a whole session —
+  so the pool-spawn cost is paid once per session instead of once per
+  call.
+* :func:`plan_measurements` / :class:`MeasurementPlan` take an
+  arbitrary mix of ``(source, estimator, rng)`` measurement tasks and
+  group them into sub-batches that are *compatible* under the engine's
+  multi-device batching rules (identical nperseg / window / overlap /
+  sample rate / record length, sources implementing the
+  :class:`~repro.engine.engine.AnalogBatchAcquirer` protocol).  Each
+  group runs through ``measure_devices``; singletons and
+  protocol-less sources fall back to per-task ``measure``.  Because
+  every path spawns per-record generators identically, the planned
+  results are bit-identical to running ``engine.measure`` once per
+  task, in task order.
+* :class:`MeasurementScheduler` is the facade the experiments layer
+  uses: ``run()`` for planned heterogeneous screens, ``map_sweep()``
+  for free-form sweeps (packed record payloads travel through
+  :mod:`repro.engine.shm` instead of pickle), one pool underneath.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.core.bist import OneBitNoiseFigureBIST
+from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.random import GeneratorLike
+
+__all__ = [
+    "WorkerPool",
+    "MeasurementTask",
+    "PlanGroup",
+    "MeasurementPlan",
+    "plan_measurements",
+    "MeasurementScheduler",
+    "as_scheduler",
+]
+
+
+class WorkerPool:
+    """A persistent, lazily spawned process pool.
+
+    The executor is created on first use — constructing a pool (or an
+    engine holding one) costs nothing until work is actually fanned
+    out — and then reused across calls until :meth:`close`.  It is
+    sized to ``min(max_workers, batch size)`` at spawn (a 4-task sweep
+    on a 64-core host starts 4 workers, not 64) and grows — by
+    respawning wider — only when a later batch actually needs more.
+    ``close`` releases the worker processes; a later ``map``
+    transparently respawns, so a pool object can bracket several
+    independent sessions.  :attr:`spawn_count` records how many times
+    an executor was actually created (the number every reused call
+    amortizes).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None):
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError(
+                f"max_workers must be >= 1, got {max_workers}"
+            )
+        self._requested_workers = max_workers
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._size = 0
+        self.spawn_count = 0
+
+    @property
+    def max_workers(self) -> int:
+        """The resolved worker cap (CPU count when unspecified)."""
+        if self._requested_workers is not None:
+            return self._requested_workers
+        return os.cpu_count() or 1
+
+    @property
+    def active(self) -> bool:
+        """Whether worker processes are currently alive."""
+        return self._executor is not None
+
+    @property
+    def size(self) -> int:
+        """Worker processes of the live executor (0 when idle)."""
+        return self._size if self._executor is not None else 0
+
+    def _ensure(self, n_tasks: int) -> ProcessPoolExecutor:
+        wanted = max(1, min(self.max_workers, n_tasks))
+        if self._executor is not None and self._size < wanted:
+            self.close()  # grow by respawning wider
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=wanted)
+            self._size = wanted
+            self.spawn_count += 1
+        return self._executor
+
+    def map(self, fn: Callable, payloads: Sequence) -> List:
+        """Run ``fn`` over payloads on the pool; results keep order.
+
+        An empty payload list returns ``[]`` without ever spawning
+        worker processes.  A pool whose workers died (killed child,
+        ``BrokenProcessPool``) is respawned once and the batch retried —
+        payloads carry their own generators, so a retry is
+        deterministic.
+        """
+        payloads = list(payloads)
+        if not payloads:
+            return []
+        try:
+            return list(self._ensure(len(payloads)).map(fn, payloads))
+        except BrokenProcessPool:
+            self.close()
+            return list(self._ensure(len(payloads)).map(fn, payloads))
+
+    def close(self) -> None:
+        """Shut the worker processes down (idempotent)."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+            self._size = 0
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "active" if self.active else "idle"
+        return (
+            f"WorkerPool(max_workers={self.max_workers}, {state}, "
+            f"spawns={self.spawn_count})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class MeasurementTask:
+    """One device measurement: a bench, its estimator and its seed."""
+
+    source: object
+    estimator: OneBitNoiseFigureBIST
+    rng: GeneratorLike = None
+
+
+#: The analysis parameters two tasks must share to ride one sub-batch —
+#: exactly the constraints ``measure_devices`` enforces at runtime.
+GroupKey = Tuple[int, str, float, float, int]
+
+
+def _group_key(task: MeasurementTask) -> GroupKey:
+    config = task.estimator.config
+    return (
+        config.nperseg,
+        config.window,
+        config.overlap,
+        config.sample_rate_hz,
+        config.n_samples,
+    )
+
+
+def _can_batch(source) -> bool:
+    """Whether a source supports cross-device analog batching."""
+    return callable(getattr(source, "acquire_analog_batch", None))
+
+
+@dataclass(frozen=True)
+class PlanGroup:
+    """A compatible sub-batch of the plan (indices into the task list)."""
+
+    key: GroupKey
+    indices: Tuple[int, ...]
+    batched: bool
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.indices)
+
+
+@dataclass(frozen=True)
+class MeasurementPlan:
+    """A heterogeneous screen grouped into compatible sub-batches.
+
+    Built by :func:`plan_measurements`.  ``run`` executes every group —
+    batched groups through ``engine.measure_devices``, singleton /
+    unbatchable tasks through ``engine.measure`` — and scatters the
+    results back into task order.  Results are bit-identical to calling
+    ``engine.measure(task.source, task.estimator, rng=task.rng)`` once
+    per task: both paths spawn the per-record generators the same way.
+    """
+
+    tasks: Tuple[MeasurementTask, ...]
+    groups: Tuple[PlanGroup, ...]
+
+    @property
+    def n_tasks(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def n_batched_tasks(self) -> int:
+        """Tasks that run inside a multi-device batch."""
+        return sum(g.n_tasks for g in self.groups if g.batched)
+
+    def run(self, engine, allow_failures: bool = False) -> List:
+        """Execute the plan on an engine; results in task order."""
+        results: List = [None] * len(self.tasks)
+        for group in self.groups:
+            tasks = [self.tasks[i] for i in group.indices]
+            if group.batched:
+                out = engine.measure_devices(
+                    [t.source for t in tasks],
+                    [t.estimator for t in tasks],
+                    rngs=[t.rng for t in tasks],
+                    allow_failures=allow_failures,
+                )
+            else:
+                out = []
+                for task in tasks:
+                    try:
+                        out.append(
+                            engine.measure(
+                                task.source, task.estimator, rng=task.rng
+                            )
+                        )
+                    except MeasurementError:
+                        if not allow_failures:
+                            raise
+                        out.append(None)
+            for index, result in zip(group.indices, out):
+                results[index] = result
+        return results
+
+
+def _coerce_task(task) -> MeasurementTask:
+    if isinstance(task, MeasurementTask):
+        return task
+    if isinstance(task, (tuple, list)):
+        if len(task) == 2:
+            source, estimator = task
+            return MeasurementTask(source, estimator)
+        if len(task) == 3:
+            source, estimator, rng = task
+            return MeasurementTask(source, estimator, rng)
+    raise ConfigurationError(
+        "measurement tasks must be MeasurementTask or (source, estimator"
+        "[, rng]) tuples, got " + repr(type(task))
+    )
+
+
+def plan_measurements(tasks: Sequence) -> MeasurementPlan:
+    """Group an arbitrary task mix into compatible sub-batches.
+
+    Tasks sharing all analysis parameters (nperseg / window / overlap /
+    sample rate / record length) whose sources implement the analog
+    batch protocol form one multi-device sub-batch; everything else —
+    singletons, sources without ``acquire_analog_batch`` — falls back
+    to per-task measurement.  Group order follows first appearance and
+    indices stay ascending, so execution is deterministic.
+    """
+    coerced = tuple(_coerce_task(t) for t in tasks)
+    batchable: dict = {}
+    order: List[GroupKey] = []
+    fallback: List[int] = []
+    for i, task in enumerate(coerced):
+        if _can_batch(task.source):
+            key = _group_key(task)
+            if key not in batchable:
+                batchable[key] = []
+                order.append(key)
+            batchable[key].append(i)
+        else:
+            fallback.append(i)
+
+    groups: List[PlanGroup] = []
+    for key in order:
+        indices = batchable[key]
+        if len(indices) >= 2:
+            groups.append(PlanGroup(key, tuple(indices), batched=True))
+        else:
+            fallback.extend(indices)
+    for i in sorted(fallback):
+        groups.append(
+            PlanGroup(_group_key(coerced[i]), (i,), batched=False)
+        )
+    return MeasurementPlan(tasks=coerced, groups=tuple(groups))
+
+
+# ----------------------------------------------------------------------
+# Scheduler facade
+# ----------------------------------------------------------------------
+#: Accepted backend spellings (the CLI exposes "serial").
+_BACKEND_ALIASES = {
+    "serial": "vectorized",
+    "vectorized": "vectorized",
+    "process": "process",
+}
+
+
+class MeasurementScheduler:
+    """Planner + persistent pool behind one experiment-facing object.
+
+    Either wraps an existing :class:`~repro.engine.engine.
+    MeasurementEngine` (sharing its worker pool) or builds its own from
+    ``backend`` / ``max_workers``.  ``run`` executes a heterogeneous
+    screen through the sub-batch planner; ``map_sweep`` fans free-form
+    tasks out on the shared pool.  Closing the scheduler releases the
+    pool of an engine it built; an engine passed in by the caller stays
+    the caller's responsibility.
+    """
+
+    def __init__(
+        self,
+        engine=None,
+        backend: str = "serial",
+        max_workers: Optional[int] = None,
+        packed: bool = True,
+    ):
+        from repro.engine.engine import MeasurementEngine
+
+        if engine is not None:
+            if backend != "serial" or max_workers is not None or not packed:
+                raise ConfigurationError(
+                    "pass either an engine or backend/max_workers/packed "
+                    "— an explicit engine already carries its own "
+                    "configuration"
+                )
+            self.engine = engine
+            self._owns_engine = False
+        else:
+            try:
+                resolved = _BACKEND_ALIASES[backend]
+            except KeyError:
+                raise ConfigurationError(
+                    f"backend must be one of "
+                    f"{sorted(set(_BACKEND_ALIASES))}, got {backend!r}"
+                ) from None
+            self.engine = MeasurementEngine(
+                backend=resolved, max_workers=max_workers, packed=packed
+            )
+            self._owns_engine = True
+
+    @property
+    def backend(self) -> str:
+        return self.engine.backend
+
+    @property
+    def pool(self) -> Optional[WorkerPool]:
+        """The engine's persistent pool (``None`` on the serial backend)."""
+        return self.engine.worker_pool
+
+    # ------------------------------------------------------------------
+    def plan(self, tasks: Sequence) -> MeasurementPlan:
+        """Group tasks into compatible sub-batches (introspectable)."""
+        return plan_measurements(tasks)
+
+    def run(self, tasks: Sequence, allow_failures: bool = False) -> List:
+        """Plan and execute a heterogeneous screen, results in task order.
+
+        Bit-identical to per-task ``engine.measure`` calls; compatible
+        tasks share one multi-device batch (one digitize pass, one
+        batched Welch pass — fanned over the persistent pool on the
+        process backend).
+        """
+        return self.plan(tasks).run(self.engine, allow_failures=allow_failures)
+
+    def map_sweep(
+        self,
+        fn: Callable,
+        tasks: Sequence,
+        seed: GeneratorLike = None,
+        rngs: Optional[Sequence[GeneratorLike]] = None,
+    ) -> List:
+        """Free-form sweep on the engine (persistent pool underneath)."""
+        return self.engine.map_sweep(fn, tasks, seed=seed, rngs=rngs)
+
+    def close(self) -> None:
+        """Release the pool of an engine this scheduler created."""
+        if self._owns_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "MeasurementScheduler":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def as_scheduler(engine=None, scheduler=None) -> MeasurementScheduler:
+    """Resolve the experiments-layer ``engine=`` / ``scheduler=`` pair.
+
+    An explicit scheduler wins; an explicit engine is wrapped (sharing
+    its pool); with neither, a default in-process scheduler is built.
+    The caller keeps ownership either way — experiments never close a
+    pool they were handed.
+    """
+    if scheduler is not None:
+        return scheduler
+    return MeasurementScheduler(engine=engine)

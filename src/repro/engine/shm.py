@@ -10,11 +10,19 @@ the PSD row (~40 kB).
 
 :func:`welch_batch_shared` is the engine-facing entry point: it fans
 the per-record Welch transforms of a :class:`~repro.bitstream.
-PackedRecordBatch` over a ``ProcessPoolExecutor`` and returns the same
+PackedRecordBatch` over worker processes — a caller-supplied persistent
+:class:`~repro.engine.scheduler.WorkerPool` or, failing that, a
+throwaway ``ProcessPoolExecutor`` — and returns the same
 ``(n_records, n_bins)`` PSD matrix the in-process kernel produces —
 bit-identical, since workers run the identical blocked packed kernel.
 Hosts without POSIX shared memory fall back to pickling the packed
 words (still 64x smaller than the float records).
+
+:func:`publish_packed_tasks` extends the same transport to ``map_sweep``
+payloads: packed records and batches found inside sweep tasks are
+written once into shared-memory blocks and replaced by tiny row/batch
+references, so sweep workers stop receiving pickled record bodies
+altogether (:func:`resolve_shared_task` rebuilds them worker-side).
 """
 
 from __future__ import annotations
@@ -22,7 +30,7 @@ from __future__ import annotations
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from multiprocessing import shared_memory
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -155,20 +163,36 @@ def _chunk_indices(n_records: int, n_chunks: int) -> List[List[int]]:
     return [chunk.tolist() for chunk in chunks if chunk.size]
 
 
+def map_over_workers(worker, payloads, workers: int, pool) -> List:
+    """Fan payloads out — on the persistent pool when one is given."""
+    if pool is not None:
+        return pool.map(worker, payloads)
+    with ProcessPoolExecutor(max_workers=workers) as executor:
+        return list(executor.map(worker, payloads))
+
+
 def welch_batch_shared(
     batch: PackedRecordBatch,
     params: WelchParams,
     max_workers: Optional[int] = None,
+    pool=None,
 ) -> np.ndarray:
     """Batched Welch PSDs computed by worker processes over shared memory.
 
     Returns the ``(n_records, n_bins)`` PSD matrix, rows in record
     order — bit-identical to the in-process packed kernel (same code
-    runs in each worker).
+    runs in each worker).  ``pool`` may supply a persistent
+    :class:`~repro.engine.scheduler.WorkerPool`; without one a
+    throwaway ``ProcessPoolExecutor`` is spawned for the call.
     """
     import os
 
-    workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
+    if pool is not None:
+        workers = pool.max_workers
+    elif max_workers is not None:
+        workers = max_workers
+    else:
+        workers = os.cpu_count() or 1
     workers = max(1, min(workers, batch.n_records))
     psd = np.empty((batch.n_records, params.nperseg // 2 + 1))
     chunks = _chunk_indices(batch.n_records, workers)
@@ -181,15 +205,199 @@ def welch_batch_shared(
             payloads = [
                 (shared.descriptor, chunk, params) for chunk in chunks
             ]
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                for indices, rows in pool.map(_shared_welch_worker, payloads):
-                    psd[indices] = rows
+            for indices, rows in map_over_workers(
+                _shared_welch_worker, payloads, workers, pool
+            ):
+                psd[indices] = rows
     else:  # pragma: no cover - exercised only without /dev/shm
         payloads = [
             (batch.words, batch.n_samples, batch.sample_rate, chunk, params)
             for chunk in chunks
         ]
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            for indices, rows in pool.map(_pickled_welch_worker, payloads):
-                psd[indices] = rows
+        for indices, rows in map_over_workers(
+            _pickled_welch_worker, payloads, workers, pool
+        ):
+            psd[indices] = rows
     return psd
+
+
+# ----------------------------------------------------------------------
+# Shared-memory sweep payloads
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SharedRecordRef:
+    """Stand-in for one :class:`PackedBitstream` inside a sweep task."""
+
+    descriptor: SharedBatchDescriptor
+    row: int
+    provenance: object = None
+
+
+@dataclass(frozen=True)
+class SharedBatchRef:
+    """Stand-in for a whole :class:`PackedRecordBatch` inside a task."""
+
+    descriptor: SharedBatchDescriptor
+    provenance: object = None
+
+
+def _scan_payload(obj, found: List) -> None:
+    """Collect packed records from a task without rebuilding it.
+
+    Walks tuples, lists and dict values (the shapes sweep tasks take);
+    every :class:`PackedBitstream` / :class:`PackedRecordBatch` lands
+    in ``found`` once, in encounter order.
+    """
+    if isinstance(obj, (PackedBitstream, PackedRecordBatch)):
+        found.append(obj)
+    elif isinstance(obj, (tuple, list)):
+        for item in obj:
+            _scan_payload(item, found)
+    elif isinstance(obj, dict):
+        for item in obj.values():
+            _scan_payload(item, found)
+
+
+def _rebuild_tuple(obj: tuple, items: List) -> tuple:
+    """Rebuild a tuple preserving NamedTuple subclasses."""
+    if hasattr(obj, "_fields"):  # NamedTuple: keep the task's type
+        return type(obj)(*items)
+    return tuple(items)
+
+
+def _rewrite_payload(obj, refs: Dict[int, object]):
+    """Replace packed records in a task with their shared references."""
+    if isinstance(obj, (PackedBitstream, PackedRecordBatch)):
+        return refs[id(obj)]
+    if isinstance(obj, tuple):
+        return _rebuild_tuple(
+            obj, [_rewrite_payload(item, refs) for item in obj]
+        )
+    if isinstance(obj, list):
+        return [_rewrite_payload(item, refs) for item in obj]
+    if isinstance(obj, dict):
+        return {k: _rewrite_payload(v, refs) for k, v in obj.items()}
+    return obj
+
+
+def publish_packed_tasks(tasks: Sequence) -> Tuple[List, List]:
+    """Move packed record payloads out of sweep tasks into shared memory.
+
+    Scans every task (tuples / lists / dicts, recursively) for
+    :class:`PackedBitstream` / :class:`PackedRecordBatch` payloads,
+    writes them once into shared-memory blocks — individual records of
+    equal length and rate coalesce into one block — and returns
+    ``(rewritten_tasks, blocks)`` where each payload is replaced by a
+    :class:`SharedRecordRef` / :class:`SharedBatchRef`.  The caller
+    must keep the returned :class:`SharedPackedBatch` blocks open until
+    every worker finished, then ``close()`` them.
+
+    Tasks without packed payloads come back unchanged with no blocks;
+    hosts without POSIX shared memory also fall back to the original
+    tasks (the packed words then travel by pickle, still 64x smaller
+    than float records).
+    """
+    tasks = list(tasks)
+    found: List = []
+    for task in tasks:
+        _scan_payload(task, found)
+    if not found:
+        return tasks, []
+    seen: set = set()
+    found_records: List[PackedBitstream] = []
+    found_batches: List[PackedRecordBatch] = []
+    for obj in found:
+        if id(obj) in seen:  # one row per object, however often shared
+            continue
+        seen.add(id(obj))
+        if isinstance(obj, PackedBitstream):
+            found_records.append(obj)
+        else:
+            found_batches.append(obj)
+
+    blocks: List[SharedPackedBatch] = []
+    refs: Dict[int, object] = {}
+    try:
+        # Equal-shape single records share one block, one row each.
+        by_shape: Dict[Tuple[int, float], List[PackedBitstream]] = {}
+        for record in found_records:
+            by_shape.setdefault(
+                (record.n_samples, record.sample_rate), []
+            ).append(record)
+        for group in by_shape.values():
+            shared = SharedPackedBatch(PackedRecordBatch.from_records(group))
+            blocks.append(shared)
+            for row, record in enumerate(group):
+                refs[id(record)] = SharedRecordRef(
+                    shared.descriptor, row, record.provenance
+                )
+        for batch in found_batches:
+            shared = SharedPackedBatch(batch)
+            blocks.append(shared)
+            refs[id(batch)] = SharedBatchRef(
+                shared.descriptor, batch.provenance
+            )
+    except (OSError, ValueError):  # pragma: no cover - no POSIX shm
+        for block in blocks:
+            block.close()
+        return tasks, []
+
+    rewritten = [_rewrite_payload(task, refs) for task in tasks]
+    return rewritten, blocks
+
+
+def _attach_words(
+    descriptor: SharedBatchDescriptor,
+    handles: Dict[str, shared_memory.SharedMemory],
+) -> np.ndarray:
+    if descriptor.shm_name not in handles:
+        handles[descriptor.shm_name] = shared_memory.SharedMemory(
+            name=descriptor.shm_name
+        )
+    return np.ndarray(
+        (descriptor.n_records, descriptor.n_words),
+        dtype=np.uint8,
+        buffer=handles[descriptor.shm_name].buf,
+    )
+
+
+def resolve_shared_task(task, handles: Dict[str, shared_memory.SharedMemory]):
+    """Worker-side inverse of :func:`publish_packed_tasks`.
+
+    Rebuilds packed records from their shared-memory references.  The
+    packed words are *copied* out of the shared block (a packed-size
+    memcpy, 64x smaller than the floats) so the rebuilt records stay
+    valid after the block is detached — sweep functions may stash or
+    return them freely.
+    """
+
+    def walk(obj):
+        if isinstance(obj, SharedRecordRef):
+            words = _attach_words(obj.descriptor, handles)
+            return PackedBitstream(
+                words[obj.row].copy(),
+                obj.descriptor.n_samples,
+                obj.descriptor.sample_rate,
+                provenance=obj.provenance,
+                validate=False,
+                copy=False,
+            )
+        if isinstance(obj, SharedBatchRef):
+            words = _attach_words(obj.descriptor, handles)
+            return PackedRecordBatch(
+                words.copy(),
+                obj.descriptor.n_samples,
+                obj.descriptor.sample_rate,
+                provenance=obj.provenance,
+                validate=False,
+                copy=False,
+            )
+        if isinstance(obj, tuple):
+            return _rebuild_tuple(obj, [walk(item) for item in obj])
+        if isinstance(obj, list):
+            return [walk(item) for item in obj]
+        if isinstance(obj, dict):
+            return {k: walk(v) for k, v in obj.items()}
+        return obj
+
+    return walk(task)

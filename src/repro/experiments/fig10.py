@@ -13,7 +13,8 @@ from typing import List, Optional
 
 import numpy as np
 
-from repro.engine import MeasurementEngine
+from repro.engine import MeasurementEngine, MeasurementTask
+from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.errors import MeasurementError
 from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -64,6 +65,7 @@ def run_fig10(
     n_average: int = 4,
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
+    scheduler: Optional[MeasurementScheduler] = None,
 ) -> Fig10Result:
     """Sweep the reference amplitude and record power-ratio errors.
 
@@ -71,8 +73,11 @@ def run_fig10(
     small-amplitude region has a noisy line estimate); a point is marked
     failed only when every acquisition fails.  A smaller record than
     Table 2's default keeps the sweep fast; pass a custom ``config`` to
-    reproduce at full length.  Each point's acquisitions run as one
-    stacked batch through the measurement engine.
+    reproduce at full length.  Every ratio shares one analysis
+    configuration (the reference amplitude does not enter it), so the
+    scheduler plans the *entire sweep* — all ratios, all averages — as
+    a single multi-device batch, with the same per-trial generators as
+    the per-ratio batches it replaces.
     """
     # Keep the 60 Hz reference on-bin (df = 2 Hz) for the default sweep;
     # off-bin leakage interacts with the line measurement and would
@@ -82,19 +87,27 @@ def run_fig10(
     )
     if n_average < 1:
         raise ValueError(f"n_average must be >= 1, got {n_average}")
-    eng = engine if engine is not None else MeasurementEngine()
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
+    ratios = tuple(ratios)
     gen = make_rng(seed)
-    rngs = spawn_rngs(gen, len(tuple(ratios)))
+    rngs = spawn_rngs(gen, len(ratios))
 
-    points = []
-    true_ratio = MatlabSimulation(base).true_power_ratio
+    tasks = []
     for ratio, rng in zip(ratios, rngs):
         sim = MatlabSimulation(replace(base, reference_ratio=ratio))
         estimator = sim.make_estimator()
-        results = eng.run_batch(
-            sim, estimator, n_average, rng=rng, allow_failures=True
-        )
-        y_values = [r.y for r in results if r is not None]
+        # The same trial children run_batch would spawn for this ratio.
+        tasks += [
+            MeasurementTask(sim, estimator, child)
+            for child in spawn_rngs(make_rng(rng), n_average)
+        ]
+    results = sched.run(tasks, allow_failures=True)
+
+    points = []
+    true_ratio = MatlabSimulation(base).true_power_ratio
+    for k, ratio in enumerate(ratios):
+        ratio_results = results[k * n_average : (k + 1) * n_average]
+        y_values = [r.y for r in ratio_results if r is not None]
         if not y_values:
             points.append(
                 Fig10Point(reference_ratio=ratio, power_ratio=None, error_pct=None)

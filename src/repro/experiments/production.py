@@ -5,12 +5,18 @@ limit (process variation on the opamp's voltage noise), measures each
 with the 1-bit BIST and screens with several guard-band settings.  The
 tradeoff the guard band buys — fewer escapes for more retests/overkill —
 is the production-economics argument behind BIST NF measurement.
+
+The lot runs through the measurement scheduler
+(:class:`~repro.engine.MeasurementScheduler`): devices are planned into
+compatible sub-batches, so a *mixed-configuration* lot (per-device
+record lengths and/or FFT sizes) still executes as one planned run with
+results bit-identical to measuring every device on its own.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Union
 
 import numpy as np
 
@@ -21,7 +27,8 @@ from repro.core.production import (
     ProductionNfScreen,
     screen_population,
 )
-from repro.engine import MeasurementEngine
+from repro.engine import MeasurementEngine, MeasurementTask
+from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.errors import ConfigurationError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -38,14 +45,26 @@ def _build_device_bench(true_nf_db: float, n_samples: int):
 def measure_device(task, rng) -> float:
     """Sweep worker: one device's BIST measurement (engine-batched).
 
-    ``task`` is ``(true_nf_db, n_samples)``.  Module-level so the
-    engine's process backend can pickle it.
+    ``task`` is ``(true_nf_db, n_samples, nperseg)``.  Module-level so
+    the engine's process backend can pickle it.
     """
-    true_nf_db, n_samples = task
+    true_nf_db, n_samples, nperseg = task
     bench = _build_device_bench(true_nf_db, int(n_samples))
-    estimator = bench.make_estimator()
+    estimator = bench.make_estimator(nperseg=int(nperseg))
     engine = MeasurementEngine()
     return engine.measure(bench, estimator, rng=rng).noise_figure_db
+
+
+def _per_device(value, n_devices: int, name: str) -> List[int]:
+    """Broadcast a scalar setting, or validate a per-device sequence."""
+    if np.isscalar(value):
+        return [int(value)] * n_devices
+    values = [int(v) for v in value]
+    if len(values) != n_devices:
+        raise ConfigurationError(
+            f"got {n_devices} devices but {len(values)} {name} values"
+        )
+    return values
 
 
 @dataclass(frozen=True)
@@ -67,6 +86,7 @@ class ProductionResult:
     true_nf_db: List[float]
     measured_nf_db: List[float]
     rows: List[GuardbandRow]
+    n_plan_groups: int = 1
 
     def escapes_decrease_with_guardband(self) -> bool:
         """Escapes must not increase as the guard band widens."""
@@ -79,60 +99,90 @@ def run_production(
     nf_spread_db: float = 1.5,
     n_devices: int = 24,
     guardband_sigmas: Sequence[float] = (0.0, 1.0, 2.0),
-    n_samples: int = 2**17,
+    n_samples: Union[int, Sequence[int]] = 2**17,
     measurement_sigma_db: float = 0.45,
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
     multi_device_batch: Optional[bool] = None,
+    nperseg: Union[int, Sequence[int]] = 8192,
+    scheduler: Optional[MeasurementScheduler] = None,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
     Each device's true NF is drawn uniformly from
     ``limit +/- nf_spread`` (a worst-case lot straddling the limit), its
     opamp is synthesized to that NF, and one BIST measurement is taken.
-    On the (default) vectorized engine the whole lot runs as **one
-    multi-device engine batch**
-    (:meth:`~repro.engine.MeasurementEngine.measure_devices`): every
-    device's analog chain keeps its own DUT model and reference
-    amplitude, records are packed as they are digitized, and all
-    ``2 * n_devices`` records share one batched Welch pass.  An engine
-    with ``backend="process"`` instead fans whole devices over worker
-    processes (``map_sweep``) — device acquisition dominates the
-    screen, so per-device workers beat a serial-acquire batch on
-    multi-core hosts.  ``multi_device_batch`` overrides the choice
-    explicitly; the per-device generators make every path produce
-    identical measurements.
+    ``n_samples`` and ``nperseg`` may be per-device sequences — a
+    mixed-configuration lot — in which case the scheduler's planner
+    groups compatible devices into sub-batches and runs each group as
+    one multi-device engine batch, falling back to per-device
+    measurement only for singletons.  A homogeneous lot is one planned
+    batch (one digitize pass, one batched Welch pass).
+
+    An engine with ``backend="process"`` and a homogeneous lot instead
+    fans whole devices over its persistent worker pool (``map_sweep``)
+    — device acquisition dominates the screen, so per-device workers
+    beat a serial-acquire batch on multi-core hosts.
+    ``multi_device_batch`` overrides the choice explicitly; the
+    per-device generators make every path produce identical
+    measurements.
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
     if nf_spread_db <= 0:
         raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
-    eng = engine if engine is not None else MeasurementEngine()
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
+    eng = sched.engine
+    samples_by_device = _per_device(n_samples, n_devices, "n_samples")
+    nperseg_by_device = _per_device(nperseg, n_devices, "nperseg")
+    homogeneous = (
+        len(set(samples_by_device)) == 1 and len(set(nperseg_by_device)) == 1
+    )
     if multi_device_batch is None:
-        multi_device_batch = eng.backend != "process"
+        multi_device_batch = not (eng.backend == "process" and homogeneous)
     gen = make_rng(seed)
     draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
     true_values = draw_rng.uniform(
         limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
     )
 
+    n_plan_groups = 1
     if multi_device_batch:
         benches = [
-            _build_device_bench(float(true_nf), int(n_samples))
-            for true_nf in true_values
+            _build_device_bench(float(true_nf), device_samples)
+            for true_nf, device_samples in zip(true_values, samples_by_device)
         ]
-        estimators = [bench.make_estimator() for bench in benches]
-        results = eng.measure_devices(benches, estimators, rngs=device_rngs)
+        estimators = [
+            bench.make_estimator(nperseg=device_nperseg)
+            for bench, device_nperseg in zip(benches, nperseg_by_device)
+        ]
+        plan = sched.plan(
+            [
+                MeasurementTask(bench, estimator, rng)
+                for bench, estimator, rng in zip(
+                    benches, estimators, device_rngs
+                )
+            ]
+        )
+        n_plan_groups = plan.n_groups
+        results = plan.run(eng)
         measured_values = [r.noise_figure_db for r in results]
         estimator: Optional[OneBitNoiseFigureBIST] = estimators[-1]
     else:
-        tasks = [(float(true_nf), int(n_samples)) for true_nf in true_values]
-        measured_values = eng.map_sweep(measure_device, tasks, rngs=device_rngs)
+        tasks = [
+            (float(true_nf), device_samples, device_nperseg)
+            for true_nf, device_samples, device_nperseg in zip(
+                true_values, samples_by_device, nperseg_by_device
+            )
+        ]
+        measured_values = sched.map_sweep(
+            measure_device, tasks, rngs=device_rngs
+        )
         # The screen needs a configured estimator; rebuild the last
         # device's (matching what the serial loop left behind).
         estimator = _build_device_bench(
-            float(true_values[-1]), int(n_samples)
-        ).make_estimator()
+            float(true_values[-1]), samples_by_device[-1]
+        ).make_estimator(nperseg=nperseg_by_device[-1])
 
     rows = []
     for sigmas in guardband_sigmas:
@@ -157,4 +207,5 @@ def run_production(
         true_nf_db=[float(v) for v in true_values],
         measured_nf_db=measured_values,
         rows=rows,
+        n_plan_groups=n_plan_groups,
     )

@@ -15,7 +15,8 @@ from typing import List, Optional, Sequence
 import numpy as np
 
 from repro.analog.opamp import OpAmpNoiseModel
-from repro.engine import MeasurementEngine
+from repro.engine import MeasurementEngine, MeasurementTask
+from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.errors import ConfigurationError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -55,18 +56,22 @@ def run_record_length(
     target_nf_db: float = 6.0,
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
+    scheduler: Optional[MeasurementScheduler] = None,
 ) -> RecordLengthResult:
     """Sweep the record length; repeat each point ``n_trials`` times.
 
-    The per-length trials run as one stacked batch through the
-    measurement engine (same per-trial generators as the serial loop).
+    The whole ablation — every length, every trial — is one planned
+    scheduler run: the planner groups the trials of each record length
+    into their own compatible sub-batch (lengths differ, so they cannot
+    share one), with the same per-trial generators as the serial loop,
+    so the statistics are unchanged.
     """
     lengths = [int(n) for n in lengths]
     if not lengths:
         raise ConfigurationError("need at least one record length")
     if n_trials < 2:
         raise ConfigurationError(f"n_trials must be >= 2, got {n_trials}")
-    eng = engine if engine is not None else MeasurementEngine()
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
 
     model = OpAmpNoiseModel.from_expected_nf(
         target_nf_db, 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
@@ -75,15 +80,28 @@ def run_record_length(
     gen = make_rng(seed)
     length_rngs = spawn_rngs(gen, len(lengths))
 
-    points = []
+    tasks = []
     expected = None
     for n_samples, rng in zip(lengths, length_rngs):
         bench = build_prototype_testbench(model, n_samples=n_samples)
         if expected is None:
             expected = bench.expected_nf_db(500.0, 1500.0)
         estimator = bench.make_estimator()
-        results = eng.run_batch(bench, estimator, n_trials, rng=rng)
-        arr = np.asarray([r.noise_figure_db for r in results])
+        # The same trial children run_batch would spawn for this length.
+        tasks += [
+            MeasurementTask(bench, estimator, child)
+            for child in spawn_rngs(make_rng(rng), n_trials)
+        ]
+    results = sched.run(tasks)
+
+    points = []
+    for k, n_samples in enumerate(lengths):
+        arr = np.asarray(
+            [
+                r.noise_figure_db
+                for r in results[k * n_trials : (k + 1) * n_trials]
+            ]
+        )
         points.append(
             RecordLengthPoint(
                 n_samples=n_samples,

@@ -18,6 +18,8 @@ from repro.analog.opamp import OpAmpNoiseModel
 from repro.digitizer.comparator import Comparator
 from repro.digitizer.digitizer import OneBitDigitizer
 from repro.digitizer.sampler import SampledLatch
+from repro.engine import MeasurementEngine, MeasurementTask
+from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.errors import ConfigurationError, MeasurementError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
@@ -77,27 +79,34 @@ def run_robustness(
     target_nf_db: float = 6.0,
     n_samples: int = 2**18,
     seed: GeneratorLike = 2005,
+    engine: Optional[MeasurementEngine] = None,
+    scheduler: Optional[MeasurementScheduler] = None,
 ) -> RobustnessResult:
     """Sweep comparator non-idealities; share the seed across settings so
-    shifts isolate the systematic effect."""
+    shifts isolate the systematic effect.
+
+    Every setting's bench differs only in its digitizer, so all of them
+    (baseline included) share one analysis configuration and the
+    scheduler runs the whole ablation as a single planned multi-device
+    batch — each device digitizing with its own non-ideal comparator,
+    all records sharing one batched Welch pass.  The shared integer
+    seed reproduces the identical noise realization per setting, as the
+    serial loop did.
+    """
     model = OpAmpNoiseModel.from_expected_nf(
         target_nf_db, 600.0, feedback_parallel_ohm=99.0, gbw_hz=8e6,
         name=f"robustness_nf{target_nf_db:g}",
     )
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
     shared_seed = int(make_rng(seed).integers(2**63))
 
-    def measure_with(digitizer: Optional[OneBitDigitizer]) -> float:
+    def bench_with(digitizer: Optional[OneBitDigitizer]):
         kwargs = {} if digitizer is None else {"digitizer": digitizer}
-        bench = build_prototype_testbench(model, n_samples=n_samples, **kwargs)
-        estimator = bench.make_estimator()
-        return estimator.measure(
-            bench.acquire_bitstream, rng=shared_seed
-        ).noise_figure_db
+        return build_prototype_testbench(model, n_samples=n_samples, **kwargs)
 
     baseline_bench = build_prototype_testbench(model, n_samples=n_samples)
     expected = baseline_bench.expected_nf_db(500.0, 1500.0)
     cold_rms = baseline_bench.predicted_output_rms("cold")
-    baseline = measure_with(None)
 
     sweeps = (
         ("offset", offset_levels),
@@ -105,18 +114,30 @@ def run_robustness(
         ("hysteresis", hysteresis_levels),
         ("jitter", jitter_levels),
     )
+    settings = [(kind, float(level)) for kind, levels in sweeps
+                for level in levels]
+    benches = [bench_with(None)] + [
+        bench_with(_digitizer_for(kind, level, cold_rms))
+        for kind, level in settings
+    ]
+    results = sched.run(
+        [
+            MeasurementTask(bench, bench.make_estimator(), shared_seed)
+            for bench in benches
+        ],
+        allow_failures=True,
+    )
+    if results[0] is None:
+        raise MeasurementError("baseline measurement lost its reference line")
+    baseline = results[0].noise_figure_db
+
     points = []
-    for kind, levels in sweeps:
-        for level in levels:
-            digitizer = _digitizer_for(kind, float(level), cold_rms)
-            try:
-                nf = measure_with(digitizer)
-            except MeasurementError:
-                points.append(RobustnessPoint(kind, float(level), None, None))
-                continue
-            points.append(
-                RobustnessPoint(kind, float(level), nf, nf - baseline)
-            )
+    for (kind, level), result in zip(settings, results[1:]):
+        if result is None:
+            points.append(RobustnessPoint(kind, level, None, None))
+            continue
+        nf = result.noise_figure_db
+        points.append(RobustnessPoint(kind, level, nf, nf - baseline))
     return RobustnessResult(
         baseline_nf_db=baseline, expected_nf_db=expected, points=points
     )

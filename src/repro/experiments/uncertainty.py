@@ -22,7 +22,8 @@ from repro.core.uncertainty import (
     monte_carlo_nf,
     nf_uncertainty_budget,
 )
-from repro.engine import MeasurementEngine
+from repro.engine import MeasurementEngine, MeasurementTask
+from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 
@@ -66,9 +67,10 @@ def run_uncertainty(
     end_to_end_n_samples: int = 2**18,
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
+    scheduler: Optional[MeasurementScheduler] = None,
 ) -> UncertaintyResult:
     """Regenerate the +/-0.3 dB uncertainty claim."""
-    eng = engine if engine is not None else MeasurementEngine()
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
     gen = make_rng(seed)
     mc_rng, e2e_rng = spawn_rngs(gen, 2)
 
@@ -97,8 +99,10 @@ def run_uncertainty(
     # End-to-end: run the BIST against a hot source that is actually 5 %
     # hotter than its calibration (worst-case deterministic bias).  Both
     # runs share the same rng so the noise realizations are identical and
-    # the shift isolates the systematic effect.
-    end_to_end = []
+    # the shift isolates the systematic effect.  All (unbiased, biased)
+    # pairs share one analysis configuration, so the planned run
+    # executes every check as a single multi-device batch.
+    tasks = []
     for i, nf in enumerate(nf_values_db):
         # An integer seed reused for both runs reproduces the same noise
         # realization (a Generator object would advance between calls).
@@ -118,10 +122,17 @@ def run_uncertainty(
             n_samples=end_to_end_n_samples,
             hot_level_error=rel_sigma_t_hot,
         )
-        est_ok = bench_ok.make_estimator()
-        est_biased = bench_biased.make_estimator()
-        measured_ok = eng.measure(bench_ok, est_ok, rng=shared_seed)
-        measured_biased = eng.measure(bench_biased, est_biased, rng=shared_seed)
+        tasks += [
+            MeasurementTask(bench_ok, bench_ok.make_estimator(), shared_seed),
+            MeasurementTask(
+                bench_biased, bench_biased.make_estimator(), shared_seed
+            ),
+        ]
+    measured = sched.run(tasks)
+
+    end_to_end = []
+    for i, nf in enumerate(nf_values_db):
+        measured_ok, measured_biased = measured[2 * i], measured[2 * i + 1]
         end_to_end.append(
             EndToEndBiasRow(
                 nf_db_target=nf,

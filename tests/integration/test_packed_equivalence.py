@@ -236,8 +236,10 @@ class TestEngineBackendsEquivalence:
         float_records, _ = sim.acquire_bitstreams(
             states, spawn_rngs(make_rng(77), 4)
         )
-        process_engine = MeasurementEngine(backend="process", max_workers=2)
-        process_psd = process_engine.spectra_of(packed_records, rate, estimator)
+        with MeasurementEngine(backend="process", max_workers=2) as process_engine:
+            process_psd = process_engine.spectra_of(
+                packed_records, rate, estimator
+            )
         float_psd = MeasurementEngine(packed=False).spectra_of(
             float_records, rate, estimator
         )
@@ -255,10 +257,11 @@ class TestEngineBackendsEquivalence:
             MeasurementEngine(),
             MeasurementEngine(backend="process", max_workers=2),
         ):
-            values = [
-                r.noise_figure_db
-                for r in engine.run_batch(sim, estimator, 3, rng=7)
-            ]
+            with engine:
+                values = [
+                    r.noise_figure_db
+                    for r in engine.run_batch(sim, estimator, 3, rng=7)
+                ]
             assert max(
                 abs(a - b) for a, b in zip(values, reference)
             ) <= 1e-9
@@ -288,9 +291,9 @@ class TestEngineBackendsEquivalence:
         records, rate = sim.acquire_bitstreams(
             ["hot", "cold"], spawn_rngs(make_rng(5), 2), packed=True
         )
-        engine = MeasurementEngine(backend="process", max_workers=2)
-        with pytest.raises(ConfigurationError):
-            engine.spectra_of(records, rate / 2.0, estimator)
+        with MeasurementEngine(backend="process", max_workers=2) as engine:
+            with pytest.raises(ConfigurationError):
+                engine.spectra_of(records, rate / 2.0, estimator)
 
     def test_packed_records_are_64x_smaller(self, sim):
         packed_records, _ = sim.acquire_bitstreams(

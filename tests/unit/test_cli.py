@@ -62,3 +62,60 @@ class TestMain:
     def test_run_all_accepted_by_parser(self):
         args = build_parser().parse_args(["run", "all", "--fast"])
         assert args.experiment == "all"
+
+
+class TestBackendOptions:
+    def test_defaults(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_backend_and_workers_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "production", "--backend", "process", "--workers", "2"]
+        )
+        assert args.backend == "process"
+        assert args.workers == 2
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "production", "--backend", "threads"]
+            )
+
+    def test_workers_without_process_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "production", "--fast", "--workers", "2"])
+
+    def test_registry_includes_scheduler_experiments(self):
+        for name in (
+            "production",
+            "record_length",
+            "robustness",
+            "gain_sensitivity",
+        ):
+            assert name in EXPERIMENTS
+
+    def test_run_production_fast(self, capsys):
+        assert main(["run", "production", "--fast"]) == 0
+        out = capsys.readouterr().out
+        assert "Production screen" in out
+        assert "plan group" in out
+
+    def test_run_gain_sensitivity_fast_process(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "gain_sensitivity",
+                    "--fast",
+                    "--backend",
+                    "process",
+                    "--workers",
+                    "2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "Gain-drift sensitivity" in out

@@ -164,9 +164,8 @@ class TestMapSweep:
     def test_process_backend_matches_serial(self):
         tasks = [0, 1, 2, 3]
         serial = MeasurementEngine().map_sweep(draw, tasks, seed=11)
-        procs = MeasurementEngine(backend="process", max_workers=2).map_sweep(
-            draw, tasks, seed=11
-        )
+        with MeasurementEngine(backend="process", max_workers=2) as eng:
+            procs = eng.map_sweep(draw, tasks, seed=11)
         assert procs == serial
 
     def test_executor_helpers(self):

@@ -1,0 +1,439 @@
+"""Tests for repro.engine.scheduler (WorkerPool, planner, facade)."""
+
+from typing import NamedTuple
+
+import numpy as np
+import pytest
+
+from repro.engine import (
+    MeasurementEngine,
+    MeasurementScheduler,
+    MeasurementTask,
+    WorkerPool,
+    plan_measurements,
+    run_with_processes,
+)
+from repro.engine import shm
+from repro.engine.scheduler import as_scheduler
+from repro.engine.shm import publish_packed_tasks, resolve_shared_task
+from repro.errors import ConfigurationError
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.signals.random import make_rng, spawn_rngs
+
+
+def small_sim(n_samples=60_000, nperseg=3000):
+    return MatlabSimulation(
+        MatlabSimConfig(n_samples=n_samples, nperseg=nperseg)
+    )
+
+
+def square(task, rng):
+    """Module-level worker so the process backend can pickle it."""
+    return task * task
+
+
+def packed_mean(task, rng):
+    """Worker over a packed record payload (shm transport)."""
+    record, scale = task
+    return float(np.mean(record.unpack())) * scale
+
+
+def packed_batch_total(task, rng):
+    """Worker over a whole packed batch payload."""
+    batch = task["batch"]
+    return float(batch.unpack().sum()) + task["offset"]
+
+
+class RecordTask(NamedTuple):
+    """A NamedTuple sweep task carrying a packed record."""
+
+    rec: object
+    scale: float
+
+
+def named_task_mean(task, rng):
+    """Worker accessing the record by attribute (NamedTuple preserved)."""
+    return float(np.mean(task.rec.unpack())) * task.scale
+
+
+class TestWorkerPool:
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WorkerPool(max_workers=0)
+
+    def test_lazy_spawn(self):
+        pool = WorkerPool(max_workers=1)
+        assert not pool.active
+        assert pool.spawn_count == 0
+        pool.close()  # idempotent on an unspawned pool
+
+    def test_empty_map_never_spawns(self):
+        pool = WorkerPool(max_workers=1)
+        assert pool.map(square, []) == []
+        assert pool.spawn_count == 0
+        assert not pool.active
+
+    def test_reuse_across_calls(self):
+        with WorkerPool(max_workers=1) as pool:
+            assert pool.map(abs, [-1, -2]) == [1, 2]
+            assert pool.map(abs, [-3]) == [3]
+            assert pool.spawn_count == 1
+            assert pool.active
+
+    def test_close_then_reuse_respawns(self):
+        pool = WorkerPool(max_workers=1)
+        assert pool.map(abs, [-1]) == [1]
+        pool.close()
+        assert not pool.active
+        assert pool.map(abs, [-2]) == [2]
+        assert pool.spawn_count == 2
+        pool.close()
+
+    def test_broken_pool_recovers(self):
+        with WorkerPool(max_workers=1) as pool:
+            assert pool.map(abs, [-1]) == [1]
+            for proc in pool._executor._processes.values():
+                proc.terminate()
+            # The dead executor is detected, respawned, and the batch
+            # retried — deterministically, since payloads carry their
+            # own generators.
+            assert pool.map(abs, [-4, -5]) == [4, 5]
+            assert pool.spawn_count == 2
+
+    def test_context_manager_closes(self):
+        with WorkerPool(max_workers=1) as pool:
+            pool.map(abs, [-1])
+        assert not pool.active
+
+    def test_sized_to_batch_not_cap(self):
+        with WorkerPool(max_workers=16) as pool:
+            pool.map(abs, [-1, -2])
+            assert pool.size == 2  # not 16 workers for 2 tasks
+
+    def test_grows_by_respawning(self):
+        with WorkerPool(max_workers=16) as pool:
+            pool.map(abs, [-1])
+            assert pool.size == 1
+            pool.map(abs, [-1, -2, -3])
+            assert pool.size == 3
+            assert pool.spawn_count == 2
+            pool.map(abs, [-1, -2])  # smaller batch reuses, never shrinks
+            assert pool.size == 3
+            assert pool.spawn_count == 2
+
+
+class TestRunWithProcesses:
+    def test_empty_tasks_spawn_nothing(self, monkeypatch):
+        def explode(*a, **k):  # any spawn attempt fails the test
+            raise AssertionError("spawned a pool for zero tasks")
+
+        monkeypatch.setattr(shm, "ProcessPoolExecutor", explode)
+        assert run_with_processes(square, [], [], max_workers=2) == []
+
+    def test_pool_routing_matches_fresh_executor(self):
+        rngs = spawn_rngs(make_rng(3), 3)
+        with WorkerPool(max_workers=2) as pool:
+            pooled = run_with_processes(square, [1, 2, 3], rngs, pool=pool)
+        fresh = run_with_processes(
+            square, [1, 2, 3], spawn_rngs(make_rng(3), 3), max_workers=2
+        )
+        assert pooled == fresh == [1, 4, 9]
+
+
+class TestSharedSweepPayloads:
+    @pytest.fixture
+    def records(self):
+        sim = small_sim(n_samples=30_000)
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(make_rng(9), 2), packed=True
+        )
+        return batch
+
+    def test_plain_tasks_pass_through(self):
+        tasks = [(1, "a"), {"x": 2}]
+        rewritten, blocks = publish_packed_tasks(tasks)
+        assert rewritten == tasks
+        assert blocks == []
+
+    def test_record_roundtrip(self, records):
+        tasks = [(records[0], 2.0), (records[1], 3.0)]
+        rewritten, blocks = publish_packed_tasks(tasks)
+        try:
+            assert blocks, "records should publish into shared memory"
+            # Equal-shape records coalesce into one block.
+            assert len(blocks) == 1
+            handles = {}
+            try:
+                resolved = [
+                    resolve_shared_task(task, handles) for task in rewritten
+                ]
+            finally:
+                for handle in handles.values():
+                    handle.close()
+            for original, (rebuilt, scale) in zip(
+                [(records[0], 2.0), (records[1], 3.0)], resolved
+            ):
+                assert rebuilt == original[0]
+                assert scale == original[1]
+        finally:
+            for block in blocks:
+                block.close()
+
+    def test_batch_roundtrip(self, records):
+        tasks = [{"batch": records, "offset": 1.0}]
+        rewritten, blocks = publish_packed_tasks(tasks)
+        try:
+            handles = {}
+            try:
+                resolved = resolve_shared_task(rewritten[0], handles)
+                assert np.array_equal(
+                    resolved["batch"].words, records.words
+                )
+                assert resolved["offset"] == 1.0
+            finally:
+                for handle in handles.values():
+                    handle.close()
+        finally:
+            for block in blocks:
+                block.close()
+
+    def test_map_sweep_shm_matches_serial(self, records):
+        tasks = [(records[0], 2.0), (records[1], 3.0)]
+        serial = MeasurementEngine().map_sweep(packed_mean, tasks, seed=1)
+        with MeasurementEngine(backend="process", max_workers=2) as eng:
+            procs = eng.map_sweep(packed_mean, tasks, seed=1)
+        assert procs == serial
+
+    def test_namedtuple_task_survives_shm_rewrite(self, records):
+        tasks = [RecordTask(records[0], 2.0), RecordTask(records[1], 3.0)]
+        serial = MeasurementEngine().map_sweep(named_task_mean, tasks, seed=1)
+        with MeasurementEngine(backend="process", max_workers=2) as eng:
+            procs = eng.map_sweep(named_task_mean, tasks, seed=1)
+        assert procs == serial
+
+    def test_map_sweep_batch_payload_matches_serial(self, records):
+        tasks = [{"batch": records, "offset": 5.0}]
+        serial = MeasurementEngine().map_sweep(
+            packed_batch_total, tasks, seed=1
+        )
+        with MeasurementEngine(backend="process", max_workers=1) as eng:
+            procs = eng.map_sweep(packed_batch_total, tasks, seed=1)
+        assert procs == serial
+
+
+class FloatOnlySource:
+    """A batch acquirer without the analog-batch protocol."""
+
+    def __init__(self, sim):
+        self._sim = sim
+
+    def acquire_bitstreams(self, states, rngs, packed=False):
+        return self._sim.acquire_bitstreams(states, rngs, packed=packed)
+
+
+class TestPlanner:
+    def test_tuple_tasks_coerced(self):
+        sim = small_sim()
+        est = sim.make_estimator()
+        plan = plan_measurements([(sim, est), (sim, est, 7)])
+        assert plan.n_tasks == 2
+        assert plan.tasks[1].rng == 7
+
+    def test_bad_task_rejected(self):
+        with pytest.raises(ConfigurationError):
+            plan_measurements(["nonsense"])
+
+    def test_compatible_tasks_grouped(self):
+        sim_a, sim_b = small_sim(), small_sim(n_samples=30_000)
+        est_a, est_b = sim_a.make_estimator(), sim_b.make_estimator()
+        tasks = [
+            MeasurementTask(sim_a, est_a, 1),
+            MeasurementTask(sim_b, est_b, 2),
+            MeasurementTask(sim_a, est_a, 3),
+            MeasurementTask(sim_b, est_b, 4),
+        ]
+        plan = plan_measurements(tasks)
+        assert plan.n_groups == 2
+        assert [g.indices for g in plan.groups] == [(0, 2), (1, 3)]
+        assert all(g.batched for g in plan.groups)
+        assert plan.n_batched_tasks == 4
+
+    def test_singleton_falls_back(self):
+        sim_a, sim_b = small_sim(), small_sim(n_samples=30_000)
+        tasks = [
+            MeasurementTask(sim_a, sim_a.make_estimator(), 1),
+            MeasurementTask(sim_a, sim_a.make_estimator(), 2),
+            MeasurementTask(sim_b, sim_b.make_estimator(), 3),
+        ]
+        plan = plan_measurements(tasks)
+        batched = [g for g in plan.groups if g.batched]
+        singles = [g for g in plan.groups if not g.batched]
+        assert [g.indices for g in batched] == [(0, 1)]
+        assert [g.indices for g in singles] == [(2,)]
+
+    def test_protocol_less_source_falls_back(self):
+        sim = small_sim()
+        est = sim.make_estimator()
+        plain = FloatOnlySource(sim)
+        tasks = [
+            MeasurementTask(plain, est, 1),
+            MeasurementTask(plain, est, 2),
+            MeasurementTask(sim, est, 3),
+            MeasurementTask(sim, est, 4),
+        ]
+        plan = plan_measurements(tasks)
+        assert [g.indices for g in plan.groups if g.batched] == [(2, 3)]
+        assert [g.indices for g in plan.groups if not g.batched] == [
+            (0,),
+            (1,),
+        ]
+
+    def test_heterogeneous_run_bit_identical_to_per_task_measure(self):
+        sims = [
+            small_sim(),
+            small_sim(n_samples=30_000),
+            small_sim(),
+            small_sim(n_samples=30_000),
+        ]
+        rngs = spawn_rngs(make_rng(21), len(sims))
+        tasks = [
+            MeasurementTask(sim, sim.make_estimator(), rng)
+            for sim, rng in zip(sims, rngs)
+        ]
+        sched = MeasurementScheduler()
+        planned = sched.run(tasks)
+        eng = MeasurementEngine()
+        reference_rngs = spawn_rngs(make_rng(21), len(sims))
+        for sim, rng, result in zip(sims, reference_rngs, planned):
+            expected = eng.measure(sim, sim.make_estimator(), rng=rng)
+            assert result.noise_figure_db == expected.noise_figure_db
+            assert result.y == expected.y
+
+    def test_run_results_in_task_order(self):
+        # Interleave two configs; results must land at their task index.
+        sim_a, sim_b = small_sim(), small_sim(n_samples=30_000)
+        tasks = [
+            MeasurementTask(sim_a, sim_a.make_estimator(), 1),
+            MeasurementTask(sim_b, sim_b.make_estimator(), 2),
+            MeasurementTask(sim_a, sim_a.make_estimator(), 3),
+        ]
+        results = MeasurementScheduler().run(tasks)
+        eng = MeasurementEngine()
+        for task, result in zip(tasks, results):
+            expected = eng.measure(task.source, task.estimator, rng=task.rng)
+            assert result.noise_figure_db == expected.noise_figure_db
+
+    def test_allow_failures_yields_none(self):
+        # A reference far outside the searchable window loses the line.
+        bad = MatlabSimulation(
+            MatlabSimConfig(
+                n_samples=30_000, nperseg=3000, reference_ratio=0.001
+            )
+        )
+        ok = small_sim(n_samples=30_000)
+        tasks = [
+            MeasurementTask(ok, ok.make_estimator(), 1),
+            MeasurementTask(bad, bad.make_estimator(), 2),
+        ]
+        results = MeasurementScheduler().run(tasks, allow_failures=True)
+        assert results[0] is not None
+        assert results[1] is None  # swamped line -> Y < 1 -> failure
+
+    def test_failures_raise_by_default(self):
+        from repro.errors import MeasurementError
+
+        bad = MatlabSimulation(
+            MatlabSimConfig(
+                n_samples=30_000, nperseg=3000, reference_ratio=0.001
+            )
+        )
+        tasks = [MeasurementTask(bad, bad.make_estimator(), 2)]
+        with pytest.raises(MeasurementError):
+            MeasurementScheduler().run(tasks)
+
+
+class TestSchedulerFacade:
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler(backend="threads")
+
+    def test_serial_alias(self):
+        sched = MeasurementScheduler(backend="serial")
+        assert sched.backend == "vectorized"
+        assert sched.pool is None
+
+    def test_wraps_existing_engine(self):
+        eng = MeasurementEngine()
+        sched = MeasurementScheduler(engine=eng)
+        assert sched.engine is eng
+
+    def test_engine_plus_config_rejected(self):
+        eng = MeasurementEngine()
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler(engine=eng, backend="process")
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler(engine=eng, max_workers=2)
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler(engine=eng, packed=False)
+
+    def test_as_scheduler_resolution(self):
+        explicit = MeasurementScheduler()
+        assert as_scheduler(scheduler=explicit) is explicit
+        eng = MeasurementEngine()
+        assert as_scheduler(engine=eng).engine is eng
+        assert as_scheduler().backend == "vectorized"
+
+    def test_map_sweep_delegates(self):
+        assert MeasurementScheduler().map_sweep(square, [2, 3], seed=0) == [
+            4,
+            9,
+        ]
+
+    def test_pool_shared_across_sweeps_and_welch(self):
+        sim = small_sim(n_samples=30_000)
+        records, rate = sim.acquire_bitstreams(
+            ["hot", "cold", "hot", "cold"],
+            spawn_rngs(make_rng(5), 4),
+            packed=True,
+        )
+        with MeasurementScheduler(backend="process", max_workers=2) as sched:
+            sched.map_sweep(square, [1, 2], seed=0)
+            sched.map_sweep(square, [3], seed=0)
+            sched.engine.spectra_of(records, rate, sim.make_estimator())
+            assert sched.pool.spawn_count == 1
+
+    def test_close_releases_own_engine_pool(self):
+        sched = MeasurementScheduler(backend="process", max_workers=1)
+        sched.map_sweep(square, [1], seed=0)
+        assert sched.pool.active
+        sched.close()
+        assert not sched.pool.active
+
+    def test_close_leaves_callers_engine_alone(self):
+        with MeasurementEngine(backend="process", max_workers=1) as eng:
+            eng.map_sweep(square, [1], seed=0)
+            sched = MeasurementScheduler(engine=eng)
+            sched.close()
+            assert eng.worker_pool.active  # caller still owns it
+
+
+class TestEnginePoolLifetime:
+    def test_vectorized_engine_has_no_pool(self):
+        assert MeasurementEngine().worker_pool is None
+
+    def test_engine_pool_lazy_and_persistent(self):
+        with MeasurementEngine(backend="process", max_workers=1) as eng:
+            pool = eng.worker_pool
+            assert pool is not None and not pool.active
+            eng.map_sweep(square, [1, 2], seed=0)
+            eng.map_sweep(square, [3], seed=0)
+            assert pool.spawn_count == 1
+        assert not pool.active
+
+    def test_shared_pool_not_closed_by_engine(self):
+        with WorkerPool(max_workers=1) as pool:
+            eng = MeasurementEngine(backend="process", pool=pool)
+            eng.map_sweep(square, [1], seed=0)
+            eng.close()
+            assert pool.active  # still the caller's to close
+        assert not pool.active
