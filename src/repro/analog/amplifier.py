@@ -216,14 +216,17 @@ class NonInvertingAmplifier:
         return total
 
     def render_input_noise_batch(
-        self, n_samples: int, sample_rate: float, rngs
+        self, n_samples: int, sample_rate: float, rngs, rng_mode: str = "compat"
     ) -> np.ndarray:
         """Stacked input-referred noise records, one per generator.
 
-        Row ``i`` is bit-exact equal to ``render_input_noise(...,
-        rngs[i]).samples``: each record's contributors draw from its own
-        generator in the serial order (en, then in, then Johnson) while
-        the 1/f spectral shaping runs as batched FFTs across records.
+        In compat mode row ``i`` is bit-exact equal to
+        ``render_input_noise(..., rngs[i]).samples``: each record's
+        contributors draw from its own generator in the serial order
+        (en, then in, then Johnson) while the 1/f spectral shaping runs
+        as batched FFTs across records.  ``rng_mode="philox"`` draws
+        every contributor's white stage from per-record counter streams
+        instead (see :mod:`repro.signals.batch_rng`).
         """
         gens = [make_rng(rng) for rng in rngs]
         rs = self.source_resistance_ohm
@@ -233,18 +236,24 @@ class NonInvertingAmplifier:
         en_source = ShapedNoiseSource.one_over_f(
             self.opamp.en_v_per_rthz**2, self.opamp.en_corner_hz
         )
-        total = en_source.render_batch(n_samples, sample_rate, gens)
+        total = en_source.render_batch(
+            n_samples, sample_rate, gens, rng_mode=rng_mode
+        )
 
         if self.opamp.in_a_per_rthz > 0 and r_eq > 0:
             in_source = ShapedNoiseSource.one_over_f(
                 (self.opamp.in_a_per_rthz * r_eq) ** 2, self.opamp.in_corner_hz
             )
-            total = total + in_source.render_batch(n_samples, sample_rate, gens)
+            total = total + in_source.render_batch(
+                n_samples, sample_rate, gens, rng_mode=rng_mode
+            )
 
         johnson_density = 4.0 * BOLTZMANN * self.temperature_k * rp
         if johnson_density > 0:
             johnson = GaussianNoiseSource.from_density(johnson_density, sample_rate)
-            total = total + johnson.render_batch(n_samples, sample_rate, gens)
+            total = total + johnson.render_batch(
+                n_samples, sample_rate, gens, rng_mode=rng_mode
+            )
         return total
 
     def process(
@@ -280,13 +289,16 @@ class NonInvertingAmplifier:
         sample_rate: float,
         rngs=None,
         include_noise: bool = True,
+        rng_mode: str = "compat",
     ) -> np.ndarray:
         """Amplify a stack of records (batch form of :meth:`process`).
 
         ``records`` is ``(n_records, n_samples)``; ``rngs`` supplies one
-        generator per record for the amplifier's own noise.  Row ``i`` is
-        bit-exact equal to ``process(Waveform(records[i], sample_rate),
-        rngs[i]).samples``.
+        generator per record for the amplifier's own noise.  In compat
+        mode row ``i`` is bit-exact equal to
+        ``process(Waveform(records[i], sample_rate), rngs[i]).samples``;
+        ``rng_mode="philox"`` draws the amplifier noise from per-record
+        counter streams (fast mode, not bit-identical).
         """
         arr = np.asarray(records, dtype=float)
         if arr.ndim != 2:
@@ -307,7 +319,7 @@ class NonInvertingAmplifier:
                     f"got {arr.shape[0]} records but {len(rngs)} generators"
                 )
             noise = self.render_input_noise_batch(
-                arr.shape[-1], sample_rate, rngs
+                arr.shape[-1], sample_rate, rngs, rng_mode=rng_mode
             )
             total = arr + noise
         if self.bandwidth_hz < sample_rate / 2.0:

@@ -18,7 +18,8 @@ import numpy as np
 
 from repro.constants import BOLTZMANN, T0_KELVIN
 from repro.errors import ConfigurationError
-from repro.signals.random import GeneratorLike, make_rng
+from repro.signals.batch_rng import white_noise_matrix
+from repro.signals.random import GeneratorLike
 from repro.signals.sources import GaussianNoiseSource
 from repro.signals.thermal import temperature_from_enr_db
 from repro.signals.waveform import Waveform
@@ -126,13 +127,18 @@ class CalibratedNoiseSource:
         n_samples: int,
         sample_rate: float,
         rngs,
+        rng_mode: str = "compat",
     ) -> np.ndarray:
         """Render one record per ``(state, rng)`` pair as a stacked array.
 
-        ``states`` and ``rngs`` are equal-length sequences; row ``i``
-        is bit-exact equal to ``render(states[i], ..., rngs[i])`` so a
-        hot/cold pair (or a whole repeat batch) can be generated in one
-        call without losing per-record reproducibility.
+        ``states`` and ``rngs`` are equal-length sequences; in compat
+        mode row ``i`` is bit-exact equal to ``render(states[i], ...,
+        rngs[i])`` so a hot/cold pair (or a whole repeat batch) can be
+        generated in one call without losing per-record
+        reproducibility.  ``rng_mode="philox"`` fills the stack from
+        per-record counter streams instead (deterministic, not
+        bit-identical; see :mod:`repro.signals.batch_rng`) — the
+        per-state densities ride along as a per-row scale vector.
         """
         states = list(states)
         rngs = list(rngs)
@@ -146,16 +152,10 @@ class CalibratedNoiseSource:
             )
             for state in set(states)
         }
-        # The draws themselves are the work here and must replay each
-        # record's own generator stream; only the Waveform copy of the
-        # scalar render() is skipped.
-        out = np.empty((len(states), int(n_samples)))
-        for i, (state, rng) in enumerate(zip(states, rngs)):
-            source = sources[state]
-            out[i] = make_rng(rng).normal(
-                source.mean, source.rms, size=int(n_samples)
-            )
-        return out
+        rms_rows = np.array([sources[state].rms for state in states])
+        return white_noise_matrix(
+            rngs, n_samples, scale=rms_rows, rng_mode=rng_mode
+        )
 
     @property
     def y_factor_true(self) -> float:

@@ -53,15 +53,24 @@ class RecordProvenance:
     ``spawn_key``/``entropy`` mirror the ``numpy.random.SeedSequence``
     fields of the generator that produced the record, so any record in
     a batch can be traced back to (and re-drawn from) its seed.
+    ``rng_mode`` records which synthesis path drew the record —
+    ``"compat"`` (per-record ``default_rng`` replay) or ``"philox"``
+    (counter-based batch fill; see :mod:`repro.signals.batch_rng`) —
+    since the two modes produce different realizations from the same
+    seed identity.
     """
 
     entropy: Optional[int] = None
     spawn_key: Tuple[int, ...] = ()
     state: Optional[str] = None
+    rng_mode: str = "compat"
 
     @classmethod
     def from_rng(
-        cls, rng: np.random.Generator, state: Optional[str] = None
+        cls,
+        rng: np.random.Generator,
+        state: Optional[str] = None,
+        rng_mode: str = "compat",
     ) -> "RecordProvenance":
         """Capture the seed-sequence identity of a generator."""
         seq = rng.bit_generator.seed_seq
@@ -73,6 +82,7 @@ class RecordProvenance:
             entropy=int(entropy) if entropy is not None else None,
             spawn_key=spawn_key,
             state=state,
+            rng_mode=rng_mode,
         )
 
 
@@ -295,7 +305,11 @@ class PackedBitstream:
         return out
 
     def unpack_range(
-        self, start: int, stop: int, out: Optional[np.ndarray] = None
+        self,
+        start: int,
+        stop: int,
+        out: Optional[np.ndarray] = None,
+        bipolar: bool = True,
     ) -> np.ndarray:
         """Unpack samples ``[start, stop)`` to float64 ``+/-1``.
 
@@ -303,6 +317,10 @@ class PackedBitstream:
         the requested window is materialized, so a full-record PSD never
         holds more than one FFT block of floats.  ``out`` may supply a
         reusable destination buffer of length ``>= stop - start``.
+        With ``bipolar=False`` the raw ``0/1`` bits come back as floats
+        instead — the ``2b - 1`` mapping is skipped, which saves two
+        full passes over the block for consumers (the bit-domain Welch
+        path) that fold the affine map into later exact arithmetic.
         """
         if not 0 <= start <= stop <= self.n_samples:
             raise ConfigurationError(
@@ -322,8 +340,9 @@ class PackedBitstream:
                 )
             result = out[:n]
             result[:] = bits
-        result *= 2.0
-        result -= 1.0
+        if bipolar:
+            result *= 2.0
+            result -= 1.0
         return result
 
     def iter_blocks(self, block_samples: int) -> Iterator[np.ndarray]:

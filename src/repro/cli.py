@@ -362,6 +362,17 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker cap for the process backend (default: CPU count)",
     )
+    run.add_argument(
+        "--rng-mode",
+        choices=("compat", "philox"),
+        default="compat",
+        help="noise-synthesis mode for the scheduler-driven experiments: "
+        "compat replays per-record generator streams bit for bit; "
+        "philox is the fast counter-based mode (deterministic per "
+        "seed, statistically equivalent, not bit-identical; largest "
+        "gains on white-noise simulation benches, where records are "
+        "synthesized directly as packed bits)",
+    )
     return parser
 
 
@@ -381,7 +392,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     # One scheduler per invocation: `run all --backend process` reuses a
     # single worker pool across every experiment.
     with MeasurementScheduler(
-        backend=args.backend, max_workers=args.workers
+        backend=args.backend, max_workers=args.workers, rng_mode=args.rng_mode
     ) as sched:
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):

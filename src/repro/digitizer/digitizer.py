@@ -93,6 +93,7 @@ class OneBitDigitizer:
         overwrite_input: bool = False,
         packed: bool = False,
         provenance: Optional[Sequence[Optional[RecordProvenance]]] = None,
+        rng_mode: str = "compat",
     ) -> Union[np.ndarray, PackedRecordBatch]:
         """Digitize stacked records against a reference.
 
@@ -109,7 +110,11 @@ class OneBitDigitizer:
         for its float decisions (pass True only when the analog samples
         are dead after this call).  With ``packed`` the batch comes back
         as a :class:`~repro.bitstream.PackedRecordBatch` (1 bit/sample)
-        and the input is never modified.
+        and the input is never modified.  ``rng_mode`` is recorded in
+        the default per-record provenance — callers whose *analog*
+        records were synthesized on counter streams pass ``"philox"``
+        so the stored seed identity names the stream that actually
+        drew the record.
         """
         sig = np.asarray(signals, dtype=float)
         if sig.ndim != 2:
@@ -147,7 +152,8 @@ class OneBitDigitizer:
                 # From the generators that actually drove this record's
                 # comparator/latch spawns, so the seed identity is real.
                 provenance = [
-                    RecordProvenance.from_rng(gen) for gen in gens
+                    RecordProvenance.from_rng(gen, rng_mode=rng_mode)
+                    for gen in gens
                 ]
             return PackedRecordBatch(
                 latched.words,

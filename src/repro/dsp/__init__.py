@@ -8,6 +8,13 @@ autocorrelation and plain power utilities.
 """
 
 from repro.dsp.autocorr import autocorrelation, normalized_autocorrelation
+from repro.dsp.bitstats import (
+    packed_mean,
+    packed_mean_square,
+    packed_segment_means,
+    popcount,
+    segment_grid_aligned,
+)
 from repro.dsp.fft_backend import (
     fft_backend,
     get_fft_backend,
@@ -36,4 +43,9 @@ __all__ = [
     "mean_square",
     "power_ratio_db",
     "band_power_from_spectrum",
+    "popcount",
+    "packed_mean",
+    "packed_mean_square",
+    "packed_segment_means",
+    "segment_grid_aligned",
 ]

@@ -1,0 +1,141 @@
+"""Bit-domain statistics of packed 1-bit records (popcount kernels).
+
+A ±1 bitstream's first and second moments are pure bit counts: with
+``k`` set bits among ``n`` samples the sum is exactly ``2k - n`` and
+the mean square is exactly ``1``.  Both are therefore computable on the
+*packed words* — one popcount pass over 1/64th of the float data — and,
+crucially, the popcount mean is **bit-identical** to ``numpy.mean`` of
+the unpacked float record: the float sum of ±1 values is an integer of
+magnitude ``<= n << 2**53``, so pairwise summation commits no rounding
+and both paths divide the same exact integer by the same ``n``.
+
+:func:`popcount` uses ``numpy.bitwise_count`` (numpy >= 2.0) with a
+256-entry lookup-table fallback.  :func:`packed_segment_means` extends
+the trick to the Welch segment grid: when segment boundaries are
+byte-aligned (``nperseg % 8 == step % 8 == 0`` — true at the paper's
+nperseg 1e4 / 50 % overlap), every segment mean falls out of one
+cumulative popcount over the words, which is what lets the packed
+Welch kernel replace the per-sample detrend subtraction with a
+rank-one spectral correction (see
+:func:`repro.dsp.psd.accumulate_packed_spectral_power`).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.bitstream import PackedBitstream
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "popcount",
+    "packed_ones",
+    "packed_mean",
+    "packed_mean_square",
+    "segment_grid_aligned",
+    "packed_segment_ones",
+    "packed_segment_means",
+]
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+#: Set-bit counts of every byte value — the portable popcount.
+_POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-byte set-bit counts (``numpy.bitwise_count`` or table lookup)."""
+    arr = np.asarray(words, dtype=np.uint8)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(arr)
+    return _POPCOUNT_TABLE[arr]
+
+
+def packed_ones(packed: PackedBitstream) -> int:
+    """Total set bits of a packed record (padding bits are zero)."""
+    return int(popcount(packed.words).sum())
+
+
+def packed_mean(packed: PackedBitstream) -> float:
+    """Mean of the ±1 record, computed on the packed words.
+
+    Bit-identical to ``packed.unpack().mean()``: both reduce to the
+    exact integer ``2k - n`` divided by ``n``.
+    """
+    if packed.n_samples == 0:
+        raise ConfigurationError("mean of an empty record is undefined")
+    n = packed.n_samples
+    return (2.0 * packed_ones(packed) - n) / n
+
+
+def packed_mean_square(packed: PackedBitstream) -> float:
+    """Mean square of the ±1 record — exactly 1 by construction."""
+    if packed.n_samples == 0:
+        raise ConfigurationError("mean square of an empty record is undefined")
+    return 1.0
+
+
+def segment_grid_aligned(nperseg: int, step: int) -> bool:
+    """Whether a Welch segment grid lands on packed-word boundaries.
+
+    Byte alignment is what lets per-segment bit counts come from one
+    cumulative popcount; misaligned grids fall back to the float
+    detrend path (bit-identical results, just without the popcount
+    shortcut).
+    """
+    return nperseg > 0 and step > 0 and nperseg % 8 == 0 and step % 8 == 0
+
+
+def packed_segment_ones(
+    packed: PackedBitstream, nperseg: int, step: int
+) -> np.ndarray:
+    """Set-bit count of every Welch segment, from one popcount pass.
+
+    Segments follow the :func:`repro.dsp.psd.frame_segments` grid
+    (``n_segments = 1 + (n - nperseg) // step``) and must be
+    byte-aligned (:func:`segment_grid_aligned`).
+    """
+    if not segment_grid_aligned(nperseg, step):
+        raise ConfigurationError(
+            f"segment grid nperseg={nperseg}, step={step} is not "
+            "byte-aligned; bit-domain segment counts need "
+            "nperseg % 8 == step % 8 == 0"
+        )
+    if packed.n_samples < nperseg:
+        raise ConfigurationError(
+            f"record has {packed.n_samples} samples but nperseg={nperseg}"
+        )
+    n_segments = 1 + (packed.n_samples - nperseg) // step
+    word_step = step // 8
+    word_seg = nperseg // 8
+    # Segment boundaries all fall on multiples of gcd(step, nperseg)/8
+    # words, so the prefix sum only needs that granularity: one
+    # vectorized chunk reduction over the byte counts, then a cumsum
+    # over the (few hundred) chunks instead of every word.
+    chunk = math.gcd(word_step, word_seg)
+    last_word = (n_segments - 1) * word_step + word_seg
+    n_chunks = last_word // chunk
+    counts = popcount(packed.words[:last_word])
+    chunk_sums = counts.reshape(n_chunks, chunk).sum(axis=1, dtype=np.int64)
+    prefix = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(chunk_sums, out=prefix[1:])
+    lo = np.arange(n_segments, dtype=np.int64) * (word_step // chunk)
+    return prefix[lo + word_seg // chunk] - prefix[lo]
+
+
+def packed_segment_means(
+    packed: PackedBitstream, nperseg: int, step: int
+) -> np.ndarray:
+    """Mean of every ±1 Welch segment, computed in the bit domain.
+
+    Bit-identical to the float path's per-segment
+    ``segment.mean(axis=-1)`` (see :func:`packed_mean` for why), so the
+    spectral detrend correction built on these means matches the float
+    detrend to FFT rounding.
+    """
+    ones = packed_segment_ones(packed, nperseg, step)
+    return (2.0 * ones - nperseg) / nperseg

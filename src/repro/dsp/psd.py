@@ -39,6 +39,7 @@ from numpy.lib.stride_tricks import sliding_window_view
 
 from repro.bitstream import PackedBitstream, PackedRecordBatch
 from repro.buffers import default_pool
+from repro.dsp.bitstats import packed_segment_ones, segment_grid_aligned
 from repro.dsp.fft_backend import rfft
 from repro.dsp.spectrum import Spectrum, SpectrumBatch
 from repro.dsp.windows import get_window, window_gains
@@ -115,17 +116,88 @@ def accumulate_spectral_power(
     cache-resident.  Scaling to a one-sided density is the caller's job.
     """
     n_segments = segments.shape[0]
+    nperseg = segments.shape[-1]
+    # One pooled scratch holds the detrended/windowed copy of a block,
+    # so neither branch faults a fresh temporary per block (the
+    # detrend=False branch used to allocate the windowed copy anyway).
+    scratch = default_pool.take(
+        "psd.windowed_block", (block_segments, nperseg)
+    )
     for start in range(0, n_segments, block_segments):
         block = segments[start : start + block_segments]
+        buf = scratch[: block.shape[0]]
         if detrend:
-            block = block - block.mean(axis=-1, keepdims=True)
-            block *= window
+            np.subtract(block, block.mean(axis=-1, keepdims=True), out=buf)
+            buf *= window
         else:
-            block = block * window
-        spectra = rfft(block, axis=-1)
+            np.multiply(block, window, out=buf)
+        spectra = rfft(buf, axis=-1)
         power = spectra.real**2
         power += spectra.imag**2
         acc += power.sum(axis=0)
+
+
+def _accumulate_windowed_minus_mean(
+    segments01: np.ndarray,
+    window: np.ndarray,
+    window_spectrum: np.ndarray,
+    window_power: np.ndarray,
+    exact_bins: np.ndarray,
+    means01: np.ndarray,
+    acc: np.ndarray,
+    block_segments: int,
+) -> None:
+    """Bit-domain detrend: window the raw bits, correct the power
+    spectrally.
+
+    A ±1 segment is an exact affine map of its bits, ``x = 2b - 1``,
+    and its detrended form collapses the constant: ``x - mean(x) =
+    2 (b - mean(b))``.  So the kernel windows the *0/1* bits straight
+    out of the unpack (no ``2b - 1`` pass, no per-sample detrend
+    subtraction), transforms ``B = F[b w]``, and applies the detrend as
+    the expanded power correction
+
+        sum_s |x_s w|^2_detrended
+            = 4 [ sum_s |B_s|^2
+                  - 2 Re((sum_s m_s B_s) conj(W))
+                  + (sum_s m_s^2) |W|^2 ],
+
+    with ``W = F[w]`` and ``m_s`` the popcount bit fractions.  The
+    middle term is one mean-weighted matvec over the block — O(n_bins)
+    per block instead of O(n_segments * n_bins) — and the factor 4 is
+    exact in binary floating point.
+
+    The expansion cancels catastrophically only where ``|W|`` is large
+    (``B ~ m W`` near DC, since ``B = (S + W) / 2``); those few
+    ``exact_bins`` are recomputed by the direct per-segment
+    ``|B - m W|^2`` instead.  The result matches the float detrend
+    path to summation rounding (<= 1e-10 relative; the means
+    themselves are bit-identical).
+    """
+    nb = segments01.shape[0]
+    scratch = default_pool.take(
+        "psd.windowed_block", (block_segments, window.size)
+    )[:nb]
+    np.multiply(segments01, window, out=scratch)
+    spectra = rfft(scratch, axis=-1)
+    power = spectra.real**2
+    power += spectra.imag**2
+    weighted = means01.astype(np.complex128) @ spectra
+    correction = power.sum(axis=0)
+    correction -= 2.0 * (
+        weighted.real * window_spectrum.real
+        + weighted.imag * window_spectrum.imag
+    )
+    correction += (means01 @ means01) * window_power
+    direct = (
+        spectra[:, exact_bins]
+        - means01[:, np.newaxis] * window_spectrum[exact_bins]
+    )
+    direct_power = direct.real**2
+    direct_power += direct.imag**2
+    correction[exact_bins] = direct_power.sum(axis=0)
+    correction *= 4.0
+    acc += correction
 
 
 def accumulate_packed_spectral_power(
@@ -136,16 +208,43 @@ def accumulate_packed_spectral_power(
     acc: np.ndarray,
     detrend: bool,
     block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+    bit_domain: bool = False,
+    window_spectrum: Optional[np.ndarray] = None,
 ) -> int:
     """Blocked :func:`accumulate_spectral_power` over a packed record.
 
     Unpacks only the samples one FFT block needs (a pooled float
     scratch of ``(block_segments - 1) * step + nperseg`` samples), so
-    the record itself stays at 1 bit/sample.  Block boundaries match
-    the float path exactly, so the accumulated sums are bit-identical.
-    Returns the number of segments accumulated.
+    the record itself stays at 1 bit/sample.  By default block
+    boundaries and arithmetic match the float path exactly, so the
+    accumulated sums are bit-identical.
+
+    With ``bit_domain`` (and ``detrend`` on a byte-aligned segment
+    grid — the paper's nperseg 1e4 / 50 % overlap qualifies), the
+    per-segment means come from one popcount pass over the packed
+    words (:func:`repro.dsp.bitstats.packed_segment_means`, means
+    bit-identical to the float path) and the detrend subtraction moves
+    into the spectrum as a rank-one ``mean * F[window]`` correction —
+    segments unpack straight into the windowed buffer.  PSDs then
+    match the float path to FFT rounding (<= 1e-10 relative) instead
+    of bit-for-bit; misaligned grids fall back to the exact path
+    silently.  ``window_spectrum`` may supply a precomputed
+    ``rfft(window)`` so batch callers pay the transform once per
+    batch, not once per record.  Returns the number of segments
+    accumulated.
     """
     n_segments = 1 + (packed.n_samples - nperseg) // step
+    use_bit_domain = (
+        bit_domain and detrend and segment_grid_aligned(nperseg, step)
+    )
+    if use_bit_domain:
+        means01 = packed_segment_ones(packed, nperseg, step) / float(nperseg)
+        if window_spectrum is None:
+            window_spectrum = np.fft.rfft(window)
+        window_power = window_spectrum.real**2 + window_spectrum.imag**2
+        exact_bins = np.flatnonzero(
+            window_power > window_power.max() * 1e-12
+        )
     scratch = default_pool.take(
         "psd.unpack_block", (block_segments - 1) * step + nperseg
     )
@@ -153,11 +252,25 @@ def accumulate_packed_spectral_power(
         nb = min(block_segments, n_segments - start)
         lo = start * step
         hi = (start + nb - 1) * step + nperseg
-        samples = packed.unpack_range(lo, hi, out=scratch)
-        segments = frame_segments(samples, nperseg, step)
-        accumulate_spectral_power(
-            segments[:nb], window, acc, detrend, block_segments
+        samples = packed.unpack_range(
+            lo, hi, out=scratch, bipolar=not use_bit_domain
         )
+        segments = frame_segments(samples, nperseg, step)
+        if use_bit_domain:
+            _accumulate_windowed_minus_mean(
+                segments[:nb],
+                window,
+                window_spectrum,
+                window_power,
+                exact_bins,
+                means01[start : start + nb],
+                acc,
+                block_segments,
+            )
+        else:
+            accumulate_spectral_power(
+                segments[:nb], window, acc, detrend, block_segments
+            )
     return n_segments
 
 
@@ -229,6 +342,7 @@ def welch(
     overlap: float = 0.5,
     detrend: bool = True,
     block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+    bit_domain: bool = False,
 ) -> Spectrum:
     """Welch-averaged one-sided PSD (vectorized, no per-segment FFT loop).
 
@@ -248,6 +362,12 @@ def welch(
         Remove each segment's mean (suppresses DC leakage).
     block_segments:
         Segments per batched FFT call (cache-residency knob).
+    bit_domain:
+        Packed-input fast path: compute segment means by popcount on
+        the packed words and fold the detrend into the spectrum (see
+        :func:`accumulate_packed_spectral_power`).  Results then match
+        the exact path to <= 1e-10 relative instead of bit-for-bit;
+        ignored for float inputs and for misaligned segment grids.
     """
     if isinstance(signal, PackedBitstream):
         fs = signal.sample_rate
@@ -260,7 +380,8 @@ def welch(
         win = get_window(window, nperseg)
         acc = np.zeros(nperseg // 2 + 1)
         n_segments = accumulate_packed_spectral_power(
-            signal, nperseg, step, win, acc, detrend, block_segments
+            signal, nperseg, step, win, acc, detrend, block_segments,
+            bit_domain=bit_domain,
         )
     else:
         samples, fs = _as_samples(signal, sample_rate)
@@ -286,6 +407,7 @@ def welch_batch(
     overlap: float = 0.5,
     detrend: bool = True,
     block_segments: int = DEFAULT_BLOCK_SEGMENTS,
+    bit_domain: bool = False,
 ) -> SpectrumBatch:
     """Welch PSDs of a stack of records in one batched pipeline.
 
@@ -296,7 +418,8 @@ def welch_batch(
     precision (identical code path).  Packed batches are unpacked one
     FFT block at a time — peak float memory is one block, not the
     record stack.  ``sample_rate`` may be omitted for packed batches
-    (they carry their rate).
+    (they carry their rate).  ``bit_domain`` enables the popcount
+    detrend fast path for packed batches (see :func:`welch`).
 
     Returns a :class:`~repro.dsp.spectrum.SpectrumBatch` whose ``psd``
     matrix has one row per record.
@@ -311,11 +434,13 @@ def welch_batch(
         step = _welch_params(nperseg, overlap, records.n_samples)
         win = get_window(window, nperseg)
         accs = np.zeros((records.n_records, nperseg // 2 + 1))
+        win_spectrum = np.fft.rfft(win) if bit_domain else None
         n_segments = 1
         for r in range(records.n_records):
             n_segments = accumulate_packed_spectral_power(
                 records[r], nperseg, step, win, accs[r], detrend,
-                block_segments,
+                block_segments, bit_domain=bit_domain,
+                window_spectrum=win_spectrum,
             )
         psd = _one_sided_scale(
             accs, nperseg, fs * np.sum(win**2) * n_segments

@@ -26,6 +26,7 @@ from repro.buffers import ArrayPool, default_pool
 from repro.engine.engine import (
     AnalogBatchAcquirer,
     BatchAcquirer,
+    DeviceBatch,
     Engine,
     MeasurementEngine,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "AnalogBatchAcquirer",
     "ArrayPool",
     "BatchAcquirer",
+    "DeviceBatch",
     "Engine",
     "MeasurementEngine",
     "MeasurementPlan",

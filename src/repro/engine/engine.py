@@ -36,7 +36,9 @@ to its serial counterpart and results are reproducible from one seed.
 
 from __future__ import annotations
 
+import functools
 import inspect
+from dataclasses import dataclass
 from typing import (
     Callable,
     List,
@@ -61,6 +63,7 @@ from repro.dsp.psd import DEFAULT_BLOCK_SEGMENTS, _welch_grid, welch_batch
 from repro.dsp.spectrum import SpectrumBatch
 from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 
 from repro.engine.executors import run_serial, run_with_processes
@@ -120,13 +123,44 @@ class AnalogBatchAcquirer(Protocol):
     ) -> Tuple[np.ndarray, np.ndarray, list, float, OneBitDigitizer]: ...
 
 
+def _accepts_kwarg(fn, name: str) -> bool:
+    """Whether a callable takes a keyword argument.
+
+    Third-party acquirers that predate ``packed=`` / ``rng_mode=``
+    keep working — the engine only forwards knobs a signature admits.
+    """
+    try:
+        return name in inspect.signature(fn).parameters
+    except (TypeError, ValueError):  # pragma: no cover - exotic callables
+        return False
+
+
 def _accepts_packed(acquire) -> bool:
     """True when an ``acquire_bitstreams`` implementation takes
     ``packed=`` (third-party float-only acquirers keep working)."""
-    try:
-        return "packed" in inspect.signature(acquire).parameters
-    except (TypeError, ValueError):  # pragma: no cover - exotic callables
-        return False
+    return _accepts_kwarg(acquire, "packed")
+
+
+@dataclass(frozen=True)
+class DeviceBatch:
+    """An acquired multi-device record batch awaiting analysis.
+
+    The intermediate of the two-phase
+    :meth:`MeasurementEngine.acquire_devices` /
+    :meth:`MeasurementEngine.analyze_devices` API that lets the
+    scheduler overlap one plan group's (serial) acquisition with the
+    previous group's Welch fan-out on the worker pool.  ``records`` is
+    the hot/cold-interleaved stack (packed when the engine is),
+    ``estimators`` one estimator per device.
+    """
+
+    records: Union[np.ndarray, "PackedRecordBatch"]
+    sample_rate: float
+    estimators: Tuple[OneBitNoiseFigureBIST, ...]
+
+    @property
+    def n_devices(self) -> int:
+        return len(self.estimators)
 
 
 class MeasurementEngine:
@@ -156,6 +190,16 @@ class MeasurementEngine:
         its own persistent pool on first fan-out; call :meth:`close`
         (or use the engine as a context manager) to release its worker
         processes.
+    rng_mode:
+        Noise-synthesis mode threaded to every acquirer that accepts
+        it (see :mod:`repro.signals.batch_rng`): ``"compat"``
+        (default) replays the per-record ``default_rng`` streams bit
+        for bit; ``"philox"`` is the fast mode — counter-based 2-D
+        noise fills (and, where the acquirer supports it, direct
+        packed-record synthesis) plus the popcount bit-domain detrend
+        in the packed Welch kernels.  Philox results are deterministic
+        per seed and statistically equivalent to compat, not
+        bit-identical.
     """
 
     def __init__(
@@ -165,6 +209,7 @@ class MeasurementEngine:
         block_segments: int = DEFAULT_BLOCK_SEGMENTS,
         packed: bool = True,
         pool: Optional[WorkerPool] = None,
+        rng_mode: str = "compat",
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
@@ -182,6 +227,7 @@ class MeasurementEngine:
         self.max_workers = max_workers
         self.block_segments = int(block_segments)
         self.packed = bool(packed)
+        self.rng_mode = validate_rng_mode(rng_mode)
         self._pool = pool
         self._owns_pool = pool is None
 
@@ -218,6 +264,16 @@ class MeasurementEngine:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+    @property
+    def bit_domain(self) -> bool:
+        """Whether the packed Welch kernels run the popcount fast path.
+
+        On in philox mode only: the bit-domain detrend matches the
+        float path to <= 1e-10 instead of bit-for-bit, and compat mode
+        guarantees bit-identity end to end.
+        """
+        return self.rng_mode == "philox"
 
     # ------------------------------------------------------------------
     # Batched spectral estimation
@@ -258,6 +314,7 @@ class MeasurementEngine:
                 overlap=config.overlap,
                 detrend=True,
                 block_segments=self.block_segments,
+                bit_domain=self.bit_domain,
             )
             psd = welch_batch_shared(
                 records, params, self.max_workers, pool=self.worker_pool
@@ -275,6 +332,7 @@ class MeasurementEngine:
             overlap=config.overlap,
             detrend=True,
             block_segments=self.block_segments,
+            bit_domain=self.bit_domain,
         )
 
     # ------------------------------------------------------------------
@@ -336,11 +394,19 @@ class MeasurementEngine:
         states: Sequence[str],
         rngs: Sequence[GeneratorLike],
     ):
-        """Acquire a record batch, packed when source and engine allow."""
+        """Acquire a record batch, packed when source and engine allow.
+
+        The engine's ``rng_mode`` travels along to acquirers whose
+        signature accepts it; acquirers without the knob stay on their
+        (compat) path.
+        """
         acquire = source.acquire_bitstreams
+        kwargs = {}
         if self.packed and _accepts_packed(acquire):
-            return acquire(states, rngs, packed=True)
-        return acquire(states, rngs)
+            kwargs["packed"] = True
+        if self.rng_mode != "compat" and _accepts_kwarg(acquire, "rng_mode"):
+            kwargs["rng_mode"] = self.rng_mode
+        return acquire(states, rngs, **kwargs)
 
     def _measure_pairs(
         self,
@@ -433,6 +499,32 @@ class MeasurementEngine:
         bench must produce records of the same length and output
         sample rate (screens with heterogeneous analysis fall back to
         :meth:`map_sweep`).
+
+        ``measure_devices`` is :meth:`acquire_devices` followed by
+        :meth:`analyze_devices`; callers that want to overlap one
+        batch's acquisition with another's analysis (the scheduler's
+        pipelined plan execution) use the two phases directly.
+        """
+        batch = self.acquire_devices(sources, estimators, rng=rng, rngs=rngs)
+        return self.analyze_devices(batch, allow_failures=allow_failures)
+
+    def acquire_devices(
+        self,
+        sources: Sequence[AnalogBatchAcquirer],
+        estimators: Union[
+            OneBitNoiseFigureBIST, Sequence[OneBitNoiseFigureBIST]
+        ],
+        rng: GeneratorLike = None,
+        rngs: Optional[Sequence[GeneratorLike]] = None,
+    ) -> DeviceBatch:
+        """The acquisition phase of :meth:`measure_devices`.
+
+        Runs every device's analog chain and digitizes (packs) its two
+        records, exactly as ``measure_devices`` would, and returns the
+        accumulated :class:`DeviceBatch` without analyzing it.  Pure
+        serial CPU work — no worker-pool involvement — so a pipelined
+        scheduler can run it while the pool is busy with the previous
+        batch's Welch fan-out.
         """
         sources = list(sources)
         if not sources:
@@ -474,10 +566,53 @@ class MeasurementEngine:
         for source, device_rng in zip(sources, rngs):
             gen = make_rng(device_rng)
             rng_hot, rng_cold = spawn_rngs(gen, 2)
-            analog, reference, device_dig_rngs, rate, dig = (
-                source.acquire_analog_batch(
-                    ["hot", "cold"], [rng_hot, rng_cold]
+            # In philox mode a packed engine routes each device through
+            # its own full acquire_bitstreams — the exact call (and
+            # generator spawns) engine.measure makes — so fast-mode
+            # acquirers reach their direct packed synthesis
+            # (MatlabSimulation's Bernoulli path) inside planned
+            # screens too, and planned philox results stay identical
+            # to per-task philox measurement.
+            acquire_bits = getattr(source, "acquire_bitstreams", None)
+            if (
+                self.packed
+                and self.rng_mode != "compat"
+                and acquire_bits is not None
+                and _accepts_packed(acquire_bits)
+                and _accepts_kwarg(acquire_bits, "rng_mode")
+            ):
+                pair, device_rate = acquire_bits(
+                    ["hot", "cold"],
+                    [rng_hot, rng_cold],
+                    packed=True,
+                    rng_mode=self.rng_mode,
                 )
+                if (
+                    not isinstance(pair, PackedRecordBatch)
+                    or pair.n_records != 2
+                ):
+                    raise ConfigurationError(
+                        "packed device acquisition must return a "
+                        "2-record PackedRecordBatch, got "
+                        f"{type(pair).__name__}"
+                    )
+                if out_rate is None:
+                    out_rate = float(device_rate)
+                elif float(device_rate) != out_rate:
+                    raise ConfigurationError(
+                        f"output sample-rate mismatch across devices: "
+                        f"{out_rate} vs {device_rate} Hz"
+                    )
+                device_records.append(pair)
+                continue
+            acquire_analog = source.acquire_analog_batch
+            kwargs = {}
+            if self.rng_mode != "compat" and _accepts_kwarg(
+                acquire_analog, "rng_mode"
+            ):
+                kwargs["rng_mode"] = self.rng_mode
+            analog, reference, device_dig_rngs, rate, dig = acquire_analog(
+                ["hot", "cold"], [rng_hot, rng_cold], **kwargs
             )
             analog = np.asarray(analog, dtype=float)
             if analog.ndim != 2 or analog.shape[0] != 2:
@@ -503,6 +638,7 @@ class MeasurementEngine:
                     device_dig_rngs,
                     overwrite_input=not self.packed,
                     packed=self.packed,
+                    rng_mode=self.rng_mode,
                 )
             )
         if self.packed:
@@ -525,8 +661,27 @@ class MeasurementEngine:
                 f"configured {config.sample_rate_hz} Hz"
             )
         check_bitstream_samples(records, "multi-device")
-        batch = self.spectra_of(records, out_rate, estimators[0])
-        return self._estimate_pairs(batch, estimators, allow_failures)
+        return DeviceBatch(
+            records=records,
+            sample_rate=out_rate,
+            estimators=tuple(estimators),
+        )
+
+    def analyze_devices(
+        self, batch: DeviceBatch, allow_failures: bool = False
+    ) -> List[Optional[BISTResult]]:
+        """The analysis phase of :meth:`measure_devices`.
+
+        One batched Welch pass over the acquired records (fanned over
+        the worker pool on the process backend) followed by per-device
+        Y-factor estimation, results in device order.
+        """
+        spectra = self.spectra_of(
+            batch.records, batch.sample_rate, batch.estimators[0]
+        )
+        return self._estimate_pairs(
+            spectra, batch.estimators, allow_failures
+        )
 
     # ------------------------------------------------------------------
     # Sweeps
@@ -550,6 +705,12 @@ class MeasurementEngine:
         instead of pickle; since the generators travel with the tasks,
         results are identical across backends.  ``fn`` must be a
         module-level callable for the process backend (pickling).
+
+        A non-compat engine ``rng_mode`` is forwarded to workers whose
+        signature accepts an ``rng_mode`` keyword (as a
+        ``functools.partial``, so process-backend pickling still sees
+        the module-level function); workers without the knob keep
+        their own (compat) synthesis.
         """
         tasks = list(tasks)
         if rngs is None:
@@ -562,6 +723,8 @@ class MeasurementEngine:
                 )
         if not tasks:
             return []
+        if self.rng_mode != "compat" and _accepts_kwarg(fn, "rng_mode"):
+            fn = functools.partial(fn, rng_mode=self.rng_mode)
         if self.backend == "process":
             return run_with_processes(
                 fn, tasks, rngs, self.max_workers, pool=self.worker_pool

@@ -32,13 +32,14 @@ any analysis parameter.  This module removes both:
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bist import OneBitNoiseFigureBIST
 from repro.errors import ConfigurationError, MeasurementError
+from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike
 
 __all__ = [
@@ -218,33 +219,109 @@ class MeasurementPlan:
         """Tasks that run inside a multi-device batch."""
         return sum(g.n_tasks for g in self.groups if g.batched)
 
-    def run(self, engine, allow_failures: bool = False) -> List:
-        """Execute the plan on an engine; results in task order."""
-        results: List = [None] * len(self.tasks)
-        for group in self.groups:
-            tasks = [self.tasks[i] for i in group.indices]
-            if group.batched:
-                out = engine.measure_devices(
-                    [t.source for t in tasks],
-                    [t.estimator for t in tasks],
-                    rngs=[t.rng for t in tasks],
-                    allow_failures=allow_failures,
+    def _resolve_pipeline(self, engine, pipeline) -> bool:
+        if pipeline == "auto":
+            # Overlap pays when a pool fans analysis out and there is
+            # a later group whose acquisition can fill the wait.
+            return engine.backend == "process" and len(self.groups) >= 2
+        return bool(pipeline)
+
+    def _measure_fallback(self, engine, tasks, allow_failures: bool) -> List:
+        """Per-task measurement of a singleton / unbatchable group."""
+        out: List = []
+        for task in tasks:
+            try:
+                out.append(
+                    engine.measure(task.source, task.estimator, rng=task.rng)
                 )
-            else:
-                out = []
-                for task in tasks:
-                    try:
-                        out.append(
-                            engine.measure(
-                                task.source, task.estimator, rng=task.rng
-                            )
-                        )
-                    except MeasurementError:
-                        if not allow_failures:
-                            raise
-                        out.append(None)
-            for index, result in zip(group.indices, out):
-                results[index] = result
+            except MeasurementError:
+                if not allow_failures:
+                    raise
+                out.append(None)
+        return out
+
+    def run(
+        self,
+        engine,
+        allow_failures: bool = False,
+        pipeline: Union[bool, str] = "auto",
+    ) -> List:
+        """Execute the plan on an engine; results in task order.
+
+        ``pipeline`` selects double-buffered group execution: the main
+        thread acquires group ``k+1`` (serial analog + digitize work)
+        while a single analysis thread runs group ``k``'s batched
+        Welch pass — which, on the process backend, mostly blocks on
+        the worker pool, so the two phases genuinely overlap instead
+        of the pool sitting idle during every acquisition.  ``"auto"``
+        (default) pipelines exactly when that idle gap exists (process
+        backend, more than one group); ``True``/``False`` force the
+        choice.  Either way the computations, their generators and the
+        task-ordered results are identical to sequential execution —
+        only the wall-clock interleaving changes.
+        """
+        if not self._resolve_pipeline(engine, pipeline):
+            results: List = [None] * len(self.tasks)
+            for group in self.groups:
+                tasks = [self.tasks[i] for i in group.indices]
+                if group.batched:
+                    out = engine.measure_devices(
+                        [t.source for t in tasks],
+                        [t.estimator for t in tasks],
+                        rngs=[t.rng for t in tasks],
+                        allow_failures=allow_failures,
+                    )
+                else:
+                    out = self._measure_fallback(engine, tasks, allow_failures)
+                for index, result in zip(group.indices, out):
+                    results[index] = result
+            return results
+        return self._run_pipelined(engine, allow_failures)
+
+    def _run_pipelined(self, engine, allow_failures: bool) -> List:
+        """Double-buffered execution: acquire group k+1 during group
+        k's analysis.
+
+        Acquisition stays on the calling thread (in plan order, so
+        generator spawning is identical to the sequential path);
+        analysis runs on one worker thread, keeping the worker pool
+        busy back to back.  Fallback (per-task) groups execute on the
+        analysis thread too, preserving one-at-a-time engine use for
+        everything that touches the pool.
+        """
+        results: List = [None] * len(self.tasks)
+        pending: List[Tuple[PlanGroup, Future]] = []
+        with ThreadPoolExecutor(max_workers=1) as analysis:
+            for group in self.groups:
+                if len(pending) >= 2:
+                    # Backpressure: hold at most one acquired group in
+                    # flight beyond the one being analyzed, so a long
+                    # plan never stacks up record batches.
+                    done_group, done_future = pending.pop(0)
+                    for index, result in zip(
+                        done_group.indices, done_future.result()
+                    ):
+                        results[index] = result
+                tasks = [self.tasks[i] for i in group.indices]
+                if group.batched:
+                    batch = engine.acquire_devices(
+                        [t.source for t in tasks],
+                        [t.estimator for t in tasks],
+                        rngs=[t.rng for t in tasks],
+                    )
+                    future = analysis.submit(
+                        engine.analyze_devices,
+                        batch,
+                        allow_failures=allow_failures,
+                    )
+                else:
+                    future = analysis.submit(
+                        self._measure_fallback, engine, tasks, allow_failures
+                    )
+                pending.append((group, future))
+            for group, future in pending:
+                for index, result in zip(group.indices, future.result()):
+                    results[index] = result
         return results
 
 
@@ -331,15 +408,21 @@ class MeasurementScheduler:
         backend: str = "serial",
         max_workers: Optional[int] = None,
         packed: bool = True,
+        rng_mode: str = "compat",
     ):
         from repro.engine.engine import MeasurementEngine
 
         if engine is not None:
-            if backend != "serial" or max_workers is not None or not packed:
+            if (
+                backend != "serial"
+                or max_workers is not None
+                or not packed
+                or rng_mode != "compat"
+            ):
                 raise ConfigurationError(
-                    "pass either an engine or backend/max_workers/packed "
-                    "— an explicit engine already carries its own "
-                    "configuration"
+                    "pass either an engine or backend/max_workers/packed/"
+                    "rng_mode — an explicit engine already carries its "
+                    "own configuration"
                 )
             self.engine = engine
             self._owns_engine = False
@@ -352,7 +435,10 @@ class MeasurementScheduler:
                     f"{sorted(set(_BACKEND_ALIASES))}, got {backend!r}"
                 ) from None
             self.engine = MeasurementEngine(
-                backend=resolved, max_workers=max_workers, packed=packed
+                backend=resolved,
+                max_workers=max_workers,
+                packed=packed,
+                rng_mode=validate_rng_mode(rng_mode),
             )
             self._owns_engine = True
 
@@ -370,15 +456,24 @@ class MeasurementScheduler:
         """Group tasks into compatible sub-batches (introspectable)."""
         return plan_measurements(tasks)
 
-    def run(self, tasks: Sequence, allow_failures: bool = False) -> List:
+    def run(
+        self,
+        tasks: Sequence,
+        allow_failures: bool = False,
+        pipeline: Union[bool, str] = "auto",
+    ) -> List:
         """Plan and execute a heterogeneous screen, results in task order.
 
         Bit-identical to per-task ``engine.measure`` calls; compatible
         tasks share one multi-device batch (one digitize pass, one
         batched Welch pass — fanned over the persistent pool on the
-        process backend).
+        process backend).  ``pipeline`` (default ``"auto"``) overlaps
+        one group's acquisition with the previous group's Welch
+        fan-out on the pool — see :meth:`MeasurementPlan.run`.
         """
-        return self.plan(tasks).run(self.engine, allow_failures=allow_failures)
+        return self.plan(tasks).run(
+            self.engine, allow_failures=allow_failures, pipeline=pipeline
+        )
 
     def map_sweep(
         self,

@@ -40,13 +40,19 @@ from repro.errors import ConfigurationError
 
 @dataclass(frozen=True)
 class WelchParams:
-    """The analysis parameters a worker needs (small, picklable)."""
+    """The analysis parameters a worker needs (small, picklable).
+
+    ``bit_domain`` selects the popcount detrend fast path of the
+    packed Welch kernel (engine fast mode; see
+    :func:`repro.dsp.psd.accumulate_packed_spectral_power`).
+    """
 
     nperseg: int
     window: str
     overlap: float
     detrend: bool
     block_segments: int
+    bit_domain: bool = False
 
 
 @dataclass(frozen=True)
@@ -121,6 +127,7 @@ def _psd_rows(
             overlap=params.overlap,
             detrend=params.detrend,
             block_segments=params.block_segments,
+            bit_domain=params.bit_domain,
         ).psd
     return rows
 

@@ -23,6 +23,7 @@ from repro.engine.scheduler import MeasurementScheduler, as_scheduler
 from repro.errors import ConfigurationError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+from repro.signals.waveform import Waveform
 
 DEFAULT_DRIFTS = (0.80, 0.90, 0.95, 1.00, 1.05, 1.10, 1.20)
 
@@ -55,14 +56,17 @@ class GainSensitivityResult:
         return max(abs(p.direct_error_simulated_db) for p in self.points)
 
 
-def measure_drift_point(task, rng) -> GainSensitivityPoint:
+def measure_drift_point(task, rng, rng_mode: str = "compat") -> GainSensitivityPoint:
     """Sweep worker: one gain-drift setting, both estimation methods.
 
     ``task`` is ``(drift, opamp, n_samples, f_low, f_high, expected_nf,
     assumed_gain, n0)`` — the nominal-chain quantities are precomputed
     by the caller (they are deterministic), so the worker only builds
     the drifted bench.  Module-level so the engine's process backend
-    can pickle it.
+    can pickle it.  A philox-mode engine forwards ``rng_mode`` (see
+    :meth:`~repro.engine.MeasurementEngine.map_sweep`): the two analog
+    records then render as one counter-based batch — deterministic per
+    point seed, not bit-identical to the compat scalar renders.
     """
     drift, opamp, n_samples, f_low, f_high, expected_nf, assumed_gain, n0 = (
         task
@@ -71,8 +75,15 @@ def measure_drift_point(task, rng) -> GainSensitivityPoint:
     bench = build_prototype_testbench(opamp, n_samples=n_samples)
     bench.post_amplifier = bench.post_amplifier.with_gain_drift(drift)
     rng_hot, rng_cold = spawn_rngs(rng, 2)
-    hot = bench.analog_output("hot", rng_hot)
-    cold = bench.analog_output("cold", rng_cold)
+    if rng_mode == "compat":
+        hot = bench.analog_output("hot", rng_hot)
+        cold = bench.analog_output("cold", rng_cold)
+    else:
+        analog, _, _, rate, _ = bench.acquire_analog_batch(
+            ["hot", "cold"], [rng_hot, rng_cold], rng_mode=rng_mode
+        )
+        hot = Waveform(analog[0], rate)
+        cold = Waveform(analog[1], rate)
     spec_hot = welch(hot, nperseg=nperseg)
     spec_cold = welch(cold, nperseg=nperseg)
     p_hot = spec_hot.band_power(f_low, f_high)

@@ -143,7 +143,7 @@ class PrototypeTestbench:
             analog, self.reference_waveform(), dig_rng, packed=packed
         )
 
-    def acquire_analog_batch(self, states, rngs):
+    def acquire_analog_batch(self, states, rngs, rng_mode: str = "compat"):
         """Run the analog front-end for a batch of records.
 
         Returns ``(analog, reference, dig_rngs, sample_rate,
@@ -152,6 +152,9 @@ class PrototypeTestbench:
         in :meth:`acquire_bitstream`, and the digitizer generators are
         handed back un-consumed, so any later (possibly cross-device)
         ``digitize_batch`` is bit-exact vs the scalar path.
+        ``rng_mode="philox"`` draws every stage's noise (source, both
+        amplifiers) from per-record counter streams — the fast mode,
+        deterministic per seed but not bit-identical to compat.
         """
         states = list(states)
         rngs = list(rngs)
@@ -171,11 +174,14 @@ class PrototypeTestbench:
             post_rngs.append(post_rng)
             dig_rngs.append(dig_rng)
         source = self.noise_source.render_batch(
-            states, self.n_samples, self.sample_rate_hz, src_rngs
+            states, self.n_samples, self.sample_rate_hz, src_rngs,
+            rng_mode=rng_mode,
         )
-        dut_out = self.dut.process_batch(source, self.sample_rate_hz, dut_rngs)
+        dut_out = self.dut.process_batch(
+            source, self.sample_rate_hz, dut_rngs, rng_mode=rng_mode
+        )
         analog = self.post_amplifier.process_batch(
-            dut_out, self.sample_rate_hz, post_rngs
+            dut_out, self.sample_rate_hz, post_rngs, rng_mode=rng_mode
         )
         return (
             analog,
@@ -186,7 +192,7 @@ class PrototypeTestbench:
         )
 
     def acquire_bitstreams(
-        self, states, rngs, packed: bool = False
+        self, states, rngs, packed: bool = False, rng_mode: str = "compat"
     ) -> Tuple[np.ndarray, float]:
         """Capture a batch of bitstreams as one stacked record batch.
 
@@ -198,10 +204,11 @@ class PrototypeTestbench:
         path.  Returns ``(bitstreams, output_sample_rate)``; with
         ``packed`` the bitstreams are a
         :class:`~repro.bitstream.PackedRecordBatch` (1 bit/sample)
-        instead of a float64 stack.
+        instead of a float64 stack.  ``rng_mode="philox"`` runs the
+        analog chain on counter-based noise fills (fast mode).
         """
         analog, reference, dig_rngs, rate, digitizer = (
-            self.acquire_analog_batch(states, rngs)
+            self.acquire_analog_batch(states, rngs, rng_mode=rng_mode)
         )
         bits = digitizer.digitize_batch(
             analog,
@@ -210,6 +217,7 @@ class PrototypeTestbench:
             dig_rngs,
             overwrite_input=not packed,
             packed=packed,
+            rng_mode=rng_mode,
         )
         return bits, rate / digitizer.sampler.divider
 

@@ -7,6 +7,12 @@ frequency-shaped (1/f) noise, band-limiting filters and reproducible
 random-number management.
 """
 
+from repro.signals.batch_rng import (
+    RNG_MODES,
+    BatchNoiseGenerator,
+    validate_rng_mode,
+    white_noise_matrix,
+)
 from repro.signals.random import spawn_rngs, make_rng
 from repro.signals.sources import (
     CompositeSource,
@@ -28,6 +34,10 @@ __all__ = [
     "Waveform",
     "make_rng",
     "spawn_rngs",
+    "RNG_MODES",
+    "BatchNoiseGenerator",
+    "validate_rng_mode",
+    "white_noise_matrix",
     "SineSource",
     "SquareSource",
     "GaussianNoiseSource",

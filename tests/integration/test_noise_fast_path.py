@@ -1,0 +1,379 @@
+"""Equivalence suite for the fast noise-synthesis layer.
+
+Pins the three contracts of the noise-layer PR:
+
+(a) ``rng_mode="compat"`` — the default — is **bit-identical** to the
+    seed-serial acquisition everywhere the fast layer touched: the
+    white-noise sources, the per-record acquisition loops and the
+    engine/scheduler end to end.
+(b) The popcount bit-domain Welch path matches the float detrend path
+    to <= 1e-10 (scale-relative; detrended near-DC bins of both paths
+    are numerical zeros).
+(c) Pipelined (double-buffered) plan execution returns results
+    bit-identical to sequential group execution, in task order.
+
+Philox mode has no bit-compatibility claim; its contracts — determinism
+per seed and statistical equivalence — are pinned here too.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import PackedBitstream, PackedRecordBatch
+from repro.digitizer.comparator import Comparator
+from repro.digitizer.digitizer import OneBitDigitizer
+from repro.digitizer.sampler import SampledLatch
+from repro.dsp.psd import welch, welch_batch
+from repro.engine import (
+    MeasurementEngine,
+    MeasurementScheduler,
+    MeasurementTask,
+)
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.instruments.testbench import build_prototype_testbench
+from repro.signals.random import make_rng, spawn_rngs
+
+SMALL = MatlabSimConfig(n_samples=60_000, nperseg=3_000)
+
+
+def _mixed_tasks(seed, sims):
+    rngs = spawn_rngs(seed, len(sims))
+    return [
+        MeasurementTask(sim, sim.make_estimator(), rng)
+        for sim, rng in zip(sims, rngs)
+    ]
+
+
+# ----------------------------------------------------------------------
+# (a) compat bit-identity
+# ----------------------------------------------------------------------
+class TestCompatBitIdentity:
+    def test_packed_acquisition_matches_serial(self):
+        sim = MatlabSimulation(SMALL)
+        batch, rate = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(2005, 2), packed=True,
+            rng_mode="compat",
+        )
+        replay = spawn_rngs(2005, 2)
+        for i, state in enumerate(["hot", "cold"]):
+            serial = sim.bitstream(state, replay[i])
+            assert np.array_equal(batch[i].unpack(), serial.samples)
+
+    def test_compat_engine_equals_default_engine(self):
+        sim = MatlabSimulation(SMALL)
+        estimator = sim.make_estimator()
+        default = MeasurementEngine().measure(sim, estimator, rng=2005)
+        compat = MeasurementEngine(rng_mode="compat").measure(
+            sim, estimator, rng=2005
+        )
+        assert compat.noise_figure_db == default.noise_figure_db
+        assert compat.y == default.y
+
+    def test_compat_engine_equals_seed_serial_measure(self):
+        sim = MatlabSimulation(SMALL)
+        estimator = sim.make_estimator()
+        engine_nf = MeasurementEngine(rng_mode="compat").measure(
+            sim, estimator, rng=2005
+        )
+        serial_nf = estimator.measure(sim.bitstream, rng=2005)
+        assert engine_nf.noise_figure_db == serial_nf.noise_figure_db
+
+    def test_testbench_compat_rows_bit_identical(self):
+        bench = build_prototype_testbench(n_samples=2**14)
+        rngs = spawn_rngs(7, 2)
+        records, rate = bench.acquire_bitstreams(
+            ["hot", "cold"], rngs, rng_mode="compat"
+        )
+        replay = spawn_rngs(7, 2)
+        for i, state in enumerate(["hot", "cold"]):
+            serial = bench.acquire_bitstream(state, replay[i])
+            assert np.array_equal(records[i], serial.samples)
+
+    def test_scheduler_compat_default_unchanged(self):
+        sims = [MatlabSimulation(SMALL) for _ in range(3)]
+        default = MeasurementScheduler().run(_mixed_tasks(11, sims))
+        compat = MeasurementScheduler(rng_mode="compat").run(
+            _mixed_tasks(11, sims)
+        )
+        assert [r.noise_figure_db for r in default] == [
+            r.noise_figure_db for r in compat
+        ]
+
+
+# ----------------------------------------------------------------------
+# (b) popcount bit-domain Welch
+# ----------------------------------------------------------------------
+def _packed_record(n=100_000, bias=0.48, seed=1):
+    rng = np.random.default_rng(seed)
+    samples = np.where(rng.random(n) < bias, 1.0, -1.0)
+    return samples, PackedBitstream.pack(samples, 10_000.0)
+
+
+def _assert_psd_close(psd_a, psd_b):
+    """<= 1e-10 scale-relative: detrended near-DC bins are numerical
+    zeros in both paths, so per-bin relative error is meaningless
+    there."""
+    scale = np.abs(psd_b).max()
+    assert np.abs(psd_a - psd_b).max() <= 1e-10 * scale
+
+
+class TestBitDomainWelch:
+    @pytest.mark.parametrize("window", ["hann", "hamming", "rectangular"])
+    @pytest.mark.parametrize("overlap", [0.0, 0.5, 0.75])
+    def test_matches_float_path(self, window, overlap):
+        samples, packed = _packed_record()
+        float_spec = welch(
+            samples, nperseg=8_192, sample_rate=10_000.0, window=window,
+            overlap=overlap,
+        )
+        bit_spec = welch(
+            packed, nperseg=8_192, window=window, overlap=overlap,
+            bit_domain=True,
+        )
+        _assert_psd_close(bit_spec.psd, float_spec.psd)
+
+    def test_paper_grid(self):
+        samples, packed = _packed_record(n=500_000)
+        float_spec = welch(samples, nperseg=10_000, sample_rate=10_000.0)
+        bit_spec = welch(packed, nperseg=10_000, bit_domain=True)
+        _assert_psd_close(bit_spec.psd, float_spec.psd)
+
+    def test_misaligned_grid_falls_back_bit_exact(self):
+        _, packed = _packed_record()
+        exact = welch(packed, nperseg=8_191)
+        fallback = welch(packed, nperseg=8_191, bit_domain=True)
+        assert np.array_equal(exact.psd, fallback.psd)
+
+    def test_detrend_off_ignores_bit_domain(self):
+        _, packed = _packed_record()
+        exact = welch(packed, nperseg=8_192, detrend=False)
+        bit = welch(packed, nperseg=8_192, detrend=False, bit_domain=True)
+        assert np.array_equal(exact.psd, bit.psd)
+
+    def test_welch_batch_bit_domain(self):
+        rng = np.random.default_rng(3)
+        records = np.where(rng.random((4, 100_000)) < 0.5, 1.0, -1.0)
+        packed = PackedRecordBatch.pack(records, 10_000.0)
+        float_spec = welch_batch(records, nperseg=8_192, sample_rate=10_000.0)
+        bit_spec = welch_batch(packed, nperseg=8_192, bit_domain=True)
+        for r in range(4):
+            _assert_psd_close(bit_spec.psd[r], float_spec.psd[r])
+
+    def test_default_packed_path_still_bit_identical(self):
+        samples, packed = _packed_record()
+        float_spec = welch(samples, nperseg=8_192, sample_rate=10_000.0)
+        packed_spec = welch(packed, nperseg=8_192)
+        assert np.array_equal(packed_spec.psd, float_spec.psd)
+
+    def test_philox_engine_nf_close_to_exact_welch(self):
+        # The engine ties bit_domain to philox mode; the analysis-side
+        # difference alone must be far below measurement resolution.
+        sim = MatlabSimulation(SMALL)
+        estimator = sim.make_estimator()
+        batch, rate = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(5, 2), packed=True,
+            rng_mode="philox",
+        )
+        exact = estimator.estimate_from_spectra(
+            welch(batch[0], nperseg=SMALL.nperseg),
+            welch(batch[1], nperseg=SMALL.nperseg),
+        )
+        bit = estimator.estimate_from_spectra(
+            welch(batch[0], nperseg=SMALL.nperseg, bit_domain=True),
+            welch(batch[1], nperseg=SMALL.nperseg, bit_domain=True),
+        )
+        assert abs(bit.noise_figure_db - exact.noise_figure_db) < 1e-9
+
+
+# ----------------------------------------------------------------------
+# (c) pipelined scheduler
+# ----------------------------------------------------------------------
+class TestPipelinedScheduler:
+    @pytest.fixture(scope="class")
+    def sims(self):
+        return [MatlabSimulation(SMALL) for _ in range(4)] + [
+            MatlabSimulation(
+                MatlabSimConfig(n_samples=120_000, nperseg=3_000)
+            )
+            for _ in range(4)
+        ]
+
+    def test_pipelined_bit_identical_in_task_order(self, sims):
+        scheduler = MeasurementScheduler()
+        sequential = scheduler.run(_mixed_tasks(11, sims), pipeline=False)
+        pipelined = scheduler.run(_mixed_tasks(11, sims), pipeline=True)
+        assert [r.noise_figure_db for r in sequential] == [
+            r.noise_figure_db for r in pipelined
+        ]
+        assert [r.y for r in sequential] == [
+            r.y for r in pipelined
+        ]
+
+    def test_pipelined_with_fallback_groups(self, sims):
+        # A lot whose plan mixes batched groups with singleton
+        # fallbacks must scatter results back in task order.
+        lot = sims[:3] + [
+            MatlabSimulation(MatlabSimConfig(n_samples=30_000, nperseg=1_000))
+        ]
+        scheduler = MeasurementScheduler()
+        sequential = scheduler.run(_mixed_tasks(13, lot), pipeline=False)
+        pipelined = scheduler.run(_mixed_tasks(13, lot), pipeline=True)
+        assert [r.noise_figure_db for r in sequential] == [
+            r.noise_figure_db for r in pipelined
+        ]
+
+    def test_auto_stays_sequential_on_vectorized_backend(self, sims):
+        plan = MeasurementScheduler().plan(_mixed_tasks(11, sims))
+        assert not plan._resolve_pipeline(MeasurementEngine(), "auto")
+
+    def test_auto_pipelines_on_process_backend(self, sims):
+        plan = MeasurementScheduler().plan(_mixed_tasks(11, sims))
+        engine = MeasurementEngine(backend="process")
+        try:
+            assert plan._resolve_pipeline(engine, "auto")
+        finally:
+            engine.close()
+
+    def test_process_backend_pipelined_equals_sequential(self, sims):
+        small = sims[:2] + sims[4:6]
+        with MeasurementScheduler(backend="process", max_workers=2) as ps:
+            pipelined = ps.run(_mixed_tasks(11, small))  # auto => pipelined
+        sequential = MeasurementScheduler().run(
+            _mixed_tasks(11, small), pipeline=False
+        )
+        assert [r.noise_figure_db for r in sequential] == [
+            r.noise_figure_db for r in pipelined
+        ]
+
+
+# ----------------------------------------------------------------------
+# philox mode contracts
+# ----------------------------------------------------------------------
+class TestPhiloxMode:
+    def test_deterministic_per_seed(self):
+        sim = MatlabSimulation(SMALL)
+        estimator = sim.make_estimator()
+        engine = MeasurementEngine(rng_mode="philox")
+        first = engine.measure(sim, estimator, rng=2005)
+        second = engine.measure(sim, estimator, rng=2005)
+        assert first.noise_figure_db == second.noise_figure_db
+
+    def test_direct_synthesis_statistics_match_compat(self):
+        config = MatlabSimConfig(n_samples=400_000, nperseg=10_000)
+        sim = MatlabSimulation(config)
+        compat, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(1, 2), packed=True
+        )
+        philox, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(1, 2), packed=True,
+            rng_mode="philox",
+        )
+        n = config.n_samples
+        for i in range(2):
+            frac_compat = np.unpackbits(compat.words[i], count=n).mean()
+            frac_philox = np.unpackbits(philox.words[i], count=n).mean()
+            # iid bits: fraction-of-ones sigma is ~0.5/sqrt(n) ~ 8e-4
+            assert abs(frac_philox - frac_compat) < 5e-3
+
+    def test_direct_synthesis_provenance(self):
+        sim = MatlabSimulation(SMALL)
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(1, 2), packed=True,
+            rng_mode="philox",
+        )
+        assert batch.provenance[0].rng_mode == "philox"
+        assert batch.provenance[0].state == "hot"
+        assert batch.provenance[1].state == "cold"
+
+    def test_digitized_philox_records_carry_philox_provenance(self):
+        # Records whose *analog* floats came from counter streams but
+        # that pass through the regular digitizer (hysteresis fallback,
+        # testbench chain) must not claim compat provenance.
+        dig = OneBitDigitizer(comparator=Comparator(hysteresis_v=0.02))
+        sim = MatlabSimulation(SMALL)
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True,
+            rng_mode="philox",
+        )
+        assert all(p.rng_mode == "philox" for p in batch.provenance)
+        compat, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True
+        )
+        assert all(p.rng_mode == "compat" for p in compat.provenance)
+
+    def test_comparator_offset_and_noise_fold_in(self):
+        # Offset shifts the Bernoulli probability, comparator noise
+        # widens sigma — both exactly.  Compare bit fractions against
+        # the compat digitizer with the same non-idealities.
+        dig = OneBitDigitizer(
+            comparator=Comparator(offset_v=0.05, input_noise_rms=0.1)
+        )
+        config = MatlabSimConfig(n_samples=400_000, nperseg=10_000)
+        sim = MatlabSimulation(config)
+        compat, _ = sim.acquire_bitstreams(
+            ["cold", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True
+        )
+        philox, _ = sim.acquire_bitstreams(
+            ["cold", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True,
+            rng_mode="philox",
+        )
+        n = config.n_samples
+        frac_compat = np.unpackbits(compat.words, axis=-1, count=n).mean()
+        frac_philox = np.unpackbits(philox.words, axis=-1, count=n).mean()
+        assert frac_compat > 0.55  # the offset visibly biases the bits
+        assert abs(frac_philox - frac_compat) < 5e-3
+
+    def test_clock_divider_decimates(self):
+        dig = OneBitDigitizer(sampler=SampledLatch(divider=4))
+        sim = MatlabSimulation(SMALL)
+        batch, rate = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True,
+            rng_mode="philox",
+        )
+        assert batch.n_samples == (SMALL.n_samples + 3) // 4
+        assert rate == SMALL.sample_rate_hz / 4
+
+    def test_hysteresis_falls_back_to_noise_fill(self):
+        # Outside the Bernoulli model the philox path must still
+        # produce valid (digitized) records, via counter-based noise
+        # fills plus the regular comparator.
+        dig = OneBitDigitizer(comparator=Comparator(hysteresis_v=0.02))
+        sim = MatlabSimulation(SMALL)
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True,
+            rng_mode="philox",
+        )
+        assert batch.n_samples == SMALL.n_samples
+        again, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), digitizer=dig, packed=True,
+            rng_mode="philox",
+        )
+        assert np.array_equal(batch.words, again.words)
+
+    def test_nf_statistically_equivalent(self):
+        sim = MatlabSimulation(MatlabSimConfig(n_samples=200_000, nperseg=8_000))
+        estimator = sim.make_estimator()
+        compat_engine = MeasurementEngine()
+        philox_engine = MeasurementEngine(rng_mode="philox")
+        compat = [
+            compat_engine.measure(sim, estimator, rng=seed).noise_figure_db
+            for seed in range(5)
+        ]
+        philox = [
+            philox_engine.measure(sim, estimator, rng=seed).noise_figure_db
+            for seed in range(5)
+        ]
+        # Both estimate the same 10 dB DUT; means agree within scatter.
+        assert abs(np.mean(compat) - np.mean(philox)) < 0.75
+
+    def test_testbench_philox_chain(self):
+        bench = build_prototype_testbench(n_samples=2**14)
+        records, rate = bench.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(7, 2), rng_mode="philox"
+        )
+        assert records.shape == (2, 2**14)
+        assert set(np.unique(records)) <= {-1.0, 1.0}
+        again, _ = bench.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(7, 2), rng_mode="philox"
+        )
+        assert np.array_equal(records, again)
