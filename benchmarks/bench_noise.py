@@ -59,6 +59,12 @@ BIT_DOMAIN_TOLERANCE = float(
     os.environ.get("BENCH_NOISE_BIT_DOMAIN_TOLERANCE", "0.10")
 )
 
+#: Acceptance floor for the threaded philox row fan-out — asserted only
+#: on multi-core hosts (a single core has nothing to fan out to).
+MIN_THREADED_FILL_SPEEDUP = float(
+    os.environ.get("BENCH_NOISE_MIN_THREAD_SPEEDUP", "1.3")
+)
+
 
 def _states(n):
     return ["hot", "cold"] * (n // 2)
@@ -126,6 +132,24 @@ def test_noise(benchmark, emit):
         ),
     )
 
+    # --- threaded philox row fan-out (multi-core hosts) --------------
+    from repro.signals.batch_rng import BatchNoiseGenerator
+
+    serial_fill, t_fill_serial = _best_of(
+        2,
+        lambda: BatchNoiseGenerator(spawn_rngs(seed, N_RECORDS)).normal_matrix(
+            N_SAMPLES, threads=1
+        ),
+    )
+    threaded_fill, t_fill_threaded = _best_of(
+        2,
+        lambda: BatchNoiseGenerator(spawn_rngs(seed, N_RECORDS)).normal_matrix(
+            N_SAMPLES
+        ),
+    )
+    threaded_identical = bool(np.array_equal(serial_fill, threaded_fill))
+    threaded_speedup = t_fill_serial / t_fill_threaded
+
     # --- popcount packed Welch vs exact packed Welch -----------------
     exact_spec, t_welch_exact = _best_of(
         2, welch_batch, compat_batch, NPERSEG
@@ -180,6 +204,12 @@ def test_noise(benchmark, emit):
             "-",
             f"{t_fill_compat / t_fill_philox:.2f}x",
         ],
+        [
+            "philox fill threaded",
+            t_fill_threaded,
+            f"{os.cpu_count()} CPU(s), bit-identical",
+            f"{threaded_speedup:.2f}x",
+        ],
         ["packed welch exact", t_welch_exact, "-", "-"],
         [
             "packed welch popcount",
@@ -229,6 +259,12 @@ def test_noise(benchmark, emit):
             "philox_seconds": round(t_fill_philox, 4),
             "speedup": round(t_fill_compat / t_fill_philox, 2),
         },
+        "threaded_fill": {
+            "serial_seconds": round(t_fill_serial, 4),
+            "threaded_seconds": round(t_fill_threaded, 4),
+            "speedup": round(threaded_speedup, 2),
+            "identical": threaded_identical,
+        },
         "popcount_welch": {
             "exact_seconds": round(t_welch_exact, 4),
             "bit_domain_seconds": round(t_welch_bit, 4),
@@ -256,3 +292,8 @@ def test_noise(benchmark, emit):
     assert psd_scale_diff <= 1e-10
     assert synth_speedup >= MIN_SYNTH_SPEEDUP
     assert t_welch_bit <= t_welch_exact * (1.0 + BIT_DOMAIN_TOLERANCE)
+    # Threaded row fan-out: always bit-identical; the wall-clock bar
+    # only exists where there are cores to fan out to.
+    assert threaded_identical
+    if (os.cpu_count() or 1) > 1:
+        assert threaded_speedup >= MIN_THREADED_FILL_SPEEDUP

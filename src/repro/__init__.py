@@ -23,6 +23,9 @@ The package is organized as:
 ``repro.engine``
     Batched measurement engine: stacked-record acquisition, batched
     Welch estimation and sweep fan-out (serial or multiprocess).
+``repro.store``
+    Persistent measurement result store: provenance-keyed caching,
+    resumable sweeps and retest-aware production replans.
 ``repro.instruments``
     Simulated bench instruments and the Figure-11 prototype testbench.
 ``repro.experiments``
@@ -52,6 +55,7 @@ from repro.core.normalization import NormalizationResult, ReferenceNormalizer
 from repro.digitizer.digitizer import OneBitDigitizer
 from repro.engine import MeasurementEngine
 from repro.signals.waveform import Waveform
+from repro.store import ResultStore
 
 __version__ = "1.0.0"
 
@@ -68,6 +72,7 @@ __all__ = [
     "default_pool",
     "OneBitDigitizer",
     "MeasurementEngine",
+    "ResultStore",
     "ReferenceNormalizer",
     "NormalizationResult",
     "OneBitNoiseFigureBIST",

@@ -85,6 +85,32 @@ class RecordProvenance:
             rng_mode=rng_mode,
         )
 
+    def to_dict(self) -> dict:
+        """Stable JSON-able form (the store's serialization contract).
+
+        Round-trips exactly through :meth:`from_dict`: the dict holds
+        only ints, strings and ``None``, with the spawn key as a list,
+        so canonical-JSON digests of a provenance are identical before
+        and after a disk round trip.
+        """
+        return {
+            "entropy": self.entropy,
+            "spawn_key": [int(k) for k in self.spawn_key],
+            "state": self.state,
+            "rng_mode": self.rng_mode,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RecordProvenance":
+        """Inverse of :meth:`to_dict` (equality-exact)."""
+        entropy = data.get("entropy")
+        return cls(
+            entropy=int(entropy) if entropy is not None else None,
+            spawn_key=tuple(int(k) for k in data.get("spawn_key", ())),
+            state=data.get("state"),
+            rng_mode=data.get("rng_mode", "compat"),
+        )
+
 
 def _as_sign_array(samples) -> np.ndarray:
     """Validate a +/-1 record of any numeric dtype, returned as-is."""

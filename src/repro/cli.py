@@ -7,19 +7,32 @@ Usage::
     python -m repro run table3 --fast
     python -m repro run fig10
     python -m repro run production --backend process --workers 4
+    python -m repro run production --store ./nfstore --json
+    python -m repro run record_length --store ./nfstore --resume
+    python -m repro store ls ./nfstore
+    python -m repro store info ./nfstore [KEY]
+    python -m repro store gc ./nfstore
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
 the benchmark suite (paper scale).  ``--backend``/``--workers`` pick
 the execution backend for the sweep/production experiments: every
 experiment of a ``run`` invocation shares one
 :class:`~repro.engine.MeasurementScheduler` (and, on the process
-backend, one persistent worker pool).
+backend, one persistent worker pool).  ``--store`` attaches a
+persistent :class:`~repro.store.ResultStore` (measurements cache and
+survive the process), ``--resume`` replays an interrupted sweep
+computing only what the store is missing, and ``--json`` switches the
+scheduler-driven production/record_length/robustness outputs to
+machine-readable JSON.  The ``store`` subcommand inspects and garbage-
+collects a store directory.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.reporting.series import render_series
@@ -28,11 +41,32 @@ from repro.reporting.tables import render_table
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.scheduler import MeasurementScheduler
 
-#: An experiment runner: (fast, scheduler) -> rendered table/series.
-ExperimentRunner = Callable[[bool, "MeasurementScheduler"], str]
+
+@dataclass(frozen=True)
+class RunOptions:
+    """Per-invocation options every experiment runner receives."""
+
+    fast: bool = False
+    resume: bool = False
+    as_json: bool = False
 
 
-def _run_table1(fast: bool, sched: MeasurementScheduler) -> str:
+#: An experiment runner: (options, scheduler) -> rendered output.
+ExperimentRunner = Callable[[RunOptions, "MeasurementScheduler"], str]
+
+#: Experiments whose runners honor ``--json`` / ``--resume`` (the
+#: scheduler-driven, store-aware ones).
+JSON_EXPERIMENTS = frozenset(
+    {"production", "production_retest", "record_length", "robustness"}
+)
+RESUMABLE_EXPERIMENTS = JSON_EXPERIMENTS
+
+
+def _dump_json(payload: dict) -> str:
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _run_table1(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.table1 import run_table1
 
     result = run_table1()
@@ -43,11 +77,11 @@ def _run_table1(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_table2(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_table2(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.matlab_sim import MatlabSimConfig
     from repro.experiments.table2 import run_table2
 
-    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if opts.fast else None
     result = run_table2(config, seed=2005)
     return render_table(
         ["method", "ratio", "F", "NF (dB)", "error (%)"],
@@ -59,11 +93,11 @@ def _run_table2(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_table3(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_table3(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.table3 import run_table3
 
     result = run_table3(
-        mode="paper", n_samples=2**17 if fast else 2**20, seed=2005
+        mode="paper", n_samples=2**17 if opts.fast else 2**20, seed=2005
     )
     return render_table(
         ["opamp", "expected (dB)", "measured (dB)", "error (dB)"],
@@ -75,11 +109,11 @@ def _run_table3(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_fig7(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_fig7(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig7 import run_fig7
     from repro.experiments.matlab_sim import MatlabSimConfig
 
-    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if opts.fast else None
     result = run_fig7(config, seed=2005)
     return render_table(
         ["state", "noise RMS", "ref amplitude", "crest factor"],
@@ -91,11 +125,11 @@ def _run_fig7(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_fig8(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_fig8(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig8 import run_fig8
     from repro.experiments.matlab_sim import MatlabSimConfig
 
-    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if opts.fast else None
     result = run_fig8(config, seed=2005)
     return render_table(
         ["quantity", "hot", "cold"],
@@ -107,11 +141,11 @@ def _run_fig8(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_fig9(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_fig9(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig9 import run_fig9
     from repro.experiments.matlab_sim import MatlabSimConfig
 
-    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if fast else None
+    config = MatlabSimConfig(n_samples=250_000, nperseg=5000) if opts.fast else None
     result = run_fig9(config, seed=2005)
     return render_table(
         ["stage", "hot/cold floor ratio"],
@@ -124,10 +158,10 @@ def _run_fig9(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_fig10(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_fig10(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig10 import run_fig10
 
-    result = run_fig10(n_average=2 if fast else 4, seed=2005, scheduler=sched)
+    result = run_fig10(n_average=2 if opts.fast else 4, seed=2005, scheduler=sched)
     ok = [p for p in result.points if not p.failed]
     return render_series(
         [100 * p.reference_ratio for p in ok],
@@ -138,10 +172,10 @@ def _run_fig10(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_fig13(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_fig13(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.fig13 import run_fig13
 
-    result = run_fig13(n_samples=2**17 if fast else 2**20, seed=2005)
+    result = run_fig13(n_samples=2**17 if opts.fast else 2**20, seed=2005)
     return render_table(
         ["quantity", "value"],
         [
@@ -153,11 +187,11 @@ def _run_fig13(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_uncertainty(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_uncertainty(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.uncertainty import run_uncertainty
 
     result = run_uncertainty(
-        end_to_end_n_samples=2**16 if fast else 2**18, seed=2005,
+        end_to_end_n_samples=2**16 if opts.fast else 2**18, seed=2005,
         scheduler=sched,
     )
     return render_table(
@@ -170,10 +204,10 @@ def _run_uncertainty(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_spot_nf(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_spot_nf(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.spot_nf import run_spot_nf
 
-    result = run_spot_nf(n_samples=2**17 if fast else 2**19, seed=2005)
+    result = run_spot_nf(n_samples=2**17 if opts.fast else 2**19, seed=2005)
     return render_table(
         ["band (Hz)", "expected (dB)", "linear (dB)", "corrected (dB)"],
         [
@@ -189,10 +223,10 @@ def _run_spot_nf(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_resources(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_resources(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.resources import run_resources
 
-    result = run_resources(n_samples=2**16 if fast else 2**20, seed=2005)
+    result = run_resources(n_samples=2**16 if opts.fast else 2**20, seed=2005)
     return render_table(
         ["resource", "value"],
         [
@@ -206,37 +240,74 @@ def _run_resources(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_production(fast: bool, sched: MeasurementScheduler) -> str:
+def _guardband_rows_json(rows) -> List[dict]:
+    return [
+        {
+            "guardband_sigmas": r.guardband_sigmas,
+            "guardband_db": r.guardband_db,
+            "n_pass": r.outcome.n_pass,
+            "n_retest": r.outcome.n_retest,
+            "n_fail": r.outcome.n_fail,
+            "n_escapes": r.outcome.n_escapes,
+            "n_overkill": r.outcome.n_overkill,
+        }
+        for r in rows
+    ]
+
+
+#: Guard-band sweep table shape, shared by production and retest.
+_GUARDBAND_HEADERS = [
+    "guardband (sigma)",
+    "guardband (dB)",
+    "pass",
+    "retest",
+    "fail",
+    "escapes",
+    "overkill",
+]
+
+
+def _guardband_table_rows(rows) -> List[list]:
+    return [
+        [
+            r.guardband_sigmas,
+            r.guardband_db,
+            r.outcome.n_pass,
+            r.outcome.n_retest,
+            r.outcome.n_fail,
+            r.outcome.n_escapes,
+            r.outcome.n_overkill,
+        ]
+        for r in rows
+    ]
+
+
+def _run_production(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.production import run_production
 
     result = run_production(
-        n_devices=8 if fast else 24,
-        n_samples=2**15 if fast else 2**17,
+        n_devices=8 if opts.fast else 24,
+        n_samples=2**15 if opts.fast else 2**17,
         seed=2005,
         scheduler=sched,
+        resume=opts.resume,
     )
+    if opts.as_json:
+        return _dump_json(
+            {
+                "experiment": "production",
+                "limit_db": result.limit_db,
+                "measurement_sigma_db": result.measurement_sigma_db,
+                "n_devices": result.n_devices,
+                "n_plan_groups": result.n_plan_groups,
+                "true_nf_db": result.true_nf_db,
+                "measured_nf_db": result.measured_nf_db,
+                "rows": _guardband_rows_json(result.rows),
+            }
+        )
     return render_table(
-        [
-            "guardband (sigma)",
-            "guardband (dB)",
-            "pass",
-            "retest",
-            "fail",
-            "escapes",
-            "overkill",
-        ],
-        [
-            [
-                r.guardband_sigmas,
-                r.guardband_db,
-                r.outcome.n_pass,
-                r.outcome.n_retest,
-                r.outcome.n_fail,
-                r.outcome.n_escapes,
-                r.outcome.n_overkill,
-            ]
-            for r in result.rows
-        ],
+        _GUARDBAND_HEADERS,
+        _guardband_table_rows(result.rows),
         title=(
             f"Production screen - {result.n_devices} devices, limit "
             f"{result.limit_db} dB, {result.n_plan_groups} plan group(s)"
@@ -244,12 +315,70 @@ def _run_production(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_record_length(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_production_retest(opts: RunOptions, sched: MeasurementScheduler) -> str:
+    from repro.experiments.production import run_production_retest
+
+    result = run_production_retest(
+        n_devices=8 if opts.fast else 24,
+        n_samples=2**15 if opts.fast else 2**17,
+        seed=2005,
+        scheduler=sched,
+        resume=opts.resume,
+    )
+    if opts.as_json:
+        return _dump_json(
+            {
+                "experiment": "production_retest",
+                "limit_db": result.limit_db,
+                "measurement_sigma_db": result.measurement_sigma_db,
+                "retest_guardband_sigmas": result.retest_guardband_sigmas,
+                "n_devices": result.n_devices,
+                "n_retested": result.n_retested,
+                "retest_indices": result.retest_indices,
+                "initial_from_store": result.initial_from_store,
+                "true_nf_db": result.true_nf_db,
+                "initial_nf_db": result.initial_nf_db,
+                "merged_nf_db": result.merged_nf_db,
+                "rows": _guardband_rows_json(result.rows),
+            }
+        )
+    return render_table(
+        _GUARDBAND_HEADERS,
+        _guardband_table_rows(result.rows),
+        title=(
+            f"Production retest - {result.n_retested}/{result.n_devices} "
+            f"devices re-measured"
+            + (" (initial screen from store)" if result.initial_from_store
+               else "")
+        ),
+    )
+
+
+def _run_record_length(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.record_length import run_record_length
 
-    lengths = (2**14, 2**15, 2**16) if fast else None
+    lengths = (2**14, 2**15, 2**16) if opts.fast else None
     kwargs = {} if lengths is None else {"lengths": lengths, "n_trials": 3}
-    result = run_record_length(seed=2005, scheduler=sched, **kwargs)
+    result = run_record_length(
+        seed=2005, scheduler=sched, resume=opts.resume, **kwargs
+    )
+    if opts.as_json:
+        return _dump_json(
+            {
+                "experiment": "record_length",
+                "expected_nf_db": result.expected_nf_db,
+                "points": [
+                    {
+                        "n_samples": p.n_samples,
+                        "n_trials": p.n_trials,
+                        "nf_mean_db": p.nf_mean_db,
+                        "nf_std_db": p.nf_std_db,
+                        "mean_error_db": p.mean_error_db,
+                    }
+                    for p in result.points
+                ],
+            }
+        )
     return render_table(
         ["n_samples", "trials", "NF mean (dB)", "NF std (dB)", "error (dB)"],
         [
@@ -263,12 +392,30 @@ def _run_record_length(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_robustness(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_robustness(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.robustness import run_robustness
 
     result = run_robustness(
-        n_samples=2**15 if fast else 2**18, seed=2005, scheduler=sched
+        n_samples=2**15 if opts.fast else 2**18, seed=2005, scheduler=sched,
+        resume=opts.resume,
     )
+    if opts.as_json:
+        return _dump_json(
+            {
+                "experiment": "robustness",
+                "baseline_nf_db": result.baseline_nf_db,
+                "expected_nf_db": result.expected_nf_db,
+                "points": [
+                    {
+                        "kind": p.kind,
+                        "relative_level": p.relative_level,
+                        "nf_db": p.nf_db,
+                        "shift_db": p.shift_db,
+                    }
+                    for p in result.points
+                ],
+            }
+        )
     return render_table(
         ["kind", "level", "NF (dB)", "shift (dB)"],
         [
@@ -287,11 +434,11 @@ def _run_robustness(fast: bool, sched: MeasurementScheduler) -> str:
     )
 
 
-def _run_gain_sensitivity(fast: bool, sched: MeasurementScheduler) -> str:
+def _run_gain_sensitivity(opts: RunOptions, sched: MeasurementScheduler) -> str:
     from repro.experiments.gain_sensitivity import run_gain_sensitivity
 
     result = run_gain_sensitivity(
-        n_samples=2**15 if fast else 2**17, seed=2005, scheduler=sched
+        n_samples=2**15 if opts.fast else 2**17, seed=2005, scheduler=sched
     )
     return render_table(
         ["drift", "direct analytic (dB)", "direct sim (dB)", "Y-factor (dB)"],
@@ -324,6 +471,7 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
     "resources": _run_resources,
     "spot_nf": _run_spot_nf,
     "production": _run_production,
+    "production_retest": _run_production_retest,
     "record_length": _run_record_length,
     "robustness": _run_robustness,
     "gain_sensitivity": _run_gain_sensitivity,
@@ -373,33 +521,151 @@ def build_parser() -> argparse.ArgumentParser:
         "gains on white-noise simulation benches, where records are "
         "synthesized directly as packed bits)",
     )
+    run.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="attach a persistent result store: measurements of the "
+        "scheduler-driven experiments are cached under provenance "
+        "keys (cache hits are bit-identical to recomputes) and "
+        "survive the process",
+    )
+    run.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay an interrupted sweep from the store, measuring "
+        "only the missing tasks (requires --store; "
+        + "/".join(sorted(RESUMABLE_EXPERIMENTS))
+        + " only)",
+    )
+    run.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="machine-readable JSON output ("
+        + "/".join(sorted(JSON_EXPERIMENTS))
+        + " only)",
+    )
+    store = sub.add_parser(
+        "store", help="inspect or garbage-collect a result store"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    ls = store_sub.add_parser("ls", help="list stored entries")
+    info = store_sub.add_parser(
+        "info", help="store summary, or one entry's metadata (JSON)"
+    )
+    gc = store_sub.add_parser(
+        "gc", help="remove stale-schema entries and abandoned temp files"
+    )
+    for sub_parser in (ls, info, gc):
+        sub_parser.add_argument("dir", help="store directory")
+    info.add_argument(
+        "key",
+        nargs="?",
+        default=None,
+        help="full key or unique prefix of one entry",
+    )
+    gc.add_argument(
+        "--all",
+        action="store_true",
+        dest="gc_all",
+        help="remove every entry, not just dead ones",
+    )
     return parser
+
+
+def _store_main(args) -> int:
+    """The ``store`` subcommand: ls / info / gc."""
+    from repro.store import ResultStore
+
+    store = ResultStore(args.dir)
+    index = store.index()
+    if args.store_command == "ls":
+        for entry in index:
+            print(f"{entry.key}  {entry.kind:8s}  {entry.nbytes:>10d} B")
+        return 0
+    if args.store_command == "info":
+        if args.key is None:
+            print(_dump_json(index.summary()))
+            return 0
+        matches = index.find(args.key)
+        # One key may carry several kinds (a measurement's result plus
+        # its pooled records); ambiguity means several *keys* matched.
+        keys = {entry.key for entry in matches}
+        if len(keys) != 1:
+            print(
+                f"key {args.key!r} matches {len(keys)} keys",
+                file=sys.stderr,
+            )
+            return 1
+        print(
+            _dump_json(
+                {
+                    "key": matches[0].key,
+                    "entries": [
+                        {
+                            "kind": entry.kind,
+                            "nbytes": entry.nbytes,
+                            "meta": entry.load_meta(),
+                        }
+                        for entry in matches
+                    ],
+                }
+            )
+        )
+        return 0
+    removed = store.gc(all_entries=args.gc_all)
+    print(_dump_json(removed))
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
-    if args.command == "run" and args.workers is not None:
-        if args.backend != "process":
+    if args.command == "store":
+        return _store_main(args)
+    if args.command == "run":
+        if args.workers is not None and args.backend != "process":
             parser.error("--workers requires --backend process")
+        if args.resume and args.store is None:
+            parser.error("--resume requires --store")
+        if args.as_json and args.experiment not in JSON_EXPERIMENTS:
+            parser.error(
+                "--json supports " + "/".join(sorted(JSON_EXPERIMENTS))
+            )
+        if args.resume and args.experiment not in RESUMABLE_EXPERIMENTS:
+            parser.error(
+                "--resume supports " + "/".join(sorted(RESUMABLE_EXPERIMENTS))
+            )
     if args.command == "list":
         for name in sorted(EXPERIMENTS):
             print(name)
         return 0
     from repro.engine.scheduler import MeasurementScheduler
 
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    opts = RunOptions(
+        fast=args.fast, resume=args.resume, as_json=args.as_json
+    )
     # One scheduler per invocation: `run all --backend process` reuses a
-    # single worker pool across every experiment.
+    # single worker pool (and one store) across every experiment.
     with MeasurementScheduler(
-        backend=args.backend, max_workers=args.workers, rng_mode=args.rng_mode
+        backend=args.backend,
+        max_workers=args.workers,
+        rng_mode=args.rng_mode,
+        store=store,
     ) as sched:
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):
-                print(EXPERIMENTS[name](args.fast, sched))
+                print(EXPERIMENTS[name](opts, sched))
                 print()
             return 0
-        print(EXPERIMENTS[args.experiment](args.fast, sched))
+        print(EXPERIMENTS[args.experiment](opts, sched))
     return 0
 
 

@@ -39,7 +39,9 @@ from repro.engine.scheduler import (
     WorkerPool,
     as_scheduler,
     plan_measurements,
+    plan_retest,
 )
+from repro.store import ResultStore
 from repro.engine.shm import (
     SharedPackedBatch,
     WelchParams,
@@ -59,12 +61,14 @@ __all__ = [
     "MeasurementScheduler",
     "MeasurementTask",
     "PlanGroup",
+    "ResultStore",
     "SharedPackedBatch",
     "WelchParams",
     "WorkerPool",
     "as_scheduler",
     "default_pool",
     "plan_measurements",
+    "plan_retest",
     "publish_packed_tasks",
     "resolve_shared_task",
     "run_serial",

@@ -65,12 +65,18 @@ from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+from repro.store.keys import measurement_key
+from repro.store.store import ResultStore
 
 from repro.engine.executors import run_serial, run_with_processes
 from repro.engine.scheduler import WorkerPool
 from repro.engine.shm import WelchParams, welch_batch_shared
 
 _BACKENDS = ("vectorized", "process")
+
+#: Store interaction modes: whether cached results are consulted
+#: (``read``) and whether fresh results are persisted (``write``).
+_CACHE_MODES = ("off", "read", "write", "readwrite")
 
 #: Smallest packed batch the process backend fans out to workers.  A
 #: fresh ``ProcessPoolExecutor`` costs pool spawn + per-child import —
@@ -200,6 +206,27 @@ class MeasurementEngine:
         in the packed Welch kernels.  Philox results are deterministic
         per seed and statistically equivalent to compat, not
         bit-identical.
+    store:
+        A :class:`~repro.store.ResultStore` to consult and fill.  With
+        one attached, :meth:`measure` computes each measurement's
+        provenance key (:meth:`task_key`) and returns the stored
+        result on a hit — bit-identical to a recompute by the store's
+        serialization contract — and planned scheduler runs persist
+        and resume through the same keys.  Uncacheable tasks
+        (``rng=None``, unfingerprintable sources) transparently bypass
+        the store.
+    cache:
+        Store interaction mode: ``"readwrite"`` (default), ``"read"``
+        (hit but never write — e.g. frozen golden stores), ``"write"``
+        (record but never trust — cache-warming / validation runs) or
+        ``"off"``.  Ignored without a ``store``.
+    store_records:
+        Also persist the pooled packed records behind each
+        :meth:`measure` acquisition (under the measurement's own key),
+        so later runs can re-analyze without re-acquiring — the
+        provenance-allowing record reuse the retest planner exploits.
+        Records are only stored for packed acquisitions (float stacks
+        are 64x the size and transcode losslessly anyway).
     """
 
     def __init__(
@@ -210,10 +237,21 @@ class MeasurementEngine:
         packed: bool = True,
         pool: Optional[WorkerPool] = None,
         rng_mode: str = "compat",
+        store: Optional[ResultStore] = None,
+        cache: str = "readwrite",
+        store_records: bool = False,
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
                 f"backend must be one of {_BACKENDS}, got {backend!r}"
+            )
+        if cache not in _CACHE_MODES:
+            raise ConfigurationError(
+                f"cache must be one of {_CACHE_MODES}, got {cache!r}"
+            )
+        if store is not None and not isinstance(store, ResultStore):
+            raise ConfigurationError(
+                f"store must be a ResultStore, got {type(store).__name__}"
             )
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -228,8 +266,47 @@ class MeasurementEngine:
         self.block_segments = int(block_segments)
         self.packed = bool(packed)
         self.rng_mode = validate_rng_mode(rng_mode)
+        self.store = store
+        self.cache = cache
+        self.store_records = bool(store_records)
         self._pool = pool
         self._owns_pool = pool is None
+
+    # ------------------------------------------------------------------
+    # Result store
+    # ------------------------------------------------------------------
+    @property
+    def cache_reads(self) -> bool:
+        """Whether stored results are consulted before measuring."""
+        return self.store is not None and self.cache in ("read", "readwrite")
+
+    @property
+    def cache_writes(self) -> bool:
+        """Whether fresh results are persisted to the store."""
+        return self.store is not None and self.cache in ("write", "readwrite")
+
+    def task_key(
+        self,
+        source,
+        estimator: OneBitNoiseFigureBIST,
+        rng: GeneratorLike,
+    ) -> Optional[str]:
+        """Content address of ``measure(source, estimator, rng)``.
+
+        ``None`` when no store is attached or the task is uncacheable —
+        an OS-entropy seed (``rng=None``) or a source the fingerprinter
+        cannot reduce deterministically.  Uncacheable tasks simply run
+        without store participation; they are never an error.
+        """
+        if self.store is None:
+            return None
+        try:
+            return measurement_key(
+                source, estimator, rng, rng_mode=self.rng_mode
+            )
+        except (ConfigurationError, TypeError, ValueError):
+            # Unfingerprintable source/estimator: uncacheable, not fatal.
+            return None
 
     # ------------------------------------------------------------------
     # Pool lifetime
@@ -349,12 +426,49 @@ class MeasurementEngine:
         Mirrors ``estimator.measure(source.acquire_bitstream, rng)``
         (same generator spawning, bit-exact records) but acquires both
         states as one stacked batch and shares one batched Welch pass.
+
+        With a :class:`~repro.store.ResultStore` attached (``store=`` /
+        ``cache=``), the measurement's provenance key is consulted
+        first: a stored result is returned as-is (bit-identical to a
+        recompute), stored pooled records short-circuit the acquisition
+        and only re-run the analysis, and a full miss measures normally
+        and persists.  Uncacheable tasks (``rng=None``) bypass the
+        store entirely.
         """
+        # Key on the caller's seed, not the resolved generator — an
+        # OS-entropy run (rng=None) must stay uncacheable even though
+        # the generator it resolves to has a readable state.
+        key = self.task_key(source, estimator, rng)
         gen = make_rng(rng)
+        if key is not None and self.cache_reads:
+            cached = self.store.get_result(key)
+            if cached is not None:
+                # Consume the same lineage a cold measure would: a
+                # caller reusing this generator must see identical
+                # spawn counts whether the store hit or not.
+                spawn_rngs(gen, 2)
+                return cached
+            pooled = self.store.get_records(key)
+            if pooled is not None:
+                # Provenance-matched pooled records: the acquisition
+                # already happened in some earlier run — re-analyze
+                # only (same batched Welch pass as a live measure).
+                spawn_rngs(gen, 2)
+                batch = self.spectra_of(
+                    pooled, pooled.sample_rate, estimator
+                )
+                result = self._estimate_pairs(batch, [estimator], False)[0]
+                if self.cache_writes:
+                    self.store.put_result(key, result)
+                return result
         rng_hot, rng_cold = spawn_rngs(gen, 2)
-        results = self._measure_pairs(
+        results, records = self._measure_pairs(
             source, estimator, [(rng_hot, rng_cold)], allow_failures=False
         )
+        if key is not None and self.cache_writes:
+            self.store.put_result(key, results[0])
+            if self.store_records and isinstance(records, PackedRecordBatch):
+                self.store.put_records(key, records)
         return results[0]
 
     def run_batch(
@@ -386,7 +500,10 @@ class MeasurementEngine:
         pairs = [
             tuple(spawn_rngs(child, 2)) for child in spawn_rngs(gen, n_repeats)
         ]
-        return self._measure_pairs(source, estimator, pairs, allow_failures)
+        results, _ = self._measure_pairs(
+            source, estimator, pairs, allow_failures
+        )
+        return results
 
     def _acquire(
         self,
@@ -414,7 +531,7 @@ class MeasurementEngine:
         estimator: OneBitNoiseFigureBIST,
         pairs: Sequence[Tuple[np.random.Generator, np.random.Generator]],
         allow_failures: bool,
-    ) -> List[Optional[BISTResult]]:
+    ) -> Tuple[List[Optional[BISTResult]], Union[np.ndarray, PackedRecordBatch]]:
         states: List[str] = []
         rngs: List[np.random.Generator] = []
         for rng_hot, rng_cold in pairs:
@@ -442,7 +559,10 @@ class MeasurementEngine:
             )
         check_bitstream_samples(records, "batched")
         batch = self.spectra_of(records, sample_rate, estimator)
-        return self._estimate_pairs(batch, [estimator] * len(pairs), allow_failures)
+        results = self._estimate_pairs(
+            batch, [estimator] * len(pairs), allow_failures
+        )
+        return results, records
 
     def _estimate_pairs(
         self,

@@ -38,6 +38,7 @@ from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.bist import OneBitNoiseFigureBIST
+from repro.core.production import Verdict
 from repro.errors import ConfigurationError, MeasurementError
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike
@@ -48,6 +49,7 @@ __all__ = [
     "PlanGroup",
     "MeasurementPlan",
     "plan_measurements",
+    "plan_retest",
     "MeasurementScheduler",
     "as_scheduler",
 ]
@@ -240,11 +242,40 @@ class MeasurementPlan:
                 out.append(None)
         return out
 
+    def _task_keys(self, engine) -> Optional[List[Optional[str]]]:
+        """Provenance keys of every task, or ``None`` without a store.
+
+        Computed *before* any execution: a task generator's key covers
+        its spawn count, so keying after the group ran would address a
+        different (consumed) stream.
+        """
+        if getattr(engine, "store", None) is None:
+            return None
+        return [
+            engine.task_key(t.source, t.estimator, t.rng)
+            for t in self.tasks
+        ]
+
+    def _commit(self, engine, keys, group, out, results) -> None:
+        """Scatter one group's results; persist them when the engine
+        writes to a store (per group, so an interrupted plan keeps
+        every group that completed)."""
+        for index, result in zip(group.indices, out):
+            results[index] = result
+            if (
+                keys is not None
+                and keys[index] is not None
+                and result is not None
+                and engine.cache_writes
+            ):
+                engine.store.put_result(keys[index], result)
+
     def run(
         self,
         engine,
         allow_failures: bool = False,
         pipeline: Union[bool, str] = "auto",
+        resume: bool = False,
     ) -> List:
         """Execute the plan on an engine; results in task order.
 
@@ -259,7 +290,17 @@ class MeasurementPlan:
         choice.  Either way the computations, their generators and the
         task-ordered results are identical to sequential execution —
         only the wall-clock interleaving changes.
+
+        With a store-carrying engine, every completed group's results
+        are persisted as the plan advances, and ``resume=True`` replays
+        an interrupted plan by loading stored results and re-planning
+        *only* the missing tasks into fresh sub-batches — stored tasks
+        are never re-acquired.  Results are identical to a cold run
+        (the store round-trip is bit-exact).
         """
+        if resume:
+            return self._run_resumed(engine, allow_failures, pipeline)
+        keys = self._task_keys(engine)
         if not self._resolve_pipeline(engine, pipeline):
             results: List = [None] * len(self.tasks)
             for group in self.groups:
@@ -273,12 +314,38 @@ class MeasurementPlan:
                     )
                 else:
                     out = self._measure_fallback(engine, tasks, allow_failures)
-                for index, result in zip(group.indices, out):
-                    results[index] = result
+                self._commit(engine, keys, group, out, results)
             return results
-        return self._run_pipelined(engine, allow_failures)
+        return self._run_pipelined(engine, allow_failures, keys)
 
-    def _run_pipelined(self, engine, allow_failures: bool) -> List:
+    def _run_resumed(
+        self, engine, allow_failures: bool, pipeline: Union[bool, str]
+    ) -> List:
+        """Load stored tasks, re-plan and run only the missing ones."""
+        if getattr(engine, "store", None) is None or not engine.cache_reads:
+            raise ConfigurationError(
+                "resume=True needs an engine with a store in a "
+                "read-capable cache mode"
+            )
+        keys = self._task_keys(engine)
+        results: List = [None] * len(self.tasks)
+        missing: List[int] = []
+        for i, key in enumerate(keys):
+            hit = engine.store.get_result(key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                missing.append(i)
+        if missing:
+            subplan = plan_measurements([self.tasks[i] for i in missing])
+            sub_results = subplan.run(
+                engine, allow_failures=allow_failures, pipeline=pipeline
+            )
+            for local, i in enumerate(missing):
+                results[i] = sub_results[local]
+        return results
+
+    def _run_pipelined(self, engine, allow_failures: bool, keys=None) -> List:
         """Double-buffered execution: acquire group k+1 during group
         k's analysis.
 
@@ -298,10 +365,9 @@ class MeasurementPlan:
                     # flight beyond the one being analyzed, so a long
                     # plan never stacks up record batches.
                     done_group, done_future = pending.pop(0)
-                    for index, result in zip(
-                        done_group.indices, done_future.result()
-                    ):
-                        results[index] = result
+                    self._commit(
+                        engine, keys, done_group, done_future.result(), results
+                    )
                 tasks = [self.tasks[i] for i in group.indices]
                 if group.batched:
                     batch = engine.acquire_devices(
@@ -320,8 +386,7 @@ class MeasurementPlan:
                     )
                 pending.append((group, future))
             for group, future in pending:
-                for index, result in zip(group.indices, future.result()):
-                    results[index] = result
+                self._commit(engine, keys, group, future.result(), results)
         return results
 
 
@@ -379,6 +444,81 @@ def plan_measurements(tasks: Sequence) -> MeasurementPlan:
     return MeasurementPlan(tasks=coerced, groups=tuple(groups))
 
 
+def _needs_retest(verdict) -> bool:
+    """Whether a prior verdict sends a device back to the tester."""
+    if isinstance(verdict, Verdict):
+        return verdict in (Verdict.FAIL, Verdict.RETEST)
+    if isinstance(verdict, str):
+        try:
+            return _needs_retest(Verdict(verdict))
+        except ValueError:
+            raise ConfigurationError(
+                f"unknown verdict {verdict!r}; expected one of "
+                f"{[v.value for v in Verdict]}"
+            ) from None
+    if isinstance(verdict, bool):
+        return verdict
+    raise ConfigurationError(
+        f"verdicts must be Verdict, verdict strings or bools, got "
+        f"{type(verdict).__name__}"
+    )
+
+
+def plan_retest(
+    tasks: Sequence,
+    verdicts: Sequence,
+    retest_rngs: Optional[Sequence[GeneratorLike]] = None,
+) -> MeasurementPlan:
+    """Plan only the failed / guard-band devices of a prior screen.
+
+    ``tasks`` is the full lot exactly as the original screen planned it
+    (one per device, in device order); ``verdicts`` the prior
+    production outcome per device (:class:`~repro.core.production.
+    Verdict`, its string values, or booleans where ``True`` means
+    re-measure).  Devices whose verdict is ``FAIL`` or ``RETEST`` are
+    re-planned into compatible sub-batches under the usual rules —
+    every other device belongs to no group, so :meth:`MeasurementPlan.
+    run` leaves its slot ``None`` and the caller merges prior results
+    over it (which is what makes a retest lot strictly cheaper than a
+    full re-screen).
+
+    ``retest_rngs`` optionally replaces the re-measured devices'
+    generators (one entry per *task*, aligned with ``tasks``; entries
+    of devices that are not re-measured are ignored).  Without it the
+    retest replays each device's original seed — a pure recompute,
+    which provenance-keyed stores will serve from cache.
+    """
+    coerced = list(_coerce_task(t) for t in tasks)
+    verdicts = list(verdicts)
+    if len(verdicts) != len(coerced):
+        raise ConfigurationError(
+            f"got {len(coerced)} tasks but {len(verdicts)} verdicts"
+        )
+    retest = [i for i, v in enumerate(verdicts) if _needs_retest(v)]
+    if retest_rngs is not None:
+        retest_rngs = list(retest_rngs)
+        if len(retest_rngs) != len(coerced):
+            raise ConfigurationError(
+                f"got {len(coerced)} tasks but {len(retest_rngs)} "
+                "retest generators"
+            )
+        for i in retest:
+            task = coerced[i]
+            coerced[i] = MeasurementTask(
+                task.source, task.estimator, retest_rngs[i]
+            )
+    subplan = plan_measurements([coerced[i] for i in retest])
+    groups = tuple(
+        PlanGroup(
+            group.key,
+            tuple(retest[local] for local in group.indices),
+            batched=group.batched,
+        )
+        for group in subplan.groups
+    )
+    return MeasurementPlan(tasks=tuple(coerced), groups=groups)
+
+
 # ----------------------------------------------------------------------
 # Scheduler facade
 # ----------------------------------------------------------------------
@@ -409,6 +549,9 @@ class MeasurementScheduler:
         max_workers: Optional[int] = None,
         packed: bool = True,
         rng_mode: str = "compat",
+        store=None,
+        cache: str = "readwrite",
+        store_records: bool = False,
     ):
         from repro.engine.engine import MeasurementEngine
 
@@ -418,11 +561,14 @@ class MeasurementScheduler:
                 or max_workers is not None
                 or not packed
                 or rng_mode != "compat"
+                or store is not None
+                or cache != "readwrite"
+                or store_records
             ):
                 raise ConfigurationError(
                     "pass either an engine or backend/max_workers/packed/"
-                    "rng_mode — an explicit engine already carries its "
-                    "own configuration"
+                    "rng_mode/store/cache/store_records — an explicit "
+                    "engine already carries its own configuration"
                 )
             self.engine = engine
             self._owns_engine = False
@@ -439,12 +585,20 @@ class MeasurementScheduler:
                 max_workers=max_workers,
                 packed=packed,
                 rng_mode=validate_rng_mode(rng_mode),
+                store=store,
+                cache=cache,
+                store_records=store_records,
             )
             self._owns_engine = True
 
     @property
     def backend(self) -> str:
         return self.engine.backend
+
+    @property
+    def store(self):
+        """The engine's result store (``None`` when persistence is off)."""
+        return self.engine.store
 
     @property
     def pool(self) -> Optional[WorkerPool]:
@@ -461,6 +615,7 @@ class MeasurementScheduler:
         tasks: Sequence,
         allow_failures: bool = False,
         pipeline: Union[bool, str] = "auto",
+        resume: bool = False,
     ) -> List:
         """Plan and execute a heterogeneous screen, results in task order.
 
@@ -470,8 +625,31 @@ class MeasurementScheduler:
         process backend).  ``pipeline`` (default ``"auto"``) overlaps
         one group's acquisition with the previous group's Welch
         fan-out on the pool — see :meth:`MeasurementPlan.run`.
+        ``resume=True`` (store-backed engines) loads already-persisted
+        tasks and recomputes only the missing ones.
         """
         return self.plan(tasks).run(
+            self.engine,
+            allow_failures=allow_failures,
+            pipeline=pipeline,
+            resume=resume,
+        )
+
+    def run_retest(
+        self,
+        tasks: Sequence,
+        verdicts: Sequence,
+        retest_rngs: Optional[Sequence[GeneratorLike]] = None,
+        allow_failures: bool = False,
+        pipeline: Union[bool, str] = "auto",
+    ) -> List:
+        """Re-measure only the failed / guard-band devices of a lot.
+
+        Results come back in task order with ``None`` for devices whose
+        prior verdict stands (the caller merges prior measurements over
+        them) — see :func:`plan_retest`.
+        """
+        return plan_retest(tasks, verdicts, retest_rngs=retest_rngs).run(
             self.engine, allow_failures=allow_failures, pipeline=pipeline
         )
 

@@ -25,13 +25,15 @@ from repro.core.bist import OneBitNoiseFigureBIST
 from repro.core.production import (
     PopulationOutcome,
     ProductionNfScreen,
+    Verdict,
     screen_population,
 )
 from repro.engine import MeasurementEngine, MeasurementTask
 from repro.engine.scheduler import MeasurementScheduler, as_scheduler
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, MeasurementError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+from repro.store.keys import SCHEMA_VERSION, digest, seed_fingerprint
 
 
 def _build_device_bench(true_nf_db: float, n_samples: int):
@@ -65,6 +67,74 @@ def _per_device(value, n_devices: int, name: str) -> List[int]:
             f"got {n_devices} devices but {len(values)} {name} values"
         )
     return values
+
+
+def _draw_lot(
+    limit_db: float,
+    nf_spread_db: float,
+    n_devices: int,
+    seed: GeneratorLike,
+):
+    """The lot's true NFs and per-device generators (the screen's RNG
+    discipline, shared with the retest path so both reproduce the same
+    lot from one seed)."""
+    gen = make_rng(seed)
+    draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
+    true_values = draw_rng.uniform(
+        limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
+    )
+    return true_values, device_rngs
+
+
+def _lot_tasks(true_values, samples_by_device, nperseg_by_device, device_rngs):
+    """One planned measurement task per device of the lot."""
+    benches = [
+        _build_device_bench(float(true_nf), device_samples)
+        for true_nf, device_samples in zip(true_values, samples_by_device)
+    ]
+    estimators = [
+        bench.make_estimator(nperseg=device_nperseg)
+        for bench, device_nperseg in zip(benches, nperseg_by_device)
+    ]
+    return [
+        MeasurementTask(bench, estimator, rng)
+        for bench, estimator, rng in zip(benches, estimators, device_rngs)
+    ]
+
+
+def production_lot_key(
+    limit_db: float,
+    nf_spread_db: float,
+    n_devices: int,
+    samples_by_device,
+    nperseg_by_device,
+    measurement_sigma_db: float,
+    seed: GeneratorLike,
+    rng_mode: str,
+) -> Optional[str]:
+    """Content address of one production lot's screen outcome.
+
+    Covers everything that determines the lot and its measurements
+    (``None`` for unrepeatable seeds): the retest flow uses it to find
+    a prior outcome in the store without re-running the screen.
+    """
+    seed_fp = seed_fingerprint(seed)
+    if seed_fp is None:
+        return None
+    return digest(
+        {
+            "schema": SCHEMA_VERSION,
+            "kind": "production_lot",
+            "limit_db": float(limit_db),
+            "nf_spread_db": float(nf_spread_db),
+            "n_devices": int(n_devices),
+            "n_samples": [int(v) for v in samples_by_device],
+            "nperseg": [int(v) for v in nperseg_by_device],
+            "measurement_sigma_db": float(measurement_sigma_db),
+            "seed": seed_fp,
+            "rng_mode": str(rng_mode),
+        }
+    )
 
 
 @dataclass(frozen=True)
@@ -106,6 +176,7 @@ def run_production(
     multi_device_batch: Optional[bool] = None,
     nperseg: Union[int, Sequence[int]] = 8192,
     scheduler: Optional[MeasurementScheduler] = None,
+    resume: bool = False,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
@@ -126,6 +197,12 @@ def run_production(
     ``multi_device_batch`` overrides the choice explicitly; the
     per-device generators make every path produce identical
     measurements.
+
+    A store-backed scheduler persists every device's measurement plus
+    the lot's outcome manifest (keyed by :func:`production_lot_key`) as
+    the screen advances; ``resume=True`` replays an interrupted screen
+    measuring only the devices the store is missing (results identical
+    to a cold run).
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
@@ -139,35 +216,37 @@ def run_production(
         len(set(samples_by_device)) == 1 and len(set(nperseg_by_device)) == 1
     )
     if multi_device_batch is None:
-        multi_device_batch = not (eng.backend == "process" and homogeneous)
-    gen = make_rng(seed)
-    draw_rng, *device_rngs = spawn_rngs(gen, n_devices + 1)
-    true_values = draw_rng.uniform(
-        limit_db - nf_spread_db, limit_db + nf_spread_db, size=n_devices
+        # Resuming needs per-device provenance keys, which only the
+        # planned path computes — map_sweep workers rebuild benches
+        # inside the worker, out of the key's reach.
+        multi_device_batch = resume or not (
+            eng.backend == "process" and homogeneous
+        )
+    # Key the lot before drawing it: drawing spawns children off a
+    # generator seed, and the key must address the pre-draw lineage
+    # (the one the retest flow can recompute).  The manifest write
+    # follows the engine's cache mode — a read-only ("frozen") store
+    # is never written.
+    lot_key = None
+    if eng.cache_writes:
+        lot_key = production_lot_key(
+            limit_db, nf_spread_db, n_devices, samples_by_device,
+            nperseg_by_device, measurement_sigma_db, seed, eng.rng_mode,
+        )
+    true_values, device_rngs = _draw_lot(
+        limit_db, nf_spread_db, n_devices, seed
     )
 
     n_plan_groups = 1
     if multi_device_batch:
-        benches = [
-            _build_device_bench(float(true_nf), device_samples)
-            for true_nf, device_samples in zip(true_values, samples_by_device)
-        ]
-        estimators = [
-            bench.make_estimator(nperseg=device_nperseg)
-            for bench, device_nperseg in zip(benches, nperseg_by_device)
-        ]
-        plan = sched.plan(
-            [
-                MeasurementTask(bench, estimator, rng)
-                for bench, estimator, rng in zip(
-                    benches, estimators, device_rngs
-                )
-            ]
+        tasks = _lot_tasks(
+            true_values, samples_by_device, nperseg_by_device, device_rngs
         )
+        plan = sched.plan(tasks)
         n_plan_groups = plan.n_groups
-        results = plan.run(eng)
+        results = plan.run(eng, resume=resume)
         measured_values = [r.noise_figure_db for r in results]
-        estimator: Optional[OneBitNoiseFigureBIST] = estimators[-1]
+        estimator: Optional[OneBitNoiseFigureBIST] = tasks[-1].estimator
     else:
         tasks = [
             (float(true_nf), device_samples, device_nperseg)
@@ -183,6 +262,19 @@ def run_production(
         estimator = _build_device_bench(
             float(true_values[-1]), samples_by_device[-1]
         ).make_estimator(nperseg=nperseg_by_device[-1])
+
+    if lot_key is not None:
+        sched.store.put_outcome(
+            lot_key,
+            {
+                "kind": "production_lot",
+                "limit_db": float(limit_db),
+                "measurement_sigma_db": float(measurement_sigma_db),
+                "n_devices": int(n_devices),
+                "true_nf_db": [float(v) for v in true_values],
+                "measured_nf_db": [float(v) for v in measured_values],
+            },
+        )
 
     rows = []
     for sigmas in guardband_sigmas:
@@ -208,4 +300,196 @@ def run_production(
         measured_nf_db=measured_values,
         rows=rows,
         n_plan_groups=n_plan_groups,
+    )
+
+
+@dataclass(frozen=True)
+class RetestResult:
+    """The end-to-end screen -> persist -> replan-failures loop.
+
+    ``merged_nf_db`` holds the lot's final measurements: the initial
+    screen's value for devices whose verdict stood, the retest
+    measurement for every failed / guard-band device.  ``rows`` sweeps
+    the guard band over the merged lot, exactly as
+    :class:`ProductionResult` does over the initial one.
+    """
+
+    limit_db: float
+    measurement_sigma_db: float
+    retest_guardband_sigmas: float
+    n_devices: int
+    true_nf_db: List[float]
+    initial_nf_db: List[float]
+    retest_indices: List[int]
+    merged_nf_db: List[float]
+    rows: List[GuardbandRow]
+    initial_from_store: bool
+
+    @property
+    def n_retested(self) -> int:
+        """Devices the replan actually re-measured."""
+        return len(self.retest_indices)
+
+
+def retest_rngs_for(seed: GeneratorLike, n_devices: int):
+    """The deterministic retest generators of a lot.
+
+    Children of the lot seed *beyond* the ones the initial screen
+    consumed (draw + one per device), so retest measurements are
+    independent of the first pass yet reproducible from the same seed —
+    which is what lets a merged retest outcome be compared against a
+    full re-screen using the same streams.
+    """
+    children = spawn_rngs(make_rng(seed), 1 + 2 * n_devices)
+    return children[1 + n_devices :]
+
+
+def run_production_retest(
+    limit_db: float = 8.0,
+    nf_spread_db: float = 1.5,
+    n_devices: int = 24,
+    guardband_sigmas: Sequence[float] = (0.0, 1.0, 2.0),
+    retest_guardband_sigmas: float = 2.0,
+    n_samples: Union[int, Sequence[int]] = 2**17,
+    measurement_sigma_db: float = 0.45,
+    seed: GeneratorLike = 2005,
+    retest_seed: Optional[GeneratorLike] = None,
+    nperseg: Union[int, Sequence[int]] = 8192,
+    engine: Optional[MeasurementEngine] = None,
+    scheduler: Optional[MeasurementScheduler] = None,
+    resume: bool = False,
+) -> RetestResult:
+    """Screen a lot, persist it, and re-measure only its failures.
+
+    The production loop the store exists for:
+
+    1. *Screen.*  The lot's prior outcome is looked up in the
+       scheduler's store under :func:`production_lot_key`; on a miss
+       the initial screen runs now (persisting per-device results and
+       the outcome manifest as it goes).
+    2. *Replan.*  Devices whose measurement lands above the
+       guard-banded limit (``retest_guardband_sigmas``) — the FAIL and
+       RETEST bins — are re-planned through
+       :func:`~repro.engine.scheduler.plan_retest` with fresh,
+       deterministic retest generators (:func:`retest_rngs_for`, or
+       ``retest_seed``); every other device is *not acquired again*.
+    3. *Merge.*  Retest measurements replace the initial ones; the
+       guard-band sweep reruns over the merged lot.
+
+    The merged outcome equals a full re-screen in which retested
+    devices use their retest generators and every other device its
+    original one — asserted in the integration tests — while measuring
+    only the failed / guard-band fraction of the lot.
+
+    ``seed`` must be a repeatable integer: the retest flow draws the
+    lot twice (once to address the store, once inside the screen), so
+    a stateful generator — whose lineage the first draw would consume
+    — cannot reproduce the same lot and is rejected outright.
+    """
+    if not isinstance(seed, (int, np.integer)):
+        raise ConfigurationError(
+            "run_production_retest needs a repeatable integer seed "
+            f"(got {type(seed).__name__}); generators are consumed by "
+            "the first lot draw and cannot re-address the same lot"
+        )
+    sched = as_scheduler(engine=engine, scheduler=scheduler)
+    eng = sched.engine
+    samples_by_device = _per_device(n_samples, n_devices, "n_samples")
+    nperseg_by_device = _per_device(nperseg, n_devices, "nperseg")
+    # Trusting a stored outcome is a cache *read*; a write-only engine
+    # re-screens and only records.
+    lot_key = (
+        production_lot_key(
+            limit_db, nf_spread_db, n_devices, samples_by_device,
+            nperseg_by_device, measurement_sigma_db, seed, eng.rng_mode,
+        )
+        if sched.store is not None
+        else None
+    )
+    prior = (
+        sched.store.get_outcome(lot_key)
+        if lot_key is not None and eng.cache_reads
+        else None
+    )
+
+    true_values, device_rngs = _draw_lot(
+        limit_db, nf_spread_db, n_devices, seed
+    )
+    if prior is not None:
+        stored_true = [float(v) for v in prior["true_nf_db"]]
+        if stored_true != [float(v) for v in true_values]:
+            raise MeasurementError(
+                "stored production outcome does not reproduce from this "
+                "seed (store written by different parameters?)"
+            )
+        initial_values = [float(v) for v in prior["measured_nf_db"]]
+    else:
+        initial = run_production(
+            limit_db=limit_db,
+            nf_spread_db=nf_spread_db,
+            n_devices=n_devices,
+            guardband_sigmas=guardband_sigmas,
+            n_samples=n_samples,
+            measurement_sigma_db=measurement_sigma_db,
+            seed=seed,
+            nperseg=nperseg,
+            scheduler=sched,
+            multi_device_batch=True,
+            resume=resume,
+        )
+        initial_values = list(initial.measured_nf_db)
+
+    tasks = _lot_tasks(
+        true_values, samples_by_device, nperseg_by_device, device_rngs
+    )
+    screen = ProductionNfScreen(
+        tasks[-1].estimator,
+        limit_db=limit_db,
+        measurement_sigma_db=measurement_sigma_db,
+        guardband_sigmas=float(retest_guardband_sigmas),
+    )
+    verdicts = [screen.classify(float(v)) for v in initial_values]
+    retest_indices = [
+        i
+        for i, v in enumerate(verdicts)
+        if v in (Verdict.FAIL, Verdict.RETEST)
+    ]
+    if retest_seed is not None:
+        retest_rngs = spawn_rngs(make_rng(retest_seed), n_devices)
+    else:
+        retest_rngs = retest_rngs_for(seed, n_devices)
+    retested = sched.run_retest(tasks, verdicts, retest_rngs=retest_rngs)
+
+    merged = [
+        float(initial_values[i])
+        if retested[i] is None
+        else float(retested[i].noise_figure_db)
+        for i in range(n_devices)
+    ]
+    rows = []
+    for sigmas in guardband_sigmas:
+        merged_screen = ProductionNfScreen(
+            tasks[-1].estimator,
+            limit_db=limit_db,
+            measurement_sigma_db=measurement_sigma_db,
+            guardband_sigmas=float(sigmas),
+        )
+        rows.append(
+            GuardbandRow(
+                guardband_sigmas=float(sigmas),
+                guardband_db=merged_screen.guardband_db,
+                outcome=screen_population(merged_screen, true_values, merged),
+            )
+        )
+    return RetestResult(
+        limit_db=limit_db,
+        measurement_sigma_db=measurement_sigma_db,
+        retest_guardband_sigmas=float(retest_guardband_sigmas),
+        n_devices=n_devices,
+        true_nf_db=[float(v) for v in true_values],
+        initial_nf_db=[float(v) for v in initial_values],
+        retest_indices=retest_indices,
+        merged_nf_db=merged,
+        rows=rows,
+        initial_from_store=prior is not None,
     )

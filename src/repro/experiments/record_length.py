@@ -57,6 +57,7 @@ def run_record_length(
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
     scheduler: Optional[MeasurementScheduler] = None,
+    resume: bool = False,
 ) -> RecordLengthResult:
     """Sweep the record length; repeat each point ``n_trials`` times.
 
@@ -65,6 +66,11 @@ def run_record_length(
     into their own compatible sub-batch (lengths differ, so they cannot
     share one), with the same per-trial generators as the serial loop,
     so the statistics are unchanged.
+
+    On a store-backed scheduler every trial persists as its sub-batch
+    completes, and ``resume=True`` replays an interrupted sweep
+    measuring only the missing trials (statistics identical to a cold
+    run — the store round-trip is bit-exact).
     """
     lengths = [int(n) for n in lengths]
     if not lengths:
@@ -92,7 +98,7 @@ def run_record_length(
             MeasurementTask(bench, estimator, child)
             for child in spawn_rngs(make_rng(rng), n_trials)
         ]
-    results = sched.run(tasks)
+    results = sched.run(tasks, resume=resume)
 
     points = []
     for k, n_samples in enumerate(lengths):

@@ -81,6 +81,7 @@ def run_robustness(
     seed: GeneratorLike = 2005,
     engine: Optional[MeasurementEngine] = None,
     scheduler: Optional[MeasurementScheduler] = None,
+    resume: bool = False,
 ) -> RobustnessResult:
     """Sweep comparator non-idealities; share the seed across settings so
     shifts isolate the systematic effect.
@@ -126,6 +127,7 @@ def run_robustness(
             for bench in benches
         ],
         allow_failures=True,
+        resume=resume,
     )
     if results[0] is None:
         raise MeasurementError("baseline measurement lost its reference line")

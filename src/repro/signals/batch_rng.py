@@ -46,6 +46,8 @@ results agree within ordinary statistical scatter.
 from __future__ import annotations
 
 import math
+import os
+from concurrent.futures import ThreadPoolExecutor
 from typing import Optional, Sequence, Union
 
 import numpy as np
@@ -65,6 +67,11 @@ __all__ = [
 
 #: Accepted random-synthesis modes, in documentation order.
 RNG_MODES = ("compat", "philox")
+
+#: Row size below which a threaded fill cannot beat its dispatch cost —
+#: ziggurat throughput is ~1e8 samples/s/core, so rows shorter than
+#: this finish in well under a millisecond each.
+MIN_THREADED_FILL_SAMPLES = 1 << 16
 
 
 def validate_rng_mode(rng_mode: str) -> str:
@@ -125,12 +132,36 @@ class BatchNoiseGenerator:
         return len(self._gens)
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _resolve_fill_threads(
+        threads: Optional[int], n_streams: int, n_samples: int
+    ) -> int:
+        """Worker count for a row fan-out (1 = stay serial).
+
+        ``None`` auto-scales: rows are independent and
+        ``standard_normal(out=row)`` releases the GIL for the whole
+        C-level ziggurat pass, so on multi-core hosts one thread per
+        row (capped at the CPU count) fills the matrix in parallel.
+        Single-core hosts and small rows stay serial — there the
+        fan-out is pure dispatch overhead.
+        """
+        if threads is not None:
+            if threads < 1:
+                raise ConfigurationError(
+                    f"threads must be >= 1, got {threads}"
+                )
+            return min(int(threads), n_streams) if n_streams else 1
+        if n_streams < 2 or n_samples < MIN_THREADED_FILL_SAMPLES:
+            return 1
+        return max(1, min(n_streams, os.cpu_count() or 1))
+
     def normal_matrix(
         self,
         n_samples: int,
         mean: float = 0.0,
         scale: Union[float, np.ndarray] = 1.0,
         out: Optional[np.ndarray] = None,
+        threads: Optional[int] = None,
     ) -> np.ndarray:
         """Fill a ``(n_streams, n_samples)`` Gaussian noise matrix.
 
@@ -141,6 +172,13 @@ class BatchNoiseGenerator:
         temporaries, copies or Python-level sample loops), then a
         single vectorized multiply/add applies scale and mean to the
         whole matrix.
+
+        On multi-core hosts the per-row fills fan out over a thread
+        pool (``threads=None`` auto-sizes; pass ``1`` to force the
+        serial loop): numpy releases the GIL while filling a
+        preallocated row, and each row is written by its own stream
+        regardless of scheduling order, so threaded output is
+        bit-identical to serial.
         """
         n = int(n_samples)
         if n < 0:
@@ -155,8 +193,18 @@ class BatchNoiseGenerator:
             )
         if n == 0:
             return out
-        for i, gen in enumerate(self._gens):
-            gen.standard_normal(n, out=out[i])
+        n_workers = self._resolve_fill_threads(threads, self.n_streams, n)
+        if n_workers > 1:
+            with ThreadPoolExecutor(max_workers=n_workers) as pool:
+                list(
+                    pool.map(
+                        lambda i: self._gens[i].standard_normal(n, out=out[i]),
+                        range(self.n_streams),
+                    )
+                )
+        else:
+            for i, gen in enumerate(self._gens):
+                gen.standard_normal(n, out=out[i])
         scale_arr = np.asarray(scale, dtype=float)
         if scale_arr.ndim == 0:
             if float(scale_arr) != 1.0:

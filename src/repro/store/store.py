@@ -1,0 +1,372 @@
+"""The on-disk measurement result store.
+
+Layout (all paths relative to the store root)::
+
+    store.json                      # {"schema": N} — created with the store
+    results/<k2>/<key>.npz          # serialized BISTResults
+    records/<k2>/<key>.npz          # serialized PackedRecordBatches
+    outcomes/<k2>/<key>.npz         # experiment-level JSON outcomes
+
+where ``<key>`` is the 64-hex-digit content address
+(:func:`repro.store.keys.measurement_key` for measurements) and
+``<k2>`` its first two hex digits — a flat fan-out that keeps
+directories small at production scale and makes the store trivially
+shardable by key prefix.
+
+Durability discipline: every write lands in a temporary file in the
+destination directory and is published with ``os.replace`` — readers
+(including concurrent processes) never observe a torn entry, and a
+crash mid-write leaves only a ``*.tmp`` orphan that :meth:`ResultStore.gc`
+reclaims.  Entries are content-addressed, so overwriting an existing
+key is a no-op by construction (same key ⇒ same bytes) and
+:meth:`ResultStore.put_result` skips the disk work entirely.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+import pathlib
+import tempfile
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.bitstream import PackedRecordBatch
+from repro.core.bist import BISTResult
+from repro.errors import ConfigurationError
+
+from repro.store import serialize
+from repro.store.keys import SCHEMA_VERSION, digest
+
+__all__ = ["ResultStore", "StoreEntry", "StoreIndex"]
+
+#: Entry kinds, in layout order.
+KINDS = ("results", "records", "outcomes")
+
+_KEY_LEN = 64  # sha256 hex
+
+#: How old a temp file must be before ``gc`` treats it as a crashed
+#: write — a concurrent writer finishes its publish within seconds, an
+#: orphan sits forever.
+TMP_GRACE_SECONDS = 600.0
+
+
+def _check_key(key: str) -> str:
+    if (
+        not isinstance(key, str)
+        or len(key) != _KEY_LEN
+        or any(c not in "0123456789abcdef" for c in key)
+    ):
+        raise ConfigurationError(
+            f"store keys are {_KEY_LEN}-char lowercase hex digests, got "
+            f"{key!r}"
+        )
+    return key
+
+
+@dataclass(frozen=True)
+class StoreEntry:
+    """One stored artifact, as the index enumerates it."""
+
+    key: str
+    kind: str
+    path: pathlib.Path
+    nbytes: int
+    mtime: float
+
+    def load_meta(self) -> dict:
+        """The entry's JSON header (no array data is materialized)."""
+        with np.load(self.path, allow_pickle=False) as archive:
+            return serialize.decode_meta(archive[serialize.META_MEMBER])
+
+
+class StoreIndex:
+    """A point-in-time enumeration of a store's entries.
+
+    Built by :meth:`ResultStore.index` from one directory walk; holds
+    only paths and sizes (metadata loads lazily per entry), so indexing
+    a large store stays cheap.
+    """
+
+    def __init__(self, entries: Sequence[StoreEntry]):
+        self.entries: List[StoreEntry] = sorted(
+            entries, key=lambda e: (e.kind, e.key)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[StoreEntry]:
+        return iter(self.entries)
+
+    @property
+    def total_bytes(self) -> int:
+        """Stored bytes across every entry."""
+        return sum(e.nbytes for e in self.entries)
+
+    def by_kind(self, kind: str) -> List[StoreEntry]:
+        """Entries of one kind, key-sorted."""
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"kind must be one of {KINDS}, got {kind!r}"
+            )
+        return [e for e in self.entries if e.kind == kind]
+
+    def find(self, key_or_prefix: str) -> List[StoreEntry]:
+        """Entries whose key starts with a (possibly partial) key."""
+        return [
+            e for e in self.entries if e.key.startswith(key_or_prefix)
+        ]
+
+    def summary(self) -> dict:
+        """Machine-readable totals (the ``store info`` payload)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "n_entries": len(self.entries),
+            "total_bytes": self.total_bytes,
+            "kinds": {
+                kind: {
+                    "n_entries": len(self.by_kind(kind)),
+                    "total_bytes": sum(
+                        e.nbytes for e in self.by_kind(kind)
+                    ),
+                }
+                for kind in KINDS
+            },
+        }
+
+
+class ResultStore:
+    """Persistent, content-addressed measurement store.
+
+    Parameters
+    ----------
+    root:
+        Store directory; created (with its marker file) when missing.
+        An existing directory is accepted only if it is empty or a
+        store of the current or an older schema (older entries can
+        never be hit and are gc-able); a directory holding anything
+        else, or a store from a *newer* schema, is refused.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = pathlib.Path(root)
+        marker = self.root / "store.json"
+        if marker.exists():
+            try:
+                info = json.loads(marker.read_text())
+                schema = int(info["schema"])
+            except (json.JSONDecodeError, KeyError, TypeError, ValueError):
+                raise ConfigurationError(
+                    f"{marker} is not a valid store marker"
+                ) from None
+            if schema > SCHEMA_VERSION:
+                raise ConfigurationError(
+                    f"{self.root} was created by a newer schema "
+                    f"({schema} > {SCHEMA_VERSION}); refusing to mix "
+                    "formats"
+                )
+            # An older marker is fine: entries carry their own schema
+            # and stale ones are gc-able.
+            self.schema = schema
+        elif self.root.exists() and any(self.root.iterdir()):
+            raise ConfigurationError(
+                f"{self.root} exists, is not empty and is not a result "
+                "store (no store.json marker)"
+            )
+        else:
+            self.root.mkdir(parents=True, exist_ok=True)
+            self._write_atomic(
+                marker,
+                json.dumps({"schema": SCHEMA_VERSION}, sort_keys=True).encode(),
+            )
+            self.schema = SCHEMA_VERSION
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r}, schema={self.schema})"
+
+    # ------------------------------------------------------------------
+    # Paths and atomic IO
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> pathlib.Path:
+        return self.root / kind / key[:2] / f"{key}.npz"
+
+    @staticmethod
+    def _write_atomic(path: pathlib.Path, data: bytes) -> None:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - already published
+                pass
+            raise
+
+    def _put_payload(
+        self, kind: str, key: str, meta: dict, arrays: Dict[str, np.ndarray]
+    ) -> bool:
+        """Publish one payload; returns False when the key exists
+        (content-addressed ⇒ identical bytes, nothing to do)."""
+        path = self._path(kind, _check_key(key))
+        if path.exists():
+            return False
+        buffer = io.BytesIO()
+        np.savez(
+            buffer,
+            **{serialize.META_MEMBER: serialize.encode_meta(meta)},
+            **arrays,
+        )
+        self._write_atomic(path, buffer.getvalue())
+        return True
+
+    def _get_payload(self, kind: str, key: str):
+        path = self._path(kind, _check_key(key))
+        if not path.exists():
+            return None
+        with np.load(path, allow_pickle=False) as archive:
+            meta = serialize.decode_meta(archive[serialize.META_MEMBER])
+            arrays = {
+                name: archive[name]
+                for name in archive.files
+                if name != serialize.META_MEMBER
+            }
+        return meta, arrays
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def put_result(self, key: str, result: BISTResult) -> bool:
+        """Persist one measurement result; no-op on an existing key."""
+        meta, arrays = serialize.payload_from_result(result)
+        return self._put_payload("results", key, meta, arrays)
+
+    def get_result(self, key: str) -> Optional[BISTResult]:
+        """The stored result for a key, or ``None`` on a miss."""
+        payload = self._get_payload("results", key)
+        if payload is None:
+            return None
+        return serialize.result_from_payload(*payload)
+
+    def has_result(self, key: str) -> bool:
+        """Whether a result is stored under a key (no deserialization)."""
+        return self._path("results", _check_key(key)).exists()
+
+    # ------------------------------------------------------------------
+    # Packed record batches
+    # ------------------------------------------------------------------
+    def put_records(self, key: str, batch: PackedRecordBatch) -> bool:
+        """Persist the pooled packed records behind a measurement."""
+        meta, arrays = serialize.payload_from_records(batch)
+        return self._put_payload("records", key, meta, arrays)
+
+    def get_records(self, key: str) -> Optional[PackedRecordBatch]:
+        """The stored packed batch for a key, or ``None`` on a miss."""
+        payload = self._get_payload("records", key)
+        if payload is None:
+            return None
+        return serialize.records_from_payload(*payload)
+
+    def has_records(self, key: str) -> bool:
+        """Whether pooled records are stored under a key."""
+        return self._path("records", _check_key(key)).exists()
+
+    # ------------------------------------------------------------------
+    # Experiment-level outcomes (JSON documents)
+    # ------------------------------------------------------------------
+    def put_outcome(self, key: str, outcome: dict) -> bool:
+        """Persist an experiment-level JSON outcome (e.g. a production
+        lot manifest).  Values must be JSON-serializable; floats
+        round-trip exactly."""
+        meta = {
+            "kind": "outcome",
+            "schema": SCHEMA_VERSION,
+            "outcome": outcome,
+        }
+        return self._put_payload("outcomes", key, meta, {})
+
+    def get_outcome(self, key: str) -> Optional[dict]:
+        """The stored outcome document, or ``None`` on a miss."""
+        payload = self._get_payload("outcomes", key)
+        if payload is None:
+            return None
+        meta, _ = payload
+        if meta.get("schema") != SCHEMA_VERSION:
+            raise ConfigurationError(
+                f"outcome schema {meta.get('schema')!r} does not match "
+                f"code schema {SCHEMA_VERSION} (stale entry; run gc)"
+            )
+        return meta["outcome"]
+
+    def has_outcome(self, key: str) -> bool:
+        """Whether an outcome document is stored under a key."""
+        return self._path("outcomes", _check_key(key)).exists()
+
+    def outcome_key(self, document: dict) -> str:
+        """Content address for an outcome identity document."""
+        return digest({"schema": SCHEMA_VERSION, "outcome_id": document})
+
+    # ------------------------------------------------------------------
+    # Enumeration and GC
+    # ------------------------------------------------------------------
+    def index(self) -> StoreIndex:
+        """Enumerate every entry currently in the store."""
+        entries: List[StoreEntry] = []
+        for kind in KINDS:
+            base = self.root / kind
+            if not base.is_dir():
+                continue
+            for path in sorted(base.glob("??/*.npz")):
+                stat = path.stat()
+                entries.append(
+                    StoreEntry(
+                        key=path.stem,
+                        kind=kind,
+                        path=path,
+                        nbytes=stat.st_size,
+                        mtime=stat.st_mtime,
+                    )
+                )
+        return StoreIndex(entries)
+
+    def gc(self, all_entries: bool = False) -> dict:
+        """Reclaim dead storage; returns ``{"n_removed", "bytes_freed"}``.
+
+        Removes abandoned temporary files (crashed writes older than
+        :data:`TMP_GRACE_SECONDS` — a live writer publishes within
+        seconds, so fresh temp files are left for it), entries whose
+        payload is unreadable or whose schema no longer matches the
+        code (their keys embed the old schema version, so they can
+        never be hit again), and — with ``all_entries`` — every entry.
+        """
+        n_removed = 0
+        bytes_freed = 0
+        now = time.time()
+        for tmp in self.root.rglob("*.tmp"):
+            stat = tmp.stat()
+            if not all_entries and now - stat.st_mtime < TMP_GRACE_SECONDS:
+                continue  # possibly a concurrent writer mid-publish
+            bytes_freed += stat.st_size
+            tmp.unlink()
+            n_removed += 1
+        for entry in self.index():
+            if not all_entries:
+                try:
+                    schema = entry.load_meta().get("schema")
+                except Exception:
+                    schema = None  # unreadable ⇒ dead
+                if schema == SCHEMA_VERSION:
+                    continue
+            bytes_freed += entry.nbytes
+            entry.path.unlink()
+            n_removed += 1
+        return {"n_removed": n_removed, "bytes_freed": bytes_freed}

@@ -119,3 +119,121 @@ class TestBackendOptions:
         )
         out = capsys.readouterr().out
         assert "Gain-drift sensitivity" in out
+
+
+class TestStoreOptions:
+    def test_store_resume_json_parsed(self):
+        args = build_parser().parse_args(
+            ["run", "production", "--store", "/tmp/s", "--resume", "--json"]
+        )
+        assert args.store == "/tmp/s"
+        assert args.resume is True
+        assert args.as_json is True
+
+    def test_resume_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["run", "production", "--fast", "--resume"])
+
+    def test_json_restricted_to_supported_experiments(self):
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--json"])
+
+    def test_resume_restricted_to_supported_experiments(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(
+                ["run", "table1", "--resume", "--store", str(tmp_path / "s")]
+            )
+
+    def test_registry_includes_retest(self):
+        assert "production_retest" in EXPERIMENTS
+
+    def test_run_production_json(self, capsys):
+        import json
+
+        assert main(["run", "production", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "production"
+        assert payload["n_devices"] == 8
+        assert len(payload["measured_nf_db"]) == 8
+        assert {"n_pass", "n_fail", "n_escapes"} <= set(payload["rows"][0])
+
+    def test_run_robustness_json(self, capsys):
+        import json
+
+        assert main(["run", "robustness", "--fast", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["experiment"] == "robustness"
+        assert payload["points"]
+
+    def test_run_with_store_caches_and_resumes(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "nfstore")
+        argv = ["run", "production", "--fast", "--store", store_dir, "--json"]
+        assert main(argv) == 0
+        cold = json.loads(capsys.readouterr().out)
+        assert main(argv + ["--resume"]) == 0
+        resumed = json.loads(capsys.readouterr().out)
+        # Resumed values reproduce the stored screen bit for bit.
+        assert resumed["measured_nf_db"] == cold["measured_nf_db"]
+        assert resumed["rows"] == cold["rows"]
+
+
+class TestStoreSubcommand:
+    def _populate(self, store_dir):
+        assert (
+            main(["run", "production", "--fast", "--store", store_dir]) == 0
+        )
+
+    def test_ls_and_info(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "ls", store_dir]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines and all("results" in l or "outcomes" in l for l in lines)
+
+        import json
+
+        assert main(["store", "info", store_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["n_entries"] == len(lines)
+        assert summary["kinds"]["results"]["n_entries"] >= 8
+
+        key = lines[0].split()[0]
+        assert main(["store", "info", store_dir, key[:12]]) == 0
+        entry = json.loads(capsys.readouterr().out)
+        assert entry["key"] == key
+        assert entry["entries"][0]["meta"]["schema"] >= 1
+
+    def test_info_ambiguous_prefix_fails(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "info", store_dir, ""]) == 1
+
+    def test_gc_clean_store_removes_nothing(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        import json
+
+        assert main(["store", "gc", store_dir]) == 0
+        removed = json.loads(capsys.readouterr().out)
+        assert removed["n_removed"] == 0
+
+    def test_gc_all_empties_store(self, tmp_path, capsys):
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        import json
+
+        assert main(["store", "gc", store_dir, "--all"]) == 0
+        removed = json.loads(capsys.readouterr().out)
+        assert removed["n_removed"] > 0
+        assert main(["store", "info", store_dir]) == 0
+        assert json.loads(capsys.readouterr().out)["n_entries"] == 0
+
+    def test_store_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store"])

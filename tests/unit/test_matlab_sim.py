@@ -71,3 +71,114 @@ class TestSimulation:
         assert est.t_hot_k == 10000.0
         assert est.t_cold_k == 1000.0
         assert est.config.harmonic_kind == "odd"
+
+
+class TestPhiloxFallbackPaths:
+    """Philox packed acquisition outside the Bernoulli model.
+
+    Hysteresis makes comparator decisions state-dependent and latch
+    jitter randomizes the sampling instants, so direct Bernoulli
+    synthesis must *fall back* to counter-based noise fills plus the
+    regular digitize path — deterministically, and bit-identical to the
+    float-path philox digitization of the same streams.
+    """
+
+    def _sim(self):
+        return MatlabSimulation(
+            MatlabSimConfig(n_samples=20_000, nperseg=1000)
+        )
+
+    def _digitizer(self, kind):
+        from repro.digitizer.comparator import Comparator
+        from repro.digitizer.digitizer import OneBitDigitizer
+        from repro.digitizer.sampler import SampledLatch
+
+        if kind == "hysteresis":
+            return OneBitDigitizer(
+                comparator=Comparator(hysteresis_v=0.02)
+            )
+        if kind == "jitter":
+            return OneBitDigitizer(
+                sampler=SampledLatch(1, jitter_rms_samples=0.5)
+            )
+        raise AssertionError(kind)
+
+    def _acquire(self, sim, dig, packed, seed=3):
+        from repro.signals.random import spawn_rngs
+
+        return sim.acquire_bitstreams(
+            ["hot", "cold"],
+            spawn_rngs(seed, 2),
+            digitizer=dig,
+            packed=packed,
+            rng_mode="philox",
+        )
+
+    @pytest.mark.parametrize("kind", ["hysteresis", "jitter"])
+    def test_fallback_thresholds_refused(self, kind):
+        sim = self._sim()
+        assert (
+            sim._bernoulli_thresholds("hot", self._digitizer(kind)) is None
+        )
+
+    @pytest.mark.parametrize("kind", ["hysteresis", "jitter"])
+    def test_fallback_is_deterministic(self, kind):
+        sim = self._sim()
+        batch_a, rate_a = self._acquire(sim, self._digitizer(kind), True)
+        batch_b, rate_b = self._acquire(sim, self._digitizer(kind), True)
+        assert rate_a == rate_b
+        assert np.array_equal(batch_a.words, batch_b.words)
+
+    @pytest.mark.parametrize("kind", ["hysteresis", "jitter"])
+    def test_fallback_matches_float_philox_path(self, kind):
+        # The packed fallback draws the same philox noise and runs the
+        # same digitizer as the float path, record by record — so the
+        # unpacked bits must match the float digitization exactly.
+        sim = self._sim()
+        packed, rate_packed = self._acquire(sim, self._digitizer(kind), True)
+        floats, rate_float = self._acquire(sim, self._digitizer(kind), False)
+        assert rate_packed == rate_float
+        assert np.array_equal(packed.unpack(), np.asarray(floats))
+
+    @pytest.mark.parametrize("kind", ["hysteresis", "jitter"])
+    def test_fallback_records_carry_philox_provenance(self, kind):
+        batch, _ = self._acquire(self._sim(), self._digitizer(kind), True)
+        assert batch.provenance is not None
+        assert all(p.rng_mode == "philox" for p in batch.provenance)
+
+    def test_fallback_statistics_match_fast_path(self):
+        # Same stochastic process either side of the model boundary: the
+        # hysteresis-free bench takes the direct Bernoulli path, the
+        # hysteretic one the fallback; with a tiny hysteresis their bit
+        # fractions must agree to well under binomial scatter.
+        from repro.digitizer.comparator import Comparator
+        from repro.digitizer.digitizer import OneBitDigitizer
+
+        sim = self._sim()
+        fast, _ = self._acquire(sim, OneBitDigitizer(), True)
+        tiny = OneBitDigitizer(comparator=Comparator(hysteresis_v=1e-9))
+        slow, _ = self._acquire(sim, tiny, True)
+        frac_fast = np.unpackbits(
+            fast.words, axis=-1, count=fast.n_samples
+        ).mean(axis=-1)
+        frac_slow = np.unpackbits(
+            slow.words, axis=-1, count=slow.n_samples
+        ).mean(axis=-1)
+        assert np.abs(frac_fast - frac_slow).max() < 0.02
+
+    def test_fast_path_still_taken_when_model_allows(self):
+        # Offset, comparator input noise and clock division fold into
+        # the Bernoulli model — these digitizers must NOT fall back.
+        from repro.digitizer.comparator import Comparator
+        from repro.digitizer.digitizer import OneBitDigitizer
+        from repro.digitizer.sampler import SampledLatch
+
+        sim = self._sim()
+        for dig in (
+            OneBitDigitizer(comparator=Comparator(offset_v=0.01)),
+            OneBitDigitizer(
+                comparator=Comparator(input_noise_rms=0.01)
+            ),
+            OneBitDigitizer(sampler=SampledLatch(2)),
+        ):
+            assert sim._bernoulli_thresholds("cold", dig) is not None

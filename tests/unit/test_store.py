@@ -1,0 +1,455 @@
+"""Tests for repro.store: keys, serialization, the on-disk store."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.bitstream import PackedRecordBatch, RecordProvenance
+from repro.core.bist import BISTResult
+from repro.core.normalization import NormalizationResult
+from repro.dsp.spectrum import Spectrum
+from repro.errors import ConfigurationError
+from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.signals.random import make_rng, spawn_rngs
+from repro.store import (
+    SCHEMA_VERSION,
+    ResultStore,
+    canonical_json,
+    digest,
+    fingerprint,
+    measurement_key,
+    seed_fingerprint,
+)
+from repro.store.serialize import (
+    payload_from_records,
+    payload_from_result,
+    records_from_payload,
+    result_from_payload,
+)
+
+
+def _sim(**overrides):
+    kwargs = dict(n_samples=20_000, nperseg=1000)
+    kwargs.update(overrides)
+    return MatlabSimulation(MatlabSimConfig(**kwargs))
+
+
+def _result(seed=7, **overrides) -> BISTResult:
+    sim = _sim(**overrides)
+    estimator = sim.make_estimator()
+    return estimator.measure(sim.bitstream, rng=seed)
+
+
+def assert_results_identical(a: BISTResult, b: BISTResult) -> None:
+    """Field-by-field bit identity (dataclass == chokes on arrays)."""
+    for name in (
+        "y",
+        "noise_factor",
+        "noise_figure_db",
+        "noise_temperature_k",
+        "band_power_hot",
+        "band_power_cold",
+        "t_hot_k",
+        "t_cold_k",
+    ):
+        assert getattr(a, name) == getattr(b, name), name
+    na, nb = a.normalization, b.normalization
+    for name in (
+        "line_frequency_hot_hz",
+        "line_frequency_cold_hz",
+        "line_power_hot",
+        "line_power_cold",
+        "scale_hot",
+        "scale_cold",
+    ):
+        assert getattr(na, name) == getattr(nb, name), name
+    for spec_a, spec_b in ((na.hot, nb.hot), (na.cold, nb.cold)):
+        assert np.array_equal(spec_a.frequencies, spec_b.frequencies)
+        assert np.array_equal(spec_a.psd, spec_b.psd)
+        assert spec_a.enbw_hz == spec_b.enbw_hz
+
+
+class TestFingerprint:
+    def test_scalars_pass_through(self):
+        assert fingerprint(3) == 3
+        assert fingerprint(0.25) == 0.25
+        assert fingerprint("hot") == "hot"
+        assert fingerprint(None) is None
+        assert fingerprint(True) is True
+
+    def test_numpy_scalars_normalize(self):
+        assert fingerprint(np.float64(0.5)) == 0.5
+        assert fingerprint(np.int32(5)) == 5
+
+    def test_non_finite_floats_survive_canonical_json(self):
+        canonical_json(fingerprint(float("inf")))
+        canonical_json(fingerprint(float("nan")))
+
+    def test_arrays_hash_content(self):
+        a = fingerprint(np.arange(8.0))
+        b = fingerprint(np.arange(8.0))
+        c = fingerprint(np.arange(8.0) + 1e-12)
+        assert a == b
+        assert a != c
+
+    def test_objects_use_public_attrs_only(self):
+        sim_a, sim_b = _sim(), _sim()
+        sim_b.reference_waveform()  # populate a private cache
+        assert fingerprint(sim_a) == fingerprint(sim_b)
+
+    def test_bench_fingerprint_sees_nested_config(self):
+        from repro.digitizer.comparator import Comparator
+        from repro.digitizer.digitizer import OneBitDigitizer
+
+        ideal = fingerprint(OneBitDigitizer())
+        offset = fingerprint(
+            OneBitDigitizer(comparator=Comparator(offset_v=0.01))
+        )
+        assert ideal != offset
+
+    def test_unfingerprintable_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fingerprint(lambda: None)
+
+    def test_canonical_json_is_stable(self):
+        data = fingerprint({"b": 1, "a": [2.5, "x"]})
+        assert canonical_json(data) == canonical_json(
+            json.loads(canonical_json(data))
+        )
+        assert digest(data) == digest(json.loads(canonical_json(data)))
+
+
+class TestSeedFingerprint:
+    def test_none_is_uncacheable(self):
+        assert seed_fingerprint(None) is None
+
+    def test_int_seed_is_stable(self):
+        assert seed_fingerprint(7) == seed_fingerprint(7)
+        assert seed_fingerprint(7) != seed_fingerprint(8)
+
+    def test_generator_matches_its_int_seed(self):
+        assert seed_fingerprint(np.random.default_rng(7)) == seed_fingerprint(7)
+
+    def test_consumed_generator_differs(self):
+        gen = np.random.default_rng(7)
+        fresh = seed_fingerprint(7)
+        gen.standard_normal(4)
+        assert seed_fingerprint(gen) != fresh
+
+    def test_spawned_generator_differs(self):
+        # Spawning consumes lineage (children already handed out), so a
+        # generator that spawned differs from a fresh one even though
+        # its own draw state is untouched.
+        gen = np.random.default_rng(7)
+        fresh = seed_fingerprint(7)
+        spawn_rngs(gen, 2)
+        assert seed_fingerprint(gen) != fresh
+
+    def test_spawn_children_are_distinct(self):
+        a, b = spawn_rngs(7, 2)
+        assert seed_fingerprint(a) != seed_fingerprint(b)
+
+
+class TestMeasurementKey:
+    def test_stable_and_seed_sensitive(self):
+        sim = _sim()
+        est = sim.make_estimator()
+        key = measurement_key(sim, est, 7)
+        assert key == measurement_key(sim, est, 7)
+        assert key != measurement_key(sim, est, 8)
+        assert measurement_key(sim, est, None) is None
+
+    @pytest.mark.parametrize(
+        "override",
+        [
+            {"nperseg": 2000},
+            {"n_samples": 24_000},
+            {"reference_frequency_hz": 120.0},
+            {"reference_ratio": 0.25},
+            {"t_hot_k": 9000.0},
+        ],
+    )
+    def test_any_config_change_changes_key(self, override):
+        sim = _sim()
+        base = measurement_key(sim, sim.make_estimator(), 7)
+        other = _sim(**override)
+        changed = measurement_key(other, other.make_estimator(), 7)
+        assert base != changed
+
+    def test_rng_mode_in_key(self):
+        sim = _sim()
+        est = sim.make_estimator()
+        assert measurement_key(sim, est, 7) != measurement_key(
+            sim, est, 7, rng_mode="philox"
+        )
+
+    def test_estimator_analysis_params_in_key(self):
+        sim = _sim()
+        base = sim.make_estimator()
+        config = sim.make_config()
+        from dataclasses import replace
+
+        from repro.core.bist import OneBitNoiseFigureBIST
+
+        widened = OneBitNoiseFigureBIST(
+            replace(config, overlap=0.25),
+            t_hot_k=base.t_hot_k,
+            t_cold_k=base.t_cold_k,
+        )
+        assert measurement_key(sim, base, 7) != measurement_key(
+            sim, widened, 7
+        )
+
+
+class TestRecordProvenanceRoundTrip:
+    def test_round_trip_identity(self):
+        child = spawn_rngs(2005, 3)[1]
+        prov = RecordProvenance.from_rng(child, state="hot", rng_mode="philox")
+        back = RecordProvenance.from_dict(prov.to_dict())
+        assert back == prov
+        assert back.spawn_key == prov.spawn_key
+        assert back.rng_mode == "philox"
+
+    def test_round_trip_survives_json(self):
+        prov = RecordProvenance.from_rng(make_rng(9), state="cold")
+        back = RecordProvenance.from_dict(
+            json.loads(json.dumps(prov.to_dict()))
+        )
+        assert back == prov
+
+    def test_serialized_digest_is_stable(self):
+        prov = RecordProvenance.from_rng(make_rng(9), state="cold")
+        once = digest(prov.to_dict())
+        again = digest(
+            RecordProvenance.from_dict(prov.to_dict()).to_dict()
+        )
+        assert once == again
+
+    def test_digest_changes_with_any_field(self):
+        prov = RecordProvenance(entropy=9, spawn_key=(1,), state="hot")
+        base = digest(prov.to_dict())
+        for changed in (
+            RecordProvenance(entropy=10, spawn_key=(1,), state="hot"),
+            RecordProvenance(entropy=9, spawn_key=(2,), state="hot"),
+            RecordProvenance(entropy=9, spawn_key=(1,), state="cold"),
+            RecordProvenance(
+                entropy=9, spawn_key=(1,), state="hot", rng_mode="philox"
+            ),
+        ):
+            assert digest(changed.to_dict()) != base
+
+    def test_none_entropy_round_trips(self):
+        prov = RecordProvenance()
+        assert RecordProvenance.from_dict(prov.to_dict()) == prov
+
+
+class TestResultSerialization:
+    def test_round_trip_bit_identical(self):
+        result = _result()
+        meta, arrays = payload_from_result(result)
+        back = result_from_payload(
+            json.loads(json.dumps(meta)), arrays
+        )
+        assert_results_identical(result, back)
+
+    def test_wrong_kind_rejected(self):
+        result = _result()
+        meta, arrays = payload_from_result(result)
+        meta["kind"] = "something_else"
+        with pytest.raises(ConfigurationError):
+            result_from_payload(meta, arrays)
+
+    def test_stale_schema_rejected(self):
+        result = _result()
+        meta, arrays = payload_from_result(result)
+        meta["schema"] = SCHEMA_VERSION + 1
+        with pytest.raises(ConfigurationError):
+            result_from_payload(meta, arrays)
+
+    def test_non_result_rejected(self):
+        with pytest.raises(ConfigurationError):
+            payload_from_result({"not": "a result"})
+
+
+class TestRecordsSerialization:
+    def _batch(self):
+        sim = _sim()
+        rngs = spawn_rngs(5, 4)
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold", "hot", "cold"], rngs, packed=True
+        )
+        return batch
+
+    def test_round_trip_bit_identical(self):
+        batch = self._batch()
+        meta, arrays = payload_from_records(batch)
+        back = records_from_payload(json.loads(json.dumps(meta)), arrays)
+        assert np.array_equal(back.words, batch.words)
+        assert back.n_samples == batch.n_samples
+        assert back.sample_rate == batch.sample_rate
+        assert back.provenance == batch.provenance
+
+    def test_non_batch_rejected(self):
+        with pytest.raises(ConfigurationError):
+            payload_from_records(np.zeros((2, 8)))
+
+
+class TestResultStore:
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        result = _result()
+        key = "ab" * 32
+        assert not store.has_result(key)
+        assert store.get_result(key) is None
+        assert store.put_result(key, result)
+        assert store.has_result(key)
+        assert_results_identical(store.get_result(key), result)
+
+    def test_put_existing_key_is_noop(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "cd" * 32
+        assert store.put_result(key, _result())
+        assert not store.put_result(key, _result())
+
+    def test_records_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        sim = _sim()
+        batch, _ = sim.acquire_bitstreams(
+            ["hot", "cold"], spawn_rngs(3, 2), packed=True
+        )
+        key = "ef" * 32
+        assert store.put_records(key, batch)
+        back = store.get_records(key)
+        assert np.array_equal(back.words, batch.words)
+
+    def test_outcome_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        doc = {"measured": [1.5, 2.5], "limit_db": 8.0}
+        key = store.outcome_key({"lot": 1})
+        assert store.put_outcome(key, doc)
+        assert store.get_outcome(key) == doc
+        assert store.has_outcome(key)
+
+    def test_bad_key_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ConfigurationError):
+            store.has_result("not-a-key")
+        with pytest.raises(ConfigurationError):
+            store.put_result("AB" * 32, _result())  # uppercase
+
+    def test_reopen_existing_store(self, tmp_path):
+        root = tmp_path / "s"
+        key = "12" * 32
+        ResultStore(root).put_result(key, _result())
+        store = ResultStore(root)
+        assert store.schema == SCHEMA_VERSION
+        assert store.has_result(key)
+
+    def test_refuses_foreign_directory(self, tmp_path):
+        (tmp_path / "something.txt").write_text("hello")
+        with pytest.raises(ConfigurationError):
+            ResultStore(tmp_path)
+
+    def test_index_enumerates_and_summarizes(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("11" * 32, _result())
+        store.put_result("22" * 32, _result())
+        index = store.index()
+        assert len(index) == 2
+        assert {e.kind for e in index} == {"results"}
+        summary = index.summary()
+        assert summary["n_entries"] == 2
+        assert summary["kinds"]["results"]["n_entries"] == 2
+        assert summary["total_bytes"] == index.total_bytes > 0
+        assert len(index.find("11")) == 1
+
+    def test_entry_meta_loads(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("33" * 32, _result())
+        entry = store.index().entries[0]
+        meta = entry.load_meta()
+        assert meta["kind"] == "bist_result"
+        assert meta["schema"] == SCHEMA_VERSION
+
+    def test_gc_removes_tmp_and_stale(self, tmp_path):
+        import os
+        import time
+
+        store = ResultStore(tmp_path / "s")
+        store.put_result("44" * 32, _result())
+        # a crashed write leaves an orphan temp file; backdate it past
+        # the concurrent-writer grace period
+        orphan = store.root / "results" / "44" / "junk.tmp"
+        orphan.write_bytes(b"partial")
+        old = time.time() - 7200
+        os.utime(orphan, (old, old))
+        # a stale-schema entry can never be hit again
+        stale_key = "55" * 32
+        store.put_result(stale_key, _result())
+        stale = store._path("results", stale_key)
+        import io
+
+        import numpy as np  # noqa: F811 - local to build the payload
+
+        from repro.store.serialize import encode_meta
+
+        buffer = io.BytesIO()
+        np.savez(
+            buffer, __meta__=encode_meta({"kind": "bist_result", "schema": -1})
+        )
+        stale.write_bytes(buffer.getvalue())
+        removed = store.gc()
+        assert removed["n_removed"] == 2
+        assert store.has_result("44" * 32)
+        assert not store.has_result(stale_key)
+
+    def test_gc_spares_fresh_tmp_files(self, tmp_path):
+        # A just-written temp file may belong to a concurrent writer
+        # mid-publish; gc must leave it alone.
+        store = ResultStore(tmp_path / "s")
+        fresh = store.root / "results" / "ab" / "inflight.tmp"
+        fresh.parent.mkdir(parents=True)
+        fresh.write_bytes(b"partial")
+        assert store.gc()["n_removed"] == 0
+        assert fresh.exists()
+
+    def test_gc_all(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("66" * 32, _result())
+        removed = store.gc(all_entries=True)
+        assert removed["n_removed"] == 1
+        assert len(store.index()) == 0
+
+    def test_future_schema_store_refused(self, tmp_path):
+        root = tmp_path / "s"
+        ResultStore(root)
+        (root / "store.json").write_text(
+            json.dumps({"schema": SCHEMA_VERSION + 1})
+        )
+        with pytest.raises(ConfigurationError):
+            ResultStore(root)
+
+    def test_corrupt_marker_refused(self, tmp_path):
+        root = tmp_path / "s"
+        ResultStore(root)
+        (root / "store.json").write_text("{}")
+        with pytest.raises(ConfigurationError):
+            ResultStore(root)
+
+    def test_atomic_write_leaves_no_partial_on_error(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        path = store.root / "results" / "aa" / ("aa" * 32 + ".npz")
+        with pytest.raises(RuntimeError):
+            original = ResultStore._write_atomic
+
+            def boom(p, data):
+                raise RuntimeError("disk on fire")
+
+            try:
+                ResultStore._write_atomic = staticmethod(boom)
+                store.put_result("aa" * 32, _result())
+            finally:
+                ResultStore._write_atomic = staticmethod(original)
+        assert not path.exists()
+        assert list(store.root.rglob("*.tmp")) == []
