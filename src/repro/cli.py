@@ -12,6 +12,7 @@ Usage::
     python -m repro store ls ./nfstore
     python -m repro store info ./nfstore [KEY]
     python -m repro store gc ./nfstore
+    python -m repro chaos --plan transient --seed 7 --backend process
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
 the benchmark suite (paper scale).  ``--backend``/``--workers`` pick
@@ -23,8 +24,13 @@ persistent :class:`~repro.store.ResultStore` (measurements cache and
 survive the process), ``--resume`` replays an interrupted sweep
 computing only what the store is missing, and ``--json`` switches the
 scheduler-driven production/record_length/robustness outputs to
-machine-readable JSON.  The ``store`` subcommand inspects and garbage-
-collects a store directory.
+machine-readable JSON.  ``--max-retries``/``--task-timeout`` configure
+the process backend's fault tolerance (task retry budget and hung-
+worker detection).  The ``store`` subcommand inspects and garbage-
+collects a store directory.  The ``chaos`` subcommand runs the
+production screen under a named fault-injection plan and verifies the
+flagship robustness guarantee from the shell: the faulted outcome must
+be bit-identical to a fault-free run.
 """
 
 from __future__ import annotations
@@ -478,6 +484,41 @@ EXPERIMENTS: Dict[str, ExperimentRunner] = {
 }
 
 
+def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The fault-tolerance knobs shared by ``run`` and ``chaos``."""
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="re-dispatch a failed task up to N times before dead-"
+        "lettering it (process backend; default: 2)",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="arm hung-worker detection: a task result overdue by this "
+        "much gets the workers killed, respawned and the task "
+        "re-dispatched (process backend; default: off)",
+    )
+
+
+def _retry_policy(args):
+    """The RetryPolicy the CLI flags describe (None = pool defaults)."""
+    if args.max_retries is None and args.task_timeout is None:
+        return None
+    from repro.engine.scheduler import RetryPolicy
+
+    kwargs = {}
+    if args.max_retries is not None:
+        kwargs["max_retries"] = args.max_retries
+    if args.task_timeout is not None:
+        kwargs["task_timeout_s"] = args.task_timeout
+    return RetryPolicy(**kwargs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The argument parser for ``python -m repro``."""
     parser = argparse.ArgumentParser(
@@ -546,6 +587,55 @@ def build_parser() -> argparse.ArgumentParser:
         + "/".join(sorted(JSON_EXPERIMENTS))
         + " only)",
     )
+    _add_retry_arguments(run)
+    chaos = sub.add_parser(
+        "chaos",
+        help="run the production screen under injected faults and "
+        "verify the outcome matches a fault-free run bit for bit",
+    )
+    chaos.add_argument(
+        "--plan",
+        default="transient",
+        help="fault plan name (see repro.faults.FAULT_PLANS; default: "
+        "transient)",
+    )
+    chaos.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fault-injection seed (re-keys the plan's deterministic "
+        "fault sequence; default: 0)",
+    )
+    chaos.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="process",
+        help="execution backend (default: process — worker-level faults "
+        "need worker processes)",
+    )
+    chaos.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker cap for the process backend (default: CPU count)",
+    )
+    chaos.add_argument(
+        "--store",
+        metavar="DIR",
+        default=None,
+        help="attach a result store to the faulted run: store-level "
+        "faults (truncated/corrupted payloads) only fire on store "
+        "writes, and a second, resumed pass exercises read-side "
+        "quarantine and recovery",
+    )
+    chaos.add_argument(
+        "--fast",
+        action="store_true",
+        help="reduced lot size and record length for a quick check",
+    )
+    _add_retry_arguments(chaos)
     store = sub.add_parser(
         "store", help="inspect or garbage-collect a result store"
     )
@@ -619,12 +709,84 @@ def _store_main(args) -> int:
     return 0
 
 
+def _chaos_main(args) -> int:
+    """The ``chaos`` subcommand: faulted run vs clean run, bit for bit.
+
+    Runs the production screen once fault-free (the reference), once
+    under the named fault plan, and — with ``--store`` — once more
+    resumed against the store the faulted run damaged (read-side
+    quarantine and recompute).  Prints a JSON report (injections by
+    site, retry/respawn telemetry, per-group wall-clock) and exits
+    non-zero unless every faulted outcome matches the reference
+    exactly.
+    """
+    from repro.engine.scheduler import MeasurementScheduler
+    from repro.experiments.production import run_production
+    from repro.faults import inject, resolve_plan
+
+    plan = resolve_plan(args.plan, seed=args.seed)
+    policy = _retry_policy(args)
+    kwargs = dict(
+        n_devices=8 if args.fast else 24,
+        n_samples=2**14 if args.fast else 2**17,
+        seed=2005,
+        report=True,
+    )
+    with MeasurementScheduler(
+        backend=args.backend, max_workers=args.workers, retry=policy
+    ) as sched:
+        reference = run_production(scheduler=sched, **kwargs)
+
+    store = None
+    if args.store is not None:
+        from repro.store import ResultStore
+
+        store = ResultStore(args.store)
+    runs = []
+    with inject(plan) as injector:
+        with MeasurementScheduler(
+            backend=args.backend,
+            max_workers=args.workers,
+            store=store,
+            retry=policy,
+        ) as sched:
+            runs.append(("faulted", run_production(scheduler=sched, **kwargs)))
+            if store is not None:
+                # Second pass over the damaged store: corrupted entries
+                # quarantine on read and recompute.
+                runs.append(
+                    (
+                        "faulted_resume",
+                        run_production(scheduler=sched, resume=True, **kwargs),
+                    )
+                )
+
+    identical = all(
+        r.measured_nf_db == reference.measured_nf_db for _, r in runs
+    )
+    print(
+        _dump_json(
+            {
+                "plan": plan.describe(),
+                "identical": identical,
+                "injections": injector.summary(),
+                "runs": {
+                    name: r.run_report.describe() for name, r in runs
+                },
+            }
+        )
+    )
+    return 0 if identical else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "store":
         return _store_main(args)
+    if args.command == "chaos":
+        return _chaos_main(args)
     if args.command == "run":
         if args.workers is not None and args.backend != "process":
             parser.error("--workers requires --backend process")
@@ -659,6 +821,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         max_workers=args.workers,
         rng_mode=args.rng_mode,
         store=store,
+        retry=_retry_policy(args),
     ) as sched:
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):

@@ -32,10 +32,15 @@ from repro.engine.engine import (
 )
 from repro.engine.executors import run_serial, run_with_processes
 from repro.engine.scheduler import (
+    GroupReport,
+    MapOutcome,
     MeasurementPlan,
     MeasurementScheduler,
     MeasurementTask,
     PlanGroup,
+    RetryPolicy,
+    RunReport,
+    TaskFailure,
     WorkerPool,
     as_scheduler,
     plan_measurements,
@@ -56,12 +61,17 @@ __all__ = [
     "BatchAcquirer",
     "DeviceBatch",
     "Engine",
+    "GroupReport",
+    "MapOutcome",
     "MeasurementEngine",
     "MeasurementPlan",
     "MeasurementScheduler",
     "MeasurementTask",
     "PlanGroup",
     "ResultStore",
+    "RetryPolicy",
+    "RunReport",
+    "TaskFailure",
     "SharedPackedBatch",
     "WelchParams",
     "WorkerPool",

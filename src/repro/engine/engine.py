@@ -69,7 +69,7 @@ from repro.store.keys import measurement_key
 from repro.store.store import ResultStore
 
 from repro.engine.executors import run_serial, run_with_processes
-from repro.engine.scheduler import WorkerPool
+from repro.engine.scheduler import RetryPolicy, WorkerPool
 from repro.engine.shm import WelchParams, welch_batch_shared
 
 _BACKENDS = ("vectorized", "process")
@@ -227,6 +227,12 @@ class MeasurementEngine:
         provenance-allowing record reuse the retest planner exploits.
         Records are only stored for packed acquisitions (float stacks
         are 64x the size and transcode losslessly anyway).
+    retry:
+        A :class:`~repro.engine.scheduler.RetryPolicy` the engine's
+        own worker pool runs under (task retries with backoff, hung-
+        worker timeouts, pool respawn budget).  ``None`` uses the
+        pool's defaults; ignored when an external ``pool`` is shared
+        in (that pool keeps its own policy).
     """
 
     def __init__(
@@ -240,6 +246,7 @@ class MeasurementEngine:
         store: Optional[ResultStore] = None,
         cache: str = "readwrite",
         store_records: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
@@ -269,6 +276,7 @@ class MeasurementEngine:
         self.store = store
         self.cache = cache
         self.store_records = bool(store_records)
+        self.retry = retry
         self._pool = pool
         self._owns_pool = pool is None
 
@@ -323,7 +331,9 @@ class MeasurementEngine:
         if self.backend != "process":
             return None
         if self._pool is None:
-            self._pool = WorkerPool(max_workers=self.max_workers)
+            self._pool = WorkerPool(
+                max_workers=self.max_workers, policy=self.retry
+            )
         return self._pool
 
     def close(self) -> None:

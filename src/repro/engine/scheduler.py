@@ -32,21 +32,36 @@ any analysis parameter.  This module removes both:
 from __future__ import annotations
 
 import os
-from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor
+import time
+from concurrent.futures import (
+    CancelledError,
+    Future,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
 from concurrent.futures.process import BrokenProcessPool
-from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
 
 from repro.core.bist import OneBitNoiseFigureBIST
 from repro.core.production import Verdict
-from repro.errors import ConfigurationError, MeasurementError
+from repro.errors import ConfigurationError, ExecutionError, MeasurementError
+from repro.faults.injector import active_injector, faulted_call, task_fault
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike
 
 __all__ = [
+    "RetryPolicy",
+    "TaskFailure",
+    "MapOutcome",
     "WorkerPool",
     "MeasurementTask",
     "PlanGroup",
+    "GroupReport",
+    "RunReport",
     "MeasurementPlan",
     "plan_measurements",
     "plan_retest",
@@ -54,9 +69,142 @@ __all__ = [
     "as_scheduler",
 ]
 
+#: How long to wait for leftover futures to settle after the pool has
+#: been killed or declared broken — they resolve as soon as the
+#: executor's management thread notices the dead processes.
+_SETTLE_TIMEOUT_S = 10.0
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the pool responds when tasks or workers fail.
+
+    ``max_retries`` bounds how often one task is re-dispatched after a
+    failure (an exception, a pool break that swallowed it, or a
+    timeout) before it is dead-lettered; retries back off exponentially
+    from ``backoff_base_s`` with deterministic jitter (seeded from the
+    task coordinates, so reruns sleep identically).  ``task_timeout_s``
+    arms hung-worker detection: a task whose result does not arrive in
+    time gets the worker processes killed and every unfinished task
+    re-dispatched.  ``max_respawns`` caps how many times one
+    :meth:`WorkerPool.run` call will rebuild a broken pool before
+    dead-lettering whatever is left (satisfying the "a second break
+    mid-retry must not escape" contract).
+
+    Domain errors (:class:`~repro.errors.MeasurementError`,
+    :class:`~repro.errors.ConfigurationError`) are *not* retried: they
+    are deterministic properties of the task, and replaying the same
+    generators would fail identically.
+    """
+
+    max_retries: int = 2
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 1.0
+    jitter: float = 0.1
+    task_timeout_s: Optional[float] = None
+    max_respawns: int = 3
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ConfigurationError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.max_respawns < 0:
+            raise ConfigurationError(
+                f"max_respawns must be >= 0, got {self.max_respawns}"
+            )
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ConfigurationError("backoff times must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+        if self.jitter < 0:
+            raise ConfigurationError(
+                f"jitter must be >= 0, got {self.jitter}"
+            )
+        if self.task_timeout_s is not None and self.task_timeout_s <= 0:
+            raise ConfigurationError(
+                f"task_timeout_s must be > 0, got {self.task_timeout_s}"
+            )
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """Whether a task exception is worth re-dispatching."""
+        return not isinstance(exc, (MeasurementError, ConfigurationError))
+
+    def backoff_s(self, index: int, attempt: int) -> float:
+        """The deterministic pre-retry delay for one task dispatch."""
+        if self.backoff_base_s <= 0:
+            return 0.0
+        raw = min(
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+            self.backoff_max_s,
+        )
+        if self.jitter <= 0:
+            return raw
+        # Seeded by the task coordinates only: replays sleep the same.
+        u = np.random.default_rng((0x5EED, int(index), int(attempt))).random()
+        return raw * (1.0 + self.jitter * u)
+
+
+#: The pool's default when neither it nor the call supplies a policy.
+DEFAULT_RETRY_POLICY = RetryPolicy()
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """A dead-lettered task: every recovery attempt was exhausted.
+
+    ``kind`` records the terminal failure mode (``"exception"``,
+    ``"timeout"``, ``"crash"``, or ``"pool"`` when the respawn budget
+    ran out with the task still queued); ``error`` its repr.  The
+    original exception rides along (not part of equality) so strict
+    callers can re-raise it.
+    """
+
+    index: int
+    attempts: int
+    kind: str
+    error: str
+    exception: Optional[BaseException] = field(
+        default=None, compare=False, repr=False
+    )
+
+    def describe(self) -> dict:
+        """JSON-ready view (what :class:`RunReport` embeds)."""
+        return {
+            "index": self.index,
+            "attempts": self.attempts,
+            "kind": self.kind,
+            "error": self.error,
+        }
+
+
+@dataclass
+class MapOutcome:
+    """What one :meth:`WorkerPool.run` call did, task by task.
+
+    ``results`` keeps payload order (``None`` for dead-lettered tasks);
+    ``attempts`` counts every dispatch, ``retries`` the re-dispatches,
+    ``timeouts`` the hung-worker detections, ``respawns`` the pool
+    rebuilds this call consumed.
+    """
+
+    results: List
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    dead: List[TaskFailure] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.dead
+
 
 class WorkerPool:
-    """A persistent, lazily spawned process pool.
+    """A persistent, lazily spawned, fault-tolerant process pool.
 
     The executor is created on first use — constructing a pool (or an
     engine holding one) costs nothing until work is actually fanned
@@ -69,9 +217,25 @@ class WorkerPool:
     independent sessions.  :attr:`spawn_count` records how many times
     an executor was actually created (the number every reused call
     amortizes).
+
+    Execution is per-task (:meth:`run`): every payload gets its own
+    future, so a failure is scoped to one task instead of one batch.
+    Under the pool's :class:`RetryPolicy` (or one passed per call),
+    task exceptions are retried with exponential backoff, broken pools
+    are rebuilt up to ``max_respawns`` times per call — repeated
+    breaks mid-retry no longer escape — hung workers are detected via
+    ``task_timeout_s``, killed and respawned, and tasks that exhaust
+    every recovery land in the dead-letter list of the returned
+    :class:`MapOutcome`.  Because payloads carry their own generators,
+    every retry is a bit-exact replay.  :attr:`telemetry` accumulates
+    the per-call counters for run-level reporting.
     """
 
-    def __init__(self, max_workers: Optional[int] = None):
+    def __init__(
+        self,
+        max_workers: Optional[int] = None,
+        policy: Optional[RetryPolicy] = None,
+    ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
                 f"max_workers must be >= 1, got {max_workers}"
@@ -80,6 +244,9 @@ class WorkerPool:
         self._executor: Optional[ProcessPoolExecutor] = None
         self._size = 0
         self.spawn_count = 0
+        self.policy = policy
+        self.telemetry = MapOutcome(results=[])
+        self._run_seq = 0
 
     @property
     def max_workers(self) -> int:
@@ -108,23 +275,190 @@ class WorkerPool:
             self.spawn_count += 1
         return self._executor
 
-    def map(self, fn: Callable, payloads: Sequence) -> List:
-        """Run ``fn`` over payloads on the pool; results keep order.
+    def _discard_executor(self) -> None:
+        """Drop a broken executor without waiting on its corpse."""
+        if self._executor is not None:
+            self._executor.shutdown(wait=False, cancel_futures=True)
+            self._executor = None
+            self._size = 0
 
-        An empty payload list returns ``[]`` without ever spawning
-        worker processes.  A pool whose workers died (killed child,
-        ``BrokenProcessPool``) is respawned once and the batch retried —
-        payloads carry their own generators, so a retry is
-        deterministic.
+    def _kill_workers(self) -> None:
+        """Forcibly terminate the worker processes (hung-worker path).
+
+        ``shutdown`` alone would block behind a hung task forever; the
+        processes are killed first so every in-flight future settles
+        (broken), then the executor is discarded.
+        """
+        if self._executor is None:
+            return
+        for proc in list(
+            getattr(self._executor, "_processes", {}).values()
+        ):
+            try:
+                proc.kill()
+            except (OSError, AttributeError):  # pragma: no cover - raced exit
+                pass
+        self._discard_executor()
+
+    def run(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        policy: Optional[RetryPolicy] = None,
+    ) -> MapOutcome:
+        """Run ``fn`` over payloads with full fault handling.
+
+        Results keep payload order; tasks that exhaust every recovery
+        come back as ``None`` with a :class:`TaskFailure` in
+        ``outcome.dead`` — the caller decides whether that is fatal
+        (:meth:`map` raises) or degradable (the planner's
+        :meth:`MeasurementPlan.run_report`).
+
+        Recovery semantics, per :class:`RetryPolicy`:
+
+        * a task exception is retried (with deterministic backoff)
+          unless it is a domain error, up to ``max_retries`` times;
+        * a broken pool (crashed worker) is rebuilt and every
+          unfinished task re-dispatched at its next attempt, up to
+          ``max_respawns`` rebuilds per call;
+        * with ``task_timeout_s`` armed, a result that fails to arrive
+          in time kills the workers (a hung worker never yields its
+          process voluntarily) and re-dispatches as for a crash.
+
+        Payloads carry their own generators, so every re-dispatch
+        replays the task bit-exactly; with a fault injector active
+        (:func:`repro.faults.inject`), dispatches are wrapped with the
+        injector's deterministic fault directives.
         """
         payloads = list(payloads)
+        policy = (
+            policy
+            if policy is not None
+            else (self.policy or DEFAULT_RETRY_POLICY)
+        )
+        outcome = MapOutcome(results=[None] * len(payloads))
         if not payloads:
-            return []
-        try:
-            return list(self._ensure(len(payloads)).map(fn, payloads))
-        except BrokenProcessPool:
-            self.close()
-            return list(self._ensure(len(payloads)).map(fn, payloads))
+            return outcome
+        run_seq = self._run_seq
+        self._run_seq += 1
+        dead: Dict[int, TaskFailure] = {}
+        pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(payloads))]
+        respawns_used = 0
+        sleep_before_round = 0.0
+
+        def retry_or_dead(i: int, attempt: int, kind: str, exc) -> None:
+            nonlocal sleep_before_round
+            retryable = kind != "exception" or policy.is_retryable(exc)
+            if retryable and attempt <= policy.max_retries:
+                outcome.retries += 1
+                sleep_before_round = max(
+                    sleep_before_round, policy.backoff_s(i, attempt)
+                )
+                next_pending.append((i, attempt + 1))
+            else:
+                dead[i] = TaskFailure(
+                    index=i,
+                    attempts=attempt,
+                    kind=kind,
+                    error=repr(exc),
+                    exception=exc,
+                )
+
+        while pending:
+            if sleep_before_round > 0:
+                time.sleep(sleep_before_round)
+                sleep_before_round = 0.0
+            executor = self._ensure(len(pending))
+            next_pending: List[Tuple[int, int]] = []
+            futures: List[Tuple[int, int, Future]] = []
+            broken = False
+            for i, attempt in pending:
+                if broken:
+                    next_pending.append((i, attempt))
+                    continue
+                call, arg = fn, payloads[i]
+                directive = task_fault(run_seq, i, attempt)
+                if directive is not None:
+                    call, arg = faulted_call, (directive, fn, payloads[i])
+                try:
+                    futures.append((i, attempt, executor.submit(call, arg)))
+                    outcome.attempts += 1
+                except (BrokenProcessPool, RuntimeError):
+                    # The executor died between rounds; re-dispatch on
+                    # the respawned pool without charging the task.
+                    broken = True
+                    next_pending.append((i, attempt))
+            for i, attempt, future in futures:
+                timeout = (
+                    _SETTLE_TIMEOUT_S if broken else policy.task_timeout_s
+                )
+                try:
+                    outcome.results[i] = future.result(timeout=timeout)
+                except FuturesTimeoutError as exc:
+                    if not broken:
+                        # Hung worker: nothing short of killing the
+                        # process gets the pool back.
+                        outcome.timeouts += 1
+                        broken = True
+                        self._kill_workers()
+                    retry_or_dead(i, attempt, "timeout", exc)
+                except (BrokenProcessPool, CancelledError) as exc:
+                    broken = True
+                    retry_or_dead(i, attempt, "crash", exc)
+                except Exception as exc:
+                    retry_or_dead(i, attempt, "exception", exc)
+            if broken:
+                self._kill_workers()
+                respawns_used += 1
+                outcome.respawns += 1
+                if respawns_used > policy.max_respawns:
+                    for i, attempt in next_pending:
+                        dead[i] = TaskFailure(
+                            index=i,
+                            attempts=attempt,
+                            kind="pool",
+                            error=(
+                                f"worker pool broke {respawns_used} times; "
+                                f"respawn budget ({policy.max_respawns}) "
+                                "exhausted"
+                            ),
+                        )
+                    next_pending = []
+            pending = next_pending
+        outcome.dead = [dead[i] for i in sorted(dead)]
+        self.telemetry.attempts += outcome.attempts
+        self.telemetry.retries += outcome.retries
+        self.telemetry.timeouts += outcome.timeouts
+        self.telemetry.respawns += outcome.respawns
+        self.telemetry.dead.extend(outcome.dead)
+        return outcome
+
+    def map(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        policy: Optional[RetryPolicy] = None,
+    ) -> List:
+        """Run ``fn`` over payloads on the pool; results keep order.
+
+        The strict face of :meth:`run`: an empty payload list returns
+        ``[]`` without ever spawning worker processes, transient
+        failures are retried / respawned per the policy, and a task
+        that stays dead raises — the original exception for a task
+        that kept raising, :class:`~repro.errors.ExecutionError` for
+        infrastructure failures (timeouts, crashes, an exhausted
+        respawn budget).
+        """
+        outcome = self.run(fn, payloads, policy=policy)
+        if outcome.dead:
+            first = outcome.dead[0]
+            if first.kind == "exception" and first.exception is not None:
+                raise first.exception
+            raise ExecutionError(
+                f"task {first.index} dead-lettered after {first.attempts} "
+                f"attempt(s) ({first.kind}): {first.error}"
+            ) from first.exception
+        return outcome.results
 
     def close(self) -> None:
         """Shut the worker processes down (idempotent)."""
@@ -191,6 +525,89 @@ class PlanGroup:
     @property
     def n_tasks(self) -> int:
         return len(self.indices)
+
+
+@dataclass(frozen=True)
+class GroupReport:
+    """How one sub-batch of a plan fared (see :class:`RunReport`)."""
+
+    index: int
+    n_tasks: int
+    batched: bool
+    status: str  # "ok" | "failed"
+    wall_s: float
+    error: str = ""
+
+    def describe(self) -> dict:
+        return {
+            "index": self.index,
+            "n_tasks": self.n_tasks,
+            "batched": self.batched,
+            "status": self.status,
+            "wall_s": self.wall_s,
+            "error": self.error,
+        }
+
+
+@dataclass
+class RunReport:
+    """Structured outcome of :meth:`MeasurementPlan.run_report`.
+
+    ``results`` is the usual task-ordered list (``None`` where a task
+    was not measured); ``groups`` records per-group status and
+    wall-clock; the counters (``attempts`` / ``retries`` / ``timeouts``
+    / ``respawns`` / ``dead``) are the worker-pool telemetry this run
+    consumed; ``injections`` counts the faults the active injector
+    (if any) fired *during* this run, per site — under chaos testing
+    every injected fault must be accounted for here or in a recovery
+    the report can explain.  ``cached_tasks`` counts tasks served from
+    the store on a resumed run.
+    """
+
+    results: List
+    groups: List[GroupReport] = field(default_factory=list)
+    attempts: int = 0
+    retries: int = 0
+    timeouts: int = 0
+    respawns: int = 0
+    dead: List[TaskFailure] = field(default_factory=list)
+    injections: Dict[str, int] = field(default_factory=dict)
+    cached_tasks: int = 0
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        """Every group completed and nothing was dead-lettered."""
+        return not self.dead and all(g.status == "ok" for g in self.groups)
+
+    @property
+    def n_failed_groups(self) -> int:
+        return sum(1 for g in self.groups if g.status == "failed")
+
+    def describe(self) -> dict:
+        """JSON-ready view (the chaos CLI report embeds it)."""
+        return {
+            "ok": self.ok,
+            "n_tasks": len(self.results),
+            "n_measured": sum(1 for r in self.results if r is not None),
+            "cached_tasks": self.cached_tasks,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "timeouts": self.timeouts,
+            "respawns": self.respawns,
+            "dead": [f.describe() for f in self.dead],
+            "injections": dict(self.injections),
+            "wall_s": self.wall_s,
+            "groups": [g.describe() for g in self.groups],
+        }
+
+
+def _pool_snapshot(pool) -> Tuple[int, int, int, int, int]:
+    """The cumulative telemetry counters of a pool (zeros when absent)."""
+    if pool is None:
+        return (0, 0, 0, 0, 0)
+    t = pool.telemetry
+    return (t.attempts, t.retries, t.timeouts, t.respawns, len(t.dead))
 
 
 @dataclass(frozen=True)
@@ -317,6 +734,120 @@ class MeasurementPlan:
                 self._commit(engine, keys, group, out, results)
             return results
         return self._run_pipelined(engine, allow_failures, keys)
+
+    def run_report(
+        self,
+        engine,
+        allow_failures: bool = False,
+        resume: bool = False,
+    ) -> RunReport:
+        """Execute the plan with graceful degradation; return a report.
+
+        Unlike :meth:`run`, a group that fails terminally (a task
+        dead-lettered past its retries, a pool past its respawn
+        budget, an unexpected error) does *not* abort the plan: the
+        group is recorded as ``"failed"`` in the report and every
+        remaining group still runs — and, on store-backed engines, is
+        persisted — so one poisoned sub-batch costs its own tasks, not
+        the lot.  The report carries the worker-pool telemetry this
+        run consumed (attempts / retries / timeouts / respawns / dead
+        letters) and, when a fault injector is active, the per-site
+        counts of faults injected during the run.
+
+        Groups execute sequentially (no acquire/analyze pipelining):
+        the report attributes wall-clock and telemetry per group,
+        which overlapped execution would scramble.  ``resume=True``
+        behaves as in :meth:`run` — stored tasks are loaded, only the
+        missing ones are re-planned and executed — with the served
+        tasks counted in ``cached_tasks``.
+        """
+        start = time.perf_counter()
+        pool = getattr(engine, "worker_pool", None)
+        before = _pool_snapshot(pool)
+        injector = active_injector()
+        injected_before = len(injector.log) if injector is not None else 0
+
+        if resume:
+            report = self._run_report_resumed(engine, allow_failures)
+        else:
+            results: List = [None] * len(self.tasks)
+            group_reports: List[GroupReport] = []
+            keys = self._task_keys(engine)
+            for gi, group in enumerate(self.groups):
+                t0 = time.perf_counter()
+                tasks = [self.tasks[i] for i in group.indices]
+                try:
+                    if group.batched:
+                        out = engine.measure_devices(
+                            [t.source for t in tasks],
+                            [t.estimator for t in tasks],
+                            rngs=[t.rng for t in tasks],
+                            allow_failures=allow_failures,
+                        )
+                    else:
+                        out = self._measure_fallback(
+                            engine, tasks, allow_failures
+                        )
+                    self._commit(engine, keys, group, out, results)
+                    status, error = "ok", ""
+                except Exception as exc:
+                    status, error = "failed", repr(exc)
+                group_reports.append(
+                    GroupReport(
+                        index=gi,
+                        n_tasks=group.n_tasks,
+                        batched=group.batched,
+                        status=status,
+                        wall_s=time.perf_counter() - t0,
+                        error=error,
+                    )
+                )
+            report = RunReport(results=results, groups=group_reports)
+
+        after = _pool_snapshot(pool)
+        report.attempts += after[0] - before[0]
+        report.retries += after[1] - before[1]
+        report.timeouts += after[2] - before[2]
+        report.respawns += after[3] - before[3]
+        if pool is not None and after[4] > before[4]:
+            report.dead.extend(pool.telemetry.dead[before[4]:])
+        if injector is not None:
+            for record in injector.log[injected_before:]:
+                report.injections[record.site] = (
+                    report.injections.get(record.site, 0) + 1
+                )
+        report.wall_s = time.perf_counter() - start
+        return report
+
+    def _run_report_resumed(self, engine, allow_failures: bool) -> RunReport:
+        """Resume path of :meth:`run_report`: serve stored tasks, run a
+        sub-report over the missing ones, merge."""
+        if getattr(engine, "store", None) is None or not engine.cache_reads:
+            raise ConfigurationError(
+                "resume=True needs an engine with a store in a "
+                "read-capable cache mode"
+            )
+        keys = self._task_keys(engine)
+        results: List = [None] * len(self.tasks)
+        missing: List[int] = []
+        for i, key in enumerate(keys):
+            hit = engine.store.get_result(key) if key is not None else None
+            if hit is not None:
+                results[i] = hit
+            else:
+                missing.append(i)
+        cached = len(self.tasks) - len(missing)
+        if not missing:
+            return RunReport(results=results, cached_tasks=cached)
+        subplan = plan_measurements([self.tasks[i] for i in missing])
+        sub = subplan.run_report(engine, allow_failures=allow_failures)
+        for local, i in enumerate(missing):
+            results[i] = sub.results[local]
+        return RunReport(
+            results=results,
+            groups=sub.groups,
+            cached_tasks=cached,
+        )
 
     def _run_resumed(
         self, engine, allow_failures: bool, pipeline: Union[bool, str]
@@ -552,6 +1083,7 @@ class MeasurementScheduler:
         store=None,
         cache: str = "readwrite",
         store_records: bool = False,
+        retry: Optional[RetryPolicy] = None,
     ):
         from repro.engine.engine import MeasurementEngine
 
@@ -564,6 +1096,7 @@ class MeasurementScheduler:
                 or store is not None
                 or cache != "readwrite"
                 or store_records
+                or retry is not None
             ):
                 raise ConfigurationError(
                     "pass either an engine or backend/max_workers/packed/"
@@ -588,6 +1121,7 @@ class MeasurementScheduler:
                 store=store,
                 cache=cache,
                 store_records=store_records,
+                retry=retry,
             )
             self._owns_engine = True
 
@@ -633,6 +1167,22 @@ class MeasurementScheduler:
             allow_failures=allow_failures,
             pipeline=pipeline,
             resume=resume,
+        )
+
+    def run_report(
+        self,
+        tasks: Sequence,
+        allow_failures: bool = False,
+        resume: bool = False,
+    ) -> RunReport:
+        """Plan and execute a screen with graceful degradation.
+
+        Like :meth:`run`, but a terminally failed sub-batch is recorded
+        in the returned :class:`RunReport` instead of aborting the lot
+        — see :meth:`MeasurementPlan.run_report`.
+        """
+        return self.plan(tasks).run_report(
+            self.engine, allow_failures=allow_failures, resume=resume
         )
 
     def run_retest(

@@ -36,6 +36,7 @@ import numpy as np
 
 from repro.bitstream import PackedBitstream, PackedRecordBatch
 from repro.errors import ConfigurationError
+from repro.faults.injector import shm_fault
 
 
 @dataclass(frozen=True)
@@ -80,6 +81,11 @@ class SharedPackedBatch:
     def __init__(self, batch: PackedRecordBatch):
         if batch.n_records == 0:
             raise ConfigurationError("cannot share an empty record batch")
+        if shm_fault():
+            # Injected publish failure: indistinguishable from a host
+            # without (or out of) POSIX shared memory, so it exercises
+            # the callers' pickled fallbacks.
+            raise OSError("injected shared-memory publish failure")
         self._shm = shared_memory.SharedMemory(
             create=True, size=max(1, batch.nbytes)
         )
@@ -205,7 +211,7 @@ def welch_batch_shared(
     chunks = _chunk_indices(batch.n_records, workers)
     try:
         shared: Optional[SharedPackedBatch] = SharedPackedBatch(batch)
-    except (OSError, ValueError):  # pragma: no cover - no POSIX shm
+    except (OSError, ValueError):  # no POSIX shm, or an injected fault
         shared = None
     if shared is not None:
         with shared:
@@ -216,7 +222,7 @@ def welch_batch_shared(
                 _shared_welch_worker, payloads, workers, pool
             ):
                 psd[indices] = rows
-    else:  # pragma: no cover - exercised only without /dev/shm
+    else:
         payloads = [
             (batch.words, batch.n_samples, batch.sample_rate, chunk, params)
             for chunk in chunks
@@ -344,7 +350,7 @@ def publish_packed_tasks(tasks: Sequence) -> Tuple[List, List]:
             refs[id(batch)] = SharedBatchRef(
                 shared.descriptor, batch.provenance
             )
-    except (OSError, ValueError):  # pragma: no cover - no POSIX shm
+    except (OSError, ValueError):  # no POSIX shm, or an injected fault
         for block in blocks:
             block.close()
         return tasks, []

@@ -20,3 +20,10 @@ class MeasurementError(ReproError):
 class ResourceError(ReproError):
     """Raised by the SoC resource models when a capacity is exceeded
     (memory overflow, processor budget, ...)."""
+
+
+class ExecutionError(ReproError):
+    """Raised when the execution substrate — not the measurement —
+    fails unrecoverably: a worker pool that stays broken past its
+    respawn budget, a task dead-lettered after exhausting its retries,
+    a hung worker that had to be killed."""

@@ -29,8 +29,12 @@ from repro.core.production import (
     screen_population,
 )
 from repro.engine import MeasurementEngine, MeasurementTask
-from repro.engine.scheduler import MeasurementScheduler, as_scheduler
-from repro.errors import ConfigurationError, MeasurementError
+from repro.engine.scheduler import (
+    MeasurementScheduler,
+    RunReport,
+    as_scheduler,
+)
+from repro.errors import ConfigurationError, ExecutionError, MeasurementError
 from repro.instruments.testbench import build_prototype_testbench
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 from repro.store.keys import SCHEMA_VERSION, digest, seed_fingerprint
@@ -157,6 +161,10 @@ class ProductionResult:
     measured_nf_db: List[float]
     rows: List[GuardbandRow]
     n_plan_groups: int = 1
+    #: Execution telemetry of the screen (attempts / retries / injected
+    #: faults / per-group wall-clock); only populated by
+    #: ``run_production(report=True)``.
+    run_report: Optional[RunReport] = None
 
     def escapes_decrease_with_guardband(self) -> bool:
         """Escapes must not increase as the guard band widens."""
@@ -177,6 +185,7 @@ def run_production(
     nperseg: Union[int, Sequence[int]] = 8192,
     scheduler: Optional[MeasurementScheduler] = None,
     resume: bool = False,
+    report: bool = False,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
@@ -203,11 +212,24 @@ def run_production(
     the screen advances; ``resume=True`` replays an interrupted screen
     measuring only the devices the store is missing (results identical
     to a cold run).
+
+    ``report=True`` runs the screen through the planner's telemetry
+    path and attaches the :class:`~repro.engine.scheduler.RunReport`
+    (attempts, retries, injected-fault counts, per-group wall-clock) to
+    the result — the chaos harness's view of a screen.  A production
+    outcome needs every device measured, so a screen that dead-letters
+    a device past all recovery raises :class:`~repro.errors.
+    ExecutionError` instead of screening a partial lot.
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
     if nf_spread_db <= 0:
         raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
+    if report and multi_device_batch is False:
+        raise ConfigurationError(
+            "report=True needs the planned path; it cannot combine with "
+            "multi_device_batch=False"
+        )
     sched = as_scheduler(engine=engine, scheduler=scheduler)
     eng = sched.engine
     samples_by_device = _per_device(n_samples, n_devices, "n_samples")
@@ -219,7 +241,7 @@ def run_production(
         # Resuming needs per-device provenance keys, which only the
         # planned path computes — map_sweep workers rebuild benches
         # inside the worker, out of the key's reach.
-        multi_device_batch = resume or not (
+        multi_device_batch = report or resume or not (
             eng.backend == "process" and homogeneous
         )
     # Key the lot before drawing it: drawing spawns children off a
@@ -238,13 +260,25 @@ def run_production(
     )
 
     n_plan_groups = 1
+    screen_report: Optional[RunReport] = None
     if multi_device_batch:
         tasks = _lot_tasks(
             true_values, samples_by_device, nperseg_by_device, device_rngs
         )
         plan = sched.plan(tasks)
         n_plan_groups = plan.n_groups
-        results = plan.run(eng, resume=resume)
+        if report:
+            screen_report = plan.run_report(eng, resume=resume)
+            results = screen_report.results
+            missing = [i for i, r in enumerate(results) if r is None]
+            if missing:
+                raise ExecutionError(
+                    f"screen left {len(missing)} device(s) unmeasured "
+                    f"(indices {missing}); dead letters: "
+                    f"{[f.describe() for f in screen_report.dead]}"
+                )
+        else:
+            results = plan.run(eng, resume=resume)
         measured_values = [r.noise_figure_db for r in results]
         estimator: Optional[OneBitNoiseFigureBIST] = tasks[-1].estimator
     else:
@@ -300,6 +334,7 @@ def run_production(
         measured_nf_db=measured_values,
         rows=rows,
         n_plan_groups=n_plan_groups,
+        run_report=screen_report,
     )
 
 

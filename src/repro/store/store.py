@@ -20,16 +20,29 @@ crash mid-write leaves only a ``*.tmp`` orphan that :meth:`ResultStore.gc`
 reclaims.  Entries are content-addressed, so overwriting an existing
 key is a no-op by construction (same key ⇒ same bytes) and
 :meth:`ResultStore.put_result` skips the disk work entirely.
+
+Integrity discipline: every payload is *sealed* — a SHA-256 digest of
+the npz bytes rides as a fixed-size trailer after the archive (zip
+readers ignore trailing bytes, so the file stays a valid npz) — and
+*verified on read*.  An entry that fails verification (bit rot, a torn
+copy, an injected fault) is quarantined: moved aside under
+``quarantine/`` — which unblocks the content-addressed rewrite — logged
+on :attr:`ResultStore.quarantine_log`, and reported as a miss so the
+caller transparently recomputes.  Legacy entries without a trailer
+still verify through the zip container's own CRCs.
 """
 
 from __future__ import annotations
 
+import hashlib
 import io
 import json
+import logging
 import os
 import pathlib
 import tempfile
 import time
+import zipfile
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Union
 
@@ -38,11 +51,14 @@ import numpy as np
 from repro.bitstream import PackedRecordBatch
 from repro.core.bist import BISTResult
 from repro.errors import ConfigurationError
+from repro.faults.injector import store_fault
 
 from repro.store import serialize
 from repro.store.keys import SCHEMA_VERSION, digest
 
 __all__ = ["ResultStore", "StoreEntry", "StoreIndex"]
+
+_LOG = logging.getLogger("repro.store")
 
 #: Entry kinds, in layout order.
 KINDS = ("results", "records", "outcomes")
@@ -53,6 +69,48 @@ _KEY_LEN = 64  # sha256 hex
 #: write — a concurrent writer finishes its publish within seconds, an
 #: orphan sits forever.
 TMP_GRACE_SECONDS = 600.0
+
+#: Directory (under the store root) corrupt entries are moved into.
+QUARANTINE_DIR = "quarantine"
+
+#: Integrity trailer sealed after every payload's npz bytes.  Zip
+#: readers locate the archive by scanning backwards for the end-of-
+#: central-directory record, so trailing bytes are ignored and the
+#: sealed file stays a valid npz.
+_SEAL_PREFIX = b"\nREPRO-SHA256:"
+_SEAL_LEN = len(_SEAL_PREFIX) + 64 + 1  # prefix + hex digest + "\n"
+
+
+def _seal(data: bytes) -> bytes:
+    """Payload bytes with the integrity trailer appended."""
+    return (
+        data
+        + _SEAL_PREFIX
+        + hashlib.sha256(data).hexdigest().encode("ascii")
+        + b"\n"
+    )
+
+
+def _unseal(raw: bytes):
+    """``(npz bytes, failure reason)`` for sealed file bytes.
+
+    A verified seal returns the body with ``None``; a present-but-wrong
+    seal returns ``(None, reason)``.  Bytes without a trailer (legacy
+    entries, truncated files) come back whole with ``None`` — the zip
+    container's own structure and CRCs are the fallback check, applied
+    by the reader.
+    """
+    if len(raw) < _SEAL_LEN or not raw.endswith(b"\n"):
+        return raw, None
+    trailer = raw[-_SEAL_LEN:]
+    if not trailer.startswith(_SEAL_PREFIX):
+        return raw, None
+    body = raw[:-_SEAL_LEN]
+    want = trailer[len(_SEAL_PREFIX):-1]
+    got = hashlib.sha256(body).hexdigest().encode("ascii")
+    if got != want:
+        return None, "integrity digest mismatch"
+    return body, None
 
 
 def _check_key(key: str) -> str:
@@ -185,6 +243,13 @@ class ResultStore:
                 json.dumps({"schema": SCHEMA_VERSION}, sort_keys=True).encode(),
             )
             self.schema = SCHEMA_VERSION
+        #: Entries moved aside after failing verification, in order:
+        #: ``{"kind", "key", "reason", "moved_to"}`` dicts.
+        self.quarantine_log: List[dict] = []
+        # Per-(kind, key) write counter — the fault injector keys store
+        # damage on it so a post-quarantine rewrite draws independently
+        # of the damaged first write.
+        self._write_seqs: Dict[tuple, int] = {}
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ResultStore({str(self.root)!r}, schema={self.schema})"
@@ -215,7 +280,7 @@ class ResultStore:
     def _put_payload(
         self, kind: str, key: str, meta: dict, arrays: Dict[str, np.ndarray]
     ) -> bool:
-        """Publish one payload; returns False when the key exists
+        """Publish one sealed payload; returns False when the key exists
         (content-addressed ⇒ identical bytes, nothing to do)."""
         path = self._path(kind, _check_key(key))
         if path.exists():
@@ -226,21 +291,66 @@ class ResultStore:
             **{serialize.META_MEMBER: serialize.encode_meta(meta)},
             **arrays,
         )
-        self._write_atomic(path, buffer.getvalue())
+        data = _seal(buffer.getvalue())
+        seq = self._write_seqs.get((kind, key), 0)
+        self._write_seqs[(kind, key)] = seq + 1
+        fault = store_fault(key, seq)
+        if fault == "truncate":
+            # As a crash that beat the atomic rename would leave it.
+            data = data[: max(1, len(data) // 2)]
+        elif fault == "corrupt":
+            damaged = bytearray(data)
+            damaged[len(damaged) // 3] ^= 0xFF
+            data = bytes(damaged)
+        self._write_atomic(path, data)
         return True
+
+    def _quarantine(self, path: pathlib.Path, kind: str, key: str,
+                    reason: str) -> None:
+        """Move a failed entry aside (unblocking its rewrite) and log it."""
+        dest = self.root / QUARANTINE_DIR / kind / key[:2] / path.name
+        dest.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.replace(path, dest)
+        except OSError:  # pragma: no cover - raced with another reader
+            dest = None
+        record = {
+            "kind": kind,
+            "key": key,
+            "reason": reason,
+            "moved_to": str(dest) if dest is not None else None,
+        }
+        self.quarantine_log.append(record)
+        _LOG.warning(
+            "quarantined store entry %s/%s: %s", kind, key[:12], reason
+        )
 
     def _get_payload(self, kind: str, key: str):
         path = self._path(kind, _check_key(key))
-        if not path.exists():
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
             return None
-        with np.load(path, allow_pickle=False) as archive:
-            meta = serialize.decode_meta(archive[serialize.META_MEMBER])
-            arrays = {
-                name: archive[name]
-                for name in archive.files
-                if name != serialize.META_MEMBER
-            }
-        return meta, arrays
+        body, reason = _unseal(raw)
+        if reason is None:
+            try:
+                with np.load(io.BytesIO(body), allow_pickle=False) as archive:
+                    meta = serialize.decode_meta(
+                        archive[serialize.META_MEMBER]
+                    )
+                    arrays = {
+                        name: archive[name]
+                        for name in archive.files
+                        if name != serialize.META_MEMBER
+                    }
+                return meta, arrays
+            except (OSError, ValueError, KeyError, zipfile.BadZipFile):
+                # Trailer-less (legacy or truncated) bytes land here:
+                # a cut-short file loses the zip end record, a damaged
+                # one fails the member CRCs.
+                reason = "unreadable archive"
+        self._quarantine(path, kind, key, reason)
+        return None
 
     # ------------------------------------------------------------------
     # Results
@@ -338,26 +448,50 @@ class ResultStore:
                 )
         return StoreIndex(entries)
 
-    def gc(self, all_entries: bool = False) -> dict:
-        """Reclaim dead storage; returns ``{"n_removed", "bytes_freed"}``.
+    def gc(
+        self,
+        all_entries: bool = False,
+        tmp_grace_s: float = TMP_GRACE_SECONDS,
+    ) -> dict:
+        """Reclaim dead storage; returns ``{"n_removed", "bytes_freed",
+        "n_tmp", "n_quarantined"}``.
 
         Removes abandoned temporary files (crashed writes older than
-        :data:`TMP_GRACE_SECONDS` — a live writer publishes within
-        seconds, so fresh temp files are left for it), entries whose
-        payload is unreadable or whose schema no longer matches the
-        code (their keys embed the old schema version, so they can
-        never be hit again), and — with ``all_entries`` — every entry.
+        ``tmp_grace_s`` — a live writer publishes within seconds, so
+        fresh temp files are left for it; pass ``0`` to sweep a store
+        known to have no concurrent writers), everything under
+        ``quarantine/`` (entries moved aside after failing
+        verification — kept for inspection until a gc reclaims them),
+        entries whose payload is unreadable or whose schema no longer
+        matches the code (their keys embed the old schema version, so
+        they can never be hit again), and — with ``all_entries`` —
+        every entry.
         """
+        if tmp_grace_s < 0:
+            raise ConfigurationError(
+                f"tmp_grace_s must be >= 0, got {tmp_grace_s}"
+            )
         n_removed = 0
         bytes_freed = 0
+        n_tmp = 0
         now = time.time()
         for tmp in self.root.rglob("*.tmp"):
             stat = tmp.stat()
-            if not all_entries and now - stat.st_mtime < TMP_GRACE_SECONDS:
+            if not all_entries and now - stat.st_mtime < tmp_grace_s:
                 continue  # possibly a concurrent writer mid-publish
             bytes_freed += stat.st_size
             tmp.unlink()
             n_removed += 1
+            n_tmp += 1
+        n_quarantined = 0
+        quarantine = self.root / QUARANTINE_DIR
+        if quarantine.is_dir():
+            for path in quarantine.rglob("*.npz"):
+                stat = path.stat()
+                bytes_freed += stat.st_size
+                path.unlink()
+                n_removed += 1
+                n_quarantined += 1
         for entry in self.index():
             if not all_entries:
                 try:
@@ -369,4 +503,9 @@ class ResultStore:
             bytes_freed += entry.nbytes
             entry.path.unlink()
             n_removed += 1
-        return {"n_removed": n_removed, "bytes_freed": bytes_freed}
+        return {
+            "n_removed": n_removed,
+            "bytes_freed": bytes_freed,
+            "n_tmp": n_tmp,
+            "n_quarantined": n_quarantined,
+        }

@@ -237,3 +237,68 @@ class TestStoreSubcommand:
     def test_store_command_required(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["store"])
+
+
+class TestChaosSubcommand:
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["chaos"])
+        assert args.plan == "transient"
+        assert args.seed == 0
+        assert args.backend == "process"
+        assert args.max_retries is None
+        assert args.task_timeout is None
+
+    def test_retry_flags_parsed(self):
+        args = build_parser().parse_args(
+            ["chaos", "--max-retries", "5", "--task-timeout", "2.5"]
+        )
+        assert args.max_retries == 5
+        assert args.task_timeout == 2.5
+
+    def test_run_accepts_retry_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "production",
+                    "--fast",
+                    "--max-retries",
+                    "1",
+                ]
+            )
+            == 0
+        )
+        assert "production screen" in capsys.readouterr().out.lower()
+
+    def test_unknown_plan_rejected(self, capsys):
+        from repro.errors import ConfigurationError
+
+        with pytest.raises(ConfigurationError):
+            main(["chaos", "--plan", "nope", "--fast"])
+
+    def test_chaos_serial_identity(self, tmp_path, capsys):
+        # Serial backend keeps this test cheap: store and shm
+        # faults still fire, and the faulted outcomes must match the
+        # clean reference exactly (exit code 0).
+        import json
+
+        rc = main(
+            [
+                "chaos",
+                "--plan",
+                "store",
+                "--seed",
+                "3",
+                "--backend",
+                "serial",
+                "--fast",
+                "--store",
+                str(tmp_path / "chaos"),
+            ]
+        )
+        out = capsys.readouterr().out
+        doc = json.loads(out[out.index("{"):])
+        assert rc == 0
+        assert doc["identical"] is True
+        assert doc["injections"]["n_injected"] > 0
+        assert set(doc["runs"]) == {"faulted", "faulted_resume"}

@@ -1,5 +1,7 @@
 """Tests for repro.engine.scheduler (WorkerPool, planner, facade)."""
 
+import os
+import time
 from typing import NamedTuple
 
 import numpy as np
@@ -9,6 +11,7 @@ from repro.engine import (
     MeasurementEngine,
     MeasurementScheduler,
     MeasurementTask,
+    RetryPolicy,
     WorkerPool,
     plan_measurements,
     run_with_processes,
@@ -16,8 +19,9 @@ from repro.engine import (
 from repro.engine import shm
 from repro.engine.scheduler import as_scheduler
 from repro.engine.shm import publish_packed_tasks, resolve_shared_task
-from repro.errors import ConfigurationError
+from repro.errors import ConfigurationError, ExecutionError, MeasurementError
 from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
+from repro.faults import FaultPlan, inject
 from repro.signals.random import make_rng, spawn_rngs
 
 
@@ -30,6 +34,49 @@ def small_sim(n_samples=60_000, nperseg=3000):
 def square(task, rng):
     """Module-level worker so the process backend can pickle it."""
     return task * task
+
+
+def _mark_call(marker_dir, index) -> int:
+    """Record one worker invocation of a task; returns its call count.
+
+    File-based so the count survives worker crashes and respawns — the
+    parent-side retry bookkeeping is exactly what's under test.
+    """
+    path = os.path.join(marker_dir, f"task{index}.calls")
+    with open(path, "ab") as handle:
+        handle.write(b"x")
+    return os.path.getsize(path)
+
+
+def flaky_worker(payload):
+    """Raises (transient) on the first ``fail_times`` calls per task."""
+    marker_dir, index, fail_times = payload
+    if _mark_call(marker_dir, index) <= fail_times:
+        raise RuntimeError(f"transient failure of task {index}")
+    return index * 10
+
+
+def domain_error_worker(payload):
+    """Raises a deterministic (never-retried) domain error."""
+    marker_dir, index = payload
+    _mark_call(marker_dir, index)
+    raise MeasurementError(f"task {index} is deterministically bad")
+
+
+def crashy_worker(payload):
+    """Kills its worker process on the first ``crash_times`` calls."""
+    marker_dir, index, crash_times = payload
+    if _mark_call(marker_dir, index) <= crash_times:
+        os._exit(66)
+    return index + 100
+
+
+def hangy_worker(payload):
+    """Blocks far past any test timeout on the first call only."""
+    marker_dir, index, hang_s = payload
+    if _mark_call(marker_dir, index) == 1:
+        time.sleep(hang_s)
+    return index + 200
 
 
 def packed_mean(task, rng):
@@ -415,6 +462,254 @@ class TestSchedulerFacade:
             sched = MeasurementScheduler(engine=eng)
             sched.close()
             assert eng.worker_pool.active  # caller still owns it
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_respawns=-1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_base_s=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff_factor=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=-0.1)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(task_timeout_s=0)
+
+    def test_domain_errors_not_retryable(self):
+        policy = RetryPolicy()
+        assert not policy.is_retryable(MeasurementError("x"))
+        assert not policy.is_retryable(ConfigurationError("x"))
+        assert policy.is_retryable(RuntimeError("x"))
+        assert policy.is_retryable(OSError("x"))
+
+    def test_backoff_deterministic_and_capped(self):
+        policy = RetryPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_max_s=0.3,
+            jitter=0.5,
+        )
+        assert policy.backoff_s(3, 1) == policy.backoff_s(3, 1)
+        assert policy.backoff_s(3, 1) != policy.backoff_s(4, 1)
+        # Exponential growth until the cap (jitter adds at most 50%).
+        assert policy.backoff_s(0, 1) < policy.backoff_s(0, 5)
+        assert policy.backoff_s(0, 10) <= 0.3 * 1.5
+
+    def test_zero_base_is_free(self):
+        assert RetryPolicy(backoff_base_s=0.0).backoff_s(0, 3) == 0.0
+
+
+#: Fast-recovery policy for the fault tests (no multi-second backoffs).
+_FAST = dict(backoff_base_s=0.01, backoff_max_s=0.05)
+
+
+class TestFaultTolerantPool:
+    def test_transient_exception_retried_to_success(self, tmp_path):
+        policy = RetryPolicy(max_retries=2, **_FAST)
+        payloads = [(str(tmp_path), i, 1) for i in range(3)]
+        with WorkerPool(max_workers=2, policy=policy) as pool:
+            outcome = pool.run(flaky_worker, payloads)
+        assert outcome.ok
+        assert outcome.results == [0, 10, 20]
+        assert outcome.retries == 3  # each task failed exactly once
+        assert outcome.attempts == 6
+
+    def test_domain_error_never_retried(self, tmp_path):
+        policy = RetryPolicy(max_retries=5, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            with pytest.raises(MeasurementError):
+                pool.map(domain_error_worker, [(str(tmp_path), 0)])
+        # One call, no retries: deterministic failures replay identically.
+        assert os.path.getsize(tmp_path / "task0.calls") == 1
+
+    def test_retries_exhausted_raises_original(self, tmp_path):
+        policy = RetryPolicy(max_retries=1, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            with pytest.raises(RuntimeError, match="transient failure"):
+                pool.map(flaky_worker, [(str(tmp_path), 0, 10)])
+
+    def test_dead_letter_records_attempts(self, tmp_path):
+        policy = RetryPolicy(max_retries=1, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            outcome = pool.run(flaky_worker, [(str(tmp_path), 0, 10)])
+        assert not outcome.ok
+        assert outcome.results == [None]
+        [failure] = outcome.dead
+        assert failure.kind == "exception"
+        assert failure.index == 0
+        assert failure.attempts == 2  # initial + 1 retry
+        assert "transient failure" in failure.error
+        assert failure.describe()["kind"] == "exception"
+
+    def test_worker_crash_recovered(self, tmp_path):
+        policy = RetryPolicy(max_retries=2, **_FAST)
+        payloads = [(str(tmp_path), i, 1 if i == 0 else 0) for i in range(3)]
+        with WorkerPool(max_workers=2, policy=policy) as pool:
+            outcome = pool.run(crashy_worker, payloads)
+        assert outcome.ok
+        assert outcome.results == [100, 101, 102]
+        assert outcome.respawns >= 1
+
+    def test_repeated_breaks_mid_retry_recovered(self, tmp_path):
+        # The old pool retried a broken batch exactly once; a second
+        # break escaped.  The respawn budget makes this configurable.
+        policy = RetryPolicy(max_retries=4, max_respawns=4, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            outcome = pool.run(crashy_worker, [(str(tmp_path), 0, 2)])
+        assert outcome.ok
+        assert outcome.results == [100]
+        assert outcome.respawns >= 2
+
+    def test_respawn_budget_exhaustion_dead_letters(self, tmp_path):
+        policy = RetryPolicy(max_retries=10, max_respawns=0, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            outcome = pool.run(crashy_worker, [(str(tmp_path), 0, 100)])
+            assert not outcome.ok
+            assert outcome.dead[0].kind == "pool"
+            with pytest.raises(ExecutionError, match="respawn budget"):
+                pool.map(crashy_worker, [(str(tmp_path), 1, 100)])
+
+    def test_always_crashing_task_dead_letters_as_crash(self, tmp_path):
+        policy = RetryPolicy(max_retries=1, max_respawns=10, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            outcome = pool.run(crashy_worker, [(str(tmp_path), 0, 100)])
+        assert not outcome.ok
+        assert outcome.dead[0].kind == "crash"
+        assert outcome.dead[0].attempts == 2
+
+    def test_hung_worker_killed_and_retried(self, tmp_path):
+        policy = RetryPolicy(max_retries=2, task_timeout_s=1.5, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            outcome = pool.run(hangy_worker, [(str(tmp_path), 0, 60.0)])
+        assert outcome.ok
+        assert outcome.results == [200]
+        assert outcome.timeouts == 1
+        assert outcome.respawns >= 1
+
+    def test_short_hang_without_timeout_still_finishes(self, tmp_path):
+        # Without hung-worker detection a hang is just slow, not fatal.
+        with WorkerPool(max_workers=1) as pool:
+            assert pool.map(hangy_worker, [(str(tmp_path), 0, 0.2)]) == [200]
+
+    def test_per_call_policy_overrides_pool_policy(self, tmp_path):
+        strict = RetryPolicy(max_retries=0, **_FAST)
+        lenient = RetryPolicy(max_retries=3, **_FAST)
+        with WorkerPool(max_workers=1, policy=strict) as pool:
+            outcome = pool.run(
+                flaky_worker, [(str(tmp_path), 0, 1)], policy=lenient
+            )
+            assert outcome.ok
+            with pytest.raises(RuntimeError):
+                pool.map(flaky_worker, [(str(tmp_path), 1, 1)])
+
+    def test_telemetry_accumulates_across_calls(self, tmp_path):
+        policy = RetryPolicy(max_retries=2, **_FAST)
+        with WorkerPool(max_workers=1, policy=policy) as pool:
+            pool.run(flaky_worker, [(str(tmp_path), 0, 1)])
+            pool.run(flaky_worker, [(str(tmp_path), 1, 1)])
+            assert pool.telemetry.attempts == 4
+            assert pool.telemetry.retries == 2
+            assert pool.telemetry.dead == []
+
+    def test_results_keep_order_under_retries(self, tmp_path):
+        policy = RetryPolicy(max_retries=2, **_FAST)
+        payloads = [(str(tmp_path), i, i % 2) for i in range(6)]
+        with WorkerPool(max_workers=3, policy=policy) as pool:
+            assert pool.map(flaky_worker, payloads) == [
+                i * 10 for i in range(6)
+            ]
+
+
+class TestInjectedPoolFaults:
+    def test_injected_exception_retried_and_logged(self):
+        plan = FaultPlan(task_exception=1.0, max_per_site=2)
+        policy = RetryPolicy(max_retries=3, **_FAST)
+        with inject(plan) as injector:
+            with WorkerPool(max_workers=2, policy=policy) as pool:
+                outcome = pool.run(abs, [-1, -2, -3])
+        assert outcome.ok
+        assert outcome.results == [1, 2, 3]
+        assert injector.counts() == {"task_exception": 2}
+        assert outcome.retries == 2
+
+    def test_injected_crash_recovered(self):
+        plan = FaultPlan(worker_crash=1.0, max_per_site=1)
+        policy = RetryPolicy(max_retries=3, **_FAST)
+        with inject(plan) as injector:
+            with WorkerPool(max_workers=2, policy=policy) as pool:
+                assert pool.map(abs, [-1, -2]) == [1, 2]
+        assert injector.counts() == {"worker_crash": 1}
+
+    def test_injected_hang_detected_by_timeout(self):
+        plan = FaultPlan(worker_hang=1.0, max_per_site=1, hang_seconds=60.0)
+        policy = RetryPolicy(max_retries=3, task_timeout_s=1.5, **_FAST)
+        with inject(plan) as injector:
+            with WorkerPool(max_workers=1, policy=policy) as pool:
+                outcome = pool.run(abs, [-5])
+        assert outcome.ok and outcome.results == [5]
+        assert outcome.timeouts == 1
+        assert injector.counts() == {"worker_hang": 1}
+
+
+class TestRunReport:
+    def _mixed_tasks(self):
+        good = small_sim(n_samples=30_000)
+        # A different nperseg keeps the doomed device out of the good
+        # batch; the swamped reference line fails its measurement.
+        bad = MatlabSimulation(
+            MatlabSimConfig(
+                n_samples=30_000, nperseg=1500, reference_ratio=0.001
+            )
+        )
+        return [
+            MeasurementTask(good, good.make_estimator(), 1),
+            MeasurementTask(good, good.make_estimator(), 2),
+            MeasurementTask(bad, bad.make_estimator(), 3),
+        ]
+
+    def test_clean_run_reports_ok(self):
+        tasks = self._mixed_tasks()[:2]
+        report = MeasurementScheduler().run_report(tasks)
+        assert report.ok
+        assert all(r is not None for r in report.results)
+        assert [g.status for g in report.groups] == ["ok"]
+        assert report.wall_s > 0
+        assert all(g.wall_s > 0 for g in report.groups)
+
+    def test_failed_group_degrades_gracefully(self):
+        # The bad singleton group fails terminally; the batched good
+        # group must still complete and scatter its results.
+        report = MeasurementScheduler().run_report(self._mixed_tasks())
+        assert not report.ok
+        assert report.n_failed_groups == 1
+        assert report.results[0] is not None
+        assert report.results[1] is not None
+        assert report.results[2] is None
+        failed = [g for g in report.groups if g.status == "failed"]
+        assert "MeasurementError" in failed[0].error
+
+    def test_describe_is_json_ready(self):
+        import json
+
+        report = MeasurementScheduler().run_report(self._mixed_tasks())
+        doc = json.loads(json.dumps(report.describe()))
+        assert doc["n_measured"] == 2
+        assert doc["ok"] is False
+
+    def test_results_match_plain_run(self):
+        tasks = self._mixed_tasks()[:2]
+        report = MeasurementScheduler().run_report(tasks)
+        plain = MeasurementScheduler().run(tasks)
+        for a, b in zip(report.results, plain):
+            assert a.noise_figure_db == b.noise_figure_db
+
+    def test_resume_without_store_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler().run_report(
+                self._mixed_tasks()[:1], resume=True
+            )
 
 
 class TestEnginePoolLifetime:

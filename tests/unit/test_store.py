@@ -453,3 +453,115 @@ class TestResultStore:
                 ResultStore._write_atomic = staticmethod(original)
         assert not path.exists()
         assert list(store.root.rglob("*.tmp")) == []
+
+
+class TestIntegrity:
+    """Sealed digests, verify-on-read, quarantine, fault injection."""
+
+    def _put_one(self, tmp_path, key="ab" * 32):
+        store = ResultStore(tmp_path / "s")
+        store.put_result(key, _result())
+        return store, store._path("results", key)
+
+    def test_payloads_are_sealed(self, tmp_path):
+        from repro.store.store import _SEAL_PREFIX
+
+        _, path = self._put_one(tmp_path)
+        raw = path.read_bytes()
+        assert _SEAL_PREFIX in raw[-100:]
+        assert raw.endswith(b"\n")
+
+    def test_sealed_payload_round_trips(self, tmp_path):
+        store, _ = self._put_one(tmp_path)
+        restored = store.get_result("ab" * 32)
+        assert_results_identical(restored, _result())
+
+    def test_corrupt_entry_quarantined_on_read(self, tmp_path):
+        store, path = self._put_one(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0xFF  # one flipped bit in the body
+        path.write_bytes(bytes(raw))
+        assert store.get_result("ab" * 32) is None
+        assert not path.exists()
+        [record] = store.quarantine_log
+        assert record["reason"] == "integrity digest mismatch"
+        assert record["key"] == "ab" * 32
+        moved = store.root / "quarantine" / "results" / "ab"
+        assert any(moved.iterdir())
+
+    def test_truncated_entry_quarantined_on_read(self, tmp_path):
+        store, path = self._put_one(tmp_path)
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+        assert store.get_result("ab" * 32) is None
+        assert store.quarantine_log[-1]["reason"] == "unreadable archive"
+
+    def test_quarantine_unblocks_rewrite(self, tmp_path):
+        store, path = self._put_one(tmp_path)
+        path.write_bytes(b"garbage that is not an npz at all")
+        assert store.get_result("ab" * 32) is None
+        # The content-addressed slot is free again: a recompute can
+        # persist, and the store serves it.
+        assert store.put_result("ab" * 32, _result())
+        assert_results_identical(store.get_result("ab" * 32), _result())
+
+    def test_legacy_unsealed_entry_still_reads(self, tmp_path):
+        store, path = self._put_one(tmp_path)
+        raw = path.read_bytes()
+        from repro.store.store import _SEAL_LEN
+
+        path.write_bytes(raw[:-_SEAL_LEN])  # strip the trailer
+        restored = store.get_result("ab" * 32)
+        assert_results_identical(restored, _result())
+        assert store.quarantine_log == []
+
+    def test_gc_reclaims_quarantine(self, tmp_path):
+        store, path = self._put_one(tmp_path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get_result("ab" * 32) is None
+        removed = store.gc()
+        assert removed["n_quarantined"] == 1
+        assert removed["n_removed"] == 1
+        assert not any((store.root / "quarantine").rglob("*.npz"))
+
+    def test_gc_grace_is_configurable(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        orphan = store.root / "results" / "ab" / "crashed.tmp"
+        orphan.parent.mkdir(parents=True)
+        orphan.write_bytes(b"partial write from a dead process")
+        # Fresh orphan survives the default grace, dies under zero.
+        assert store.gc()["n_tmp"] == 0
+        assert orphan.exists()
+        removed = store.gc(tmp_grace_s=0.0)
+        assert removed["n_tmp"] == 1
+        assert not orphan.exists()
+
+    def test_gc_bad_grace_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ConfigurationError):
+            store.gc(tmp_grace_s=-1.0)
+
+    def test_injected_store_faults_recovered_by_rewrite(self, tmp_path):
+        from repro.faults import FaultPlan, inject
+
+        store = ResultStore(tmp_path / "s")
+        result = _result()
+        keys = [f"{i:02d}" * 32 for i in range(8)]
+        with inject(
+            FaultPlan(seed=1, store_truncate=0.4, store_corrupt=0.4)
+        ) as injector:
+            for key in keys:
+                store.put_result(key, result)
+            # Rewrite-on-miss converges: each write draws at a fresh
+            # write sequence, so a damaged entry is not damaged forever.
+            for key in keys:
+                for _ in range(20):
+                    restored = store.get_result(key)
+                    if restored is not None:
+                        break
+                    store.put_result(key, result)
+                assert_results_identical(restored, result)
+        assert len(injector.log) > 0
+        assert len(store.quarantine_log) > 0
