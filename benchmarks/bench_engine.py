@@ -28,7 +28,7 @@ import time
 
 import numpy as np
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.core.bist import OneBitNoiseFigureBIST
 from repro.digitizer.digitizer import OneBitDigitizer
@@ -215,6 +215,7 @@ def test_engine(benchmark, emit):
             "n_records": records,
         },
         "n_cpus": os.cpu_count(),
+        "env": envinfo(),
         "psd_max_rel_diff_vs_loop": psd_diff,
         "nf_max_abs_diff_db": nf_diff,
         "modes": {

@@ -25,7 +25,7 @@ import shutil
 import tempfile
 import time
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.engine import MeasurementScheduler, ResultStore, RetryPolicy
 from repro.experiments.production import run_production
@@ -133,6 +133,7 @@ def test_faults(benchmark, emit):
             payload = {}  # self-heal a missing or truncated file
         payload["faults"] = {
             "n_cpus": os.cpu_count(),
+            "env": envinfo(),
             "workload": {
                 "n_devices": N_DEVICES,
                 "n_samples": N_SAMPLES,

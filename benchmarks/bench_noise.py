@@ -32,7 +32,7 @@ import time
 
 import numpy as np
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.dsp.psd import welch_batch
 from repro.engine import MeasurementEngine
@@ -244,6 +244,7 @@ def test_noise(benchmark, emit):
         payload = {}  # self-heal a missing or truncated file
     payload["noise"] = {
         "n_cpus": os.cpu_count(),
+        "env": envinfo(),
         "synthesis": {
             "n_records": N_RECORDS,
             "n_samples": N_SAMPLES,

@@ -30,7 +30,7 @@ import tracemalloc
 
 import numpy as np
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.buffers import default_pool
 from repro.engine import MeasurementEngine
@@ -147,6 +147,7 @@ def test_packed_pipeline(benchmark, emit):
             "n_records": records,
         },
         "n_cpus": os.cpu_count(),
+        "env": envinfo(),
         "bytes_per_record": {
             "float64": float_bytes,
             "packed": packed_bytes,

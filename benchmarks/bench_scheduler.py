@@ -22,7 +22,7 @@ import os
 import pathlib
 import time
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.dsp.psd import welch
 from repro.engine import (
@@ -207,6 +207,7 @@ def test_scheduler(benchmark, emit):
         payload = {}  # self-heal a missing or truncated file
     payload["scheduler"] = {
         "n_cpus": os.cpu_count(),
+        "env": envinfo(),
         "pool_reuse": {
             "n_sweeps": N_SWEEPS,
             "tasks_per_sweep": TASKS_PER_SWEEP,

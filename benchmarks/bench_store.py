@@ -27,7 +27,7 @@ import time
 
 import numpy as np
 
-from conftest import run_once
+from conftest import envinfo, run_once
 
 from repro.engine import MeasurementEngine, MeasurementScheduler, ResultStore
 from repro.experiments.matlab_sim import MatlabSimConfig, MatlabSimulation
@@ -167,6 +167,7 @@ def test_store(benchmark, emit):
             payload = {}  # self-heal a missing or truncated file
         payload["store"] = {
             "n_cpus": os.cpu_count(),
+            "env": envinfo(),
             "workload": {
                 "n_devices": N_DEVICES,
                 "n_samples": N_SAMPLES,

@@ -32,3 +32,16 @@ def emit():
 def run_once(benchmark, fn, *args, **kwargs):
     """Benchmark a full experiment with a single timed round."""
     return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def envinfo() -> dict:
+    """The compute-environment record every bench JSON section embeds.
+
+    CPU count, numpy/scipy/numba versions, the active kernel and FFT
+    backends — a benchmark number is meaningless without the
+    environment it was measured in (see docs/PERFORMANCE.md, "reading
+    BENCH_engine.json").
+    """
+    from repro.kernels import report
+
+    return report()

@@ -352,24 +352,15 @@ class PackedBitstream:
             raise ConfigurationError(
                 f"invalid range [{start}, {stop}) for {self.n_samples} samples"
             )
-        n = stop - start
-        word_lo = start // 8
-        bits = np.unpackbits(
-            self.words[word_lo : (stop + 7) // 8], count=stop - 8 * word_lo
-        )[start - 8 * word_lo :]
-        if out is None:
-            result = bits.astype(np.float64)
-        else:
-            if out.shape[0] < n:
-                raise ConfigurationError(
-                    f"out buffer has {out.shape[0]} samples, need {n}"
-                )
-            result = out[:n]
-            result[:] = bits
-        if bipolar:
-            result *= 2.0
-            result -= 1.0
-        return result
+        if out is not None and out.shape[0] < stop - start:
+            raise ConfigurationError(
+                f"out buffer has {out.shape[0]} samples, need {stop - start}"
+            )
+        from repro.kernels import get_kernel
+
+        return get_kernel("unpack_block")(
+            self.words, start, stop, out=out, bipolar=bipolar
+        )
 
     def iter_blocks(self, block_samples: int) -> Iterator[np.ndarray]:
         """Yield successive float64 ``+/-1`` blocks of the record."""

@@ -26,11 +26,19 @@ computing only what the store is missing, and ``--json`` switches the
 scheduler-driven production/record_length/robustness outputs to
 machine-readable JSON.  ``--max-retries``/``--task-timeout`` configure
 the process backend's fault tolerance (task retry budget and hung-
-worker detection).  The ``store`` subcommand inspects and garbage-
+worker detection).  ``--kernel-backend``/``--fft-backend`` select the
+compute tiers (``repro.kernels`` dispatch and the FFT library) for the
+whole invocation — results are bit-identical across backends, only
+wall-clock changes.  The ``store`` subcommand inspects and garbage-
 collects a store directory.  The ``chaos`` subcommand runs the
 production screen under a named fault-injection plan and verifies the
 flagship robustness guarantee from the shell: the faulted outcome must
-be bit-identical to a fault-free run.
+be bit-identical to a fault-free run.  ``bench envinfo`` prints the
+compute environment (CPU count, library versions, active backends)
+that every benchmark JSON section embeds::
+
+    python -m repro run production --kernel-backend tuned --fft-backend scipy
+    python -m repro bench envinfo
 """
 
 from __future__ import annotations
@@ -505,6 +513,53 @@ def _add_retry_arguments(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The compute-tier knobs shared by ``run`` and ``chaos``."""
+    parser.add_argument(
+        "--kernel-backend",
+        choices=("reference", "tuned", "numba", "auto"),
+        default=None,
+        metavar="TIER",
+        help="kernel tier for the hot compute paths (reference/tuned/"
+        "numba/auto; default: tuned, or REPRO_KERNEL_BACKEND); every "
+        "tier is parity-checked against the reference before use, so "
+        "results are identical — only wall-clock changes",
+    )
+    parser.add_argument(
+        "--fft-backend",
+        choices=("numpy", "scipy"),
+        default=None,
+        metavar="LIB",
+        help="FFT library for the batched transforms (default: numpy); "
+        "scipy's pocketfft is bit-identical and adds a workers= "
+        "thread pool on multi-core hosts",
+    )
+
+
+def _apply_backend_flags(parser: argparse.ArgumentParser, args) -> None:
+    """Select the requested compute tiers (process-global, workers
+    inherit them through the pool initializer)."""
+    from repro.errors import ConfigurationError
+
+    if getattr(args, "kernel_backend", None) is not None:
+        from repro.kernels import set_kernel_backend
+
+        try:
+            set_kernel_backend(args.kernel_backend)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+    if getattr(args, "fft_backend", None) is not None:
+        from repro.dsp.fft_backend import set_fft_backend
+
+        # Parent-side analysis gets the full thread fan-out; worker
+        # processes pin workers=1 through the pool initializer.
+        workers = -1 if args.fft_backend == "scipy" else None
+        try:
+            set_fft_backend(args.fft_backend, workers=workers)
+        except ConfigurationError as exc:
+            parser.error(str(exc))
+
+
 def _retry_policy(args):
     """The RetryPolicy the CLI flags describe (None = pool defaults)."""
     if args.max_retries is None and args.task_timeout is None:
@@ -588,6 +643,7 @@ def build_parser() -> argparse.ArgumentParser:
         + " only)",
     )
     _add_retry_arguments(run)
+    _add_backend_arguments(run)
     chaos = sub.add_parser(
         "chaos",
         help="run the production screen under injected faults and "
@@ -636,6 +692,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="reduced lot size and record length for a quick check",
     )
     _add_retry_arguments(chaos)
+    _add_backend_arguments(chaos)
     store = sub.add_parser(
         "store", help="inspect or garbage-collect a result store"
     )
@@ -660,6 +717,16 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="gc_all",
         help="remove every entry, not just dead ones",
+    )
+    bench = sub.add_parser(
+        "bench", help="benchmark utilities (environment reporting)"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_sub.add_parser(
+        "envinfo",
+        help="print the compute environment as JSON: CPU count, "
+        "numpy/scipy/numba versions, active kernel and FFT backends "
+        "(the same record every benchmark JSON section embeds)",
     )
     return parser
 
@@ -779,15 +846,27 @@ def _chaos_main(args) -> int:
     return 0 if identical else 1
 
 
+def _bench_main(args) -> int:
+    """The ``bench`` subcommand: envinfo."""
+    from repro.kernels import report
+
+    print(_dump_json(report()))
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.command == "store":
         return _store_main(args)
+    if args.command == "bench":
+        return _bench_main(args)
     if args.command == "chaos":
+        _apply_backend_flags(parser, args)
         return _chaos_main(args)
     if args.command == "run":
+        _apply_backend_flags(parser, args)
         if args.workers is not None and args.backend != "process":
             parser.error("--workers requires --backend process")
         if args.resume and args.store is None:

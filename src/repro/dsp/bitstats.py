@@ -22,12 +22,11 @@ rank-one spectral correction (see
 
 from __future__ import annotations
 
-import math
-
 import numpy as np
 
 from repro.bitstream import PackedBitstream
 from repro.errors import ConfigurationError
+from repro.kernels import get_kernel
 
 __all__ = [
     "popcount",
@@ -39,20 +38,13 @@ __all__ = [
     "packed_segment_means",
 ]
 
-_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
-
-#: Set-bit counts of every byte value — the portable popcount.
-_POPCOUNT_TABLE = np.array(
-    [bin(value).count("1") for value in range(256)], dtype=np.uint8
-)
-
-
 def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-byte set-bit counts (``numpy.bitwise_count`` or table lookup)."""
-    arr = np.asarray(words, dtype=np.uint8)
-    if _HAS_BITWISE_COUNT:
-        return np.bitwise_count(arr)
-    return _POPCOUNT_TABLE[arr]
+    """Per-byte set-bit counts through the active kernel backend.
+
+    Bit-identical across backends: ``numpy.bitwise_count`` on the
+    tuned/numba tiers, 256-entry table lookup on reference.
+    """
+    return get_kernel("popcount")(words)
 
 
 def packed_ones(packed: PackedBitstream) -> int:
@@ -109,22 +101,9 @@ def packed_segment_ones(
         raise ConfigurationError(
             f"record has {packed.n_samples} samples but nperseg={nperseg}"
         )
-    n_segments = 1 + (packed.n_samples - nperseg) // step
-    word_step = step // 8
-    word_seg = nperseg // 8
-    # Segment boundaries all fall on multiples of gcd(step, nperseg)/8
-    # words, so the prefix sum only needs that granularity: one
-    # vectorized chunk reduction over the byte counts, then a cumsum
-    # over the (few hundred) chunks instead of every word.
-    chunk = math.gcd(word_step, word_seg)
-    last_word = (n_segments - 1) * word_step + word_seg
-    n_chunks = last_word // chunk
-    counts = popcount(packed.words[:last_word])
-    chunk_sums = counts.reshape(n_chunks, chunk).sum(axis=1, dtype=np.int64)
-    prefix = np.zeros(n_chunks + 1, dtype=np.int64)
-    np.cumsum(chunk_sums, out=prefix[1:])
-    lo = np.arange(n_segments, dtype=np.int64) * (word_step // chunk)
-    return prefix[lo + word_seg // chunk] - prefix[lo]
+    return get_kernel("segment_ones")(
+        packed.words, packed.n_samples, nperseg, step
+    )
 
 
 def packed_segment_means(

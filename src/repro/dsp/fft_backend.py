@@ -1,4 +1,4 @@
-"""Selectable FFT backend for the blocked batched Welch transforms.
+"""Selectable FFT backend + cached rfft execution plans.
 
 ``numpy.fft`` is the default and always available.  ``scipy.fft``
 (pocketfft with a ``workers=`` thread pool) can be opted into for the
@@ -9,12 +9,24 @@ wall-clock only, never results.  On single-core hosts the thread pool
 buys nothing; see docs/PERFORMANCE.md.
 
 The backend is process-global state (like numpy's own error state):
-worker processes of the engine's process backend start at the numpy
-default unless their initializer opts in.
+worker processes of the engine's process backend inherit the parent's
+selection through the pool initializer with ``workers`` pinned to 1 —
+one thread pool per core is a fight, not a speedup — while parent-side
+analysis keeps the full ``workers=`` fan-out.
+
+:func:`plan_rfft` is the plan registry on top: a thread-local cache of
+per-``(backend, workers, shape, dtype)`` execution plans.  A numpy
+plan owns a preallocated complex output buffer and transforms with
+``rfft(..., out=)`` (bit-identical to the allocating call; the result
+is valid until the plan's next execute).  A scipy plan pins the
+``workers=`` thread fan-out.  The blocked Welch kernels issue the same
+``(block_segments, nperseg)`` transform hundreds of times per record,
+which is exactly the shape-stable workload plans pay off on.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Optional, Tuple
 
@@ -92,3 +104,119 @@ def rfft(x: np.ndarray, axis: int = -1) -> np.ndarray:
             return sp_fft.rfft(x, axis=axis, workers=_workers)
         # scipy vanished after selection (e.g. broken env): fall through.
     return np.fft.rfft(x, axis=axis)
+
+
+# ----------------------------------------------------------------------
+# Plan registry
+# ----------------------------------------------------------------------
+_RFFT_OUT_SUPPORTED: Optional[bool] = None
+
+
+def _rfft_supports_out() -> bool:
+    """Whether this numpy's ``rfft`` takes ``out=`` (numpy >= 2.0)."""
+    global _RFFT_OUT_SUPPORTED
+    if _RFFT_OUT_SUPPORTED is None:
+        try:
+            np.fft.rfft(np.zeros(2), out=np.empty(2, dtype=np.complex128))
+            _RFFT_OUT_SUPPORTED = True
+        except TypeError:  # pragma: no cover - older numpy
+            _RFFT_OUT_SUPPORTED = False
+    return _RFFT_OUT_SUPPORTED
+
+
+class RfftPlan:
+    """One cached last-axis real-FFT execution plan.
+
+    Pins the transform shape, dtype, backend and thread fan-out at
+    creation.  Numpy plans preallocate the complex output once and
+    transform with ``out=`` — the returned array is the plan's own
+    buffer, **valid until the next** :meth:`execute` — so shape-stable
+    block loops stop faulting a fresh spectrum per block.  Scipy plans
+    carry the pocketfft ``workers=`` setting.  Either way the values
+    are bit-identical to ``numpy.fft.rfft``.
+    """
+
+    __slots__ = ("shape", "dtype", "backend", "workers", "_out")
+
+    def __init__(
+        self,
+        shape: Tuple[int, ...],
+        dtype,
+        backend: str,
+        workers: Optional[int],
+    ):
+        if len(shape) == 0 or any(s <= 0 for s in shape):
+            raise ConfigurationError(f"invalid rfft plan shape {shape}")
+        self.shape = tuple(int(s) for s in shape)
+        self.dtype = np.dtype(dtype)
+        self.backend = backend
+        self.workers = workers
+        self._out = None
+        if backend == "numpy" and _rfft_supports_out():
+            out_shape = self.shape[:-1] + (self.shape[-1] // 2 + 1,)
+            self._out = np.empty(out_shape, dtype=np.complex128)
+
+    def execute(self, x: np.ndarray) -> np.ndarray:
+        """Transform ``x`` (must match the planned shape) along axis -1."""
+        if x.shape != self.shape:
+            raise ConfigurationError(
+                f"plan expects shape {self.shape}, got {x.shape}"
+            )
+        if self.backend == "scipy":
+            sp_fft = _scipy_fft()
+            if sp_fft is not None:
+                return sp_fft.rfft(x, axis=-1, workers=self.workers)
+        if self._out is not None:
+            return np.fft.rfft(x, axis=-1, out=self._out)
+        return np.fft.rfft(x, axis=-1)
+
+
+_PLANS = threading.local()
+
+
+def _plan_state():
+    state = getattr(_PLANS, "state", None)
+    if state is None:
+        state = _PLANS.state = {"plans": {}, "hits": 0, "misses": 0}
+    return state
+
+
+def plan_rfft(shape, dtype=np.float64) -> RfftPlan:
+    """The cached :class:`RfftPlan` for ``(shape, dtype)``.
+
+    Plans are cached per thread and keyed by the active backend and
+    worker count as well, so a backend switch mid-session gets fresh
+    plans and worker threads (which pin ``workers=1``) never share
+    output buffers with the parent.
+    """
+    shape = (int(shape),) if np.isscalar(shape) else tuple(
+        int(s) for s in shape
+    )
+    dtype = np.dtype(dtype)
+    state = _plan_state()
+    key = (_backend, _workers, shape, dtype.str)
+    plan = state["plans"].get(key)
+    if plan is None:
+        state["misses"] += 1
+        plan = state["plans"][key] = RfftPlan(shape, dtype, _backend, _workers)
+    else:
+        state["hits"] += 1
+    return plan
+
+
+def plan_cache_info() -> dict:
+    """This thread's plan-cache counters: size, hits, misses."""
+    state = _plan_state()
+    return {
+        "plans": len(state["plans"]),
+        "hits": state["hits"],
+        "misses": state["misses"],
+    }
+
+
+def clear_plan_cache() -> None:
+    """Drop this thread's cached plans (and reset the counters)."""
+    state = _plan_state()
+    state["plans"].clear()
+    state["hits"] = 0
+    state["misses"] = 0

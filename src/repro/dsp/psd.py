@@ -44,6 +44,7 @@ from repro.dsp.fft_backend import rfft
 from repro.dsp.spectrum import Spectrum, SpectrumBatch
 from repro.dsp.windows import get_window, window_gains
 from repro.errors import ConfigurationError
+from repro.kernels import get_kernel
 from repro.signals.waveform import Waveform
 
 #: Segments per batched FFT call.  Chosen so one block's detrended,
@@ -137,69 +138,6 @@ def accumulate_spectral_power(
         acc += power.sum(axis=0)
 
 
-def _accumulate_windowed_minus_mean(
-    segments01: np.ndarray,
-    window: np.ndarray,
-    window_spectrum: np.ndarray,
-    window_power: np.ndarray,
-    exact_bins: np.ndarray,
-    means01: np.ndarray,
-    acc: np.ndarray,
-    block_segments: int,
-) -> None:
-    """Bit-domain detrend: window the raw bits, correct the power
-    spectrally.
-
-    A ±1 segment is an exact affine map of its bits, ``x = 2b - 1``,
-    and its detrended form collapses the constant: ``x - mean(x) =
-    2 (b - mean(b))``.  So the kernel windows the *0/1* bits straight
-    out of the unpack (no ``2b - 1`` pass, no per-sample detrend
-    subtraction), transforms ``B = F[b w]``, and applies the detrend as
-    the expanded power correction
-
-        sum_s |x_s w|^2_detrended
-            = 4 [ sum_s |B_s|^2
-                  - 2 Re((sum_s m_s B_s) conj(W))
-                  + (sum_s m_s^2) |W|^2 ],
-
-    with ``W = F[w]`` and ``m_s`` the popcount bit fractions.  The
-    middle term is one mean-weighted matvec over the block — O(n_bins)
-    per block instead of O(n_segments * n_bins) — and the factor 4 is
-    exact in binary floating point.
-
-    The expansion cancels catastrophically only where ``|W|`` is large
-    (``B ~ m W`` near DC, since ``B = (S + W) / 2``); those few
-    ``exact_bins`` are recomputed by the direct per-segment
-    ``|B - m W|^2`` instead.  The result matches the float detrend
-    path to summation rounding (<= 1e-10 relative; the means
-    themselves are bit-identical).
-    """
-    nb = segments01.shape[0]
-    scratch = default_pool.take(
-        "psd.windowed_block", (block_segments, window.size)
-    )[:nb]
-    np.multiply(segments01, window, out=scratch)
-    spectra = rfft(scratch, axis=-1)
-    power = spectra.real**2
-    power += spectra.imag**2
-    weighted = means01.astype(np.complex128) @ spectra
-    correction = power.sum(axis=0)
-    correction -= 2.0 * (
-        weighted.real * window_spectrum.real
-        + weighted.imag * window_spectrum.imag
-    )
-    correction += (means01 @ means01) * window_power
-    direct = (
-        spectra[:, exact_bins]
-        - means01[:, np.newaxis] * window_spectrum[exact_bins]
-    )
-    direct_power = direct.real**2
-    direct_power += direct.imag**2
-    correction[exact_bins] = direct_power.sum(axis=0)
-    correction *= 4.0
-    acc += correction
-
-
 def accumulate_packed_spectral_power(
     packed: PackedBitstream,
     nperseg: int,
@@ -223,11 +161,13 @@ def accumulate_packed_spectral_power(
     grid — the paper's nperseg 1e4 / 50 % overlap qualifies), the
     per-segment means come from one popcount pass over the packed
     words (:func:`repro.dsp.bitstats.packed_segment_means`, means
-    bit-identical to the float path) and the detrend subtraction moves
-    into the spectrum as a rank-one ``mean * F[window]`` correction —
-    segments unpack straight into the windowed buffer.  PSDs then
-    match the float path to FFT rounding (<= 1e-10 relative) instead
-    of bit-for-bit; misaligned grids fall back to the exact path
+    bit-identical to the float path) and the whole blocked
+    accumulation runs through the active ``welch_bit_domain`` kernel
+    (:mod:`repro.kernels`): the detrend subtraction moves into the
+    spectrum as a rank-one ``mean * F[window]`` correction — segments
+    unpack straight into the windowed buffer.  PSDs then match the
+    float path to FFT rounding (<= 1e-10 relative) instead of
+    bit-for-bit; misaligned grids fall back to the exact path
     silently.  ``window_spectrum`` may supply a precomputed
     ``rfft(window)`` so batch callers pay the transform once per
     batch, not once per record.  Returns the number of segments
@@ -241,9 +181,16 @@ def accumulate_packed_spectral_power(
         means01 = packed_segment_ones(packed, nperseg, step) / float(nperseg)
         if window_spectrum is None:
             window_spectrum = np.fft.rfft(window)
-        window_power = window_spectrum.real**2 + window_spectrum.imag**2
-        exact_bins = np.flatnonzero(
-            window_power > window_power.max() * 1e-12
+        return get_kernel("welch_bit_domain")(
+            packed.words,
+            packed.n_samples,
+            nperseg,
+            step,
+            window,
+            window_spectrum,
+            means01,
+            acc,
+            block_segments,
         )
     scratch = default_pool.take(
         "psd.unpack_block", (block_segments - 1) * step + nperseg
@@ -252,25 +199,11 @@ def accumulate_packed_spectral_power(
         nb = min(block_segments, n_segments - start)
         lo = start * step
         hi = (start + nb - 1) * step + nperseg
-        samples = packed.unpack_range(
-            lo, hi, out=scratch, bipolar=not use_bit_domain
-        )
+        samples = packed.unpack_range(lo, hi, out=scratch)
         segments = frame_segments(samples, nperseg, step)
-        if use_bit_domain:
-            _accumulate_windowed_minus_mean(
-                segments[:nb],
-                window,
-                window_spectrum,
-                window_power,
-                exact_bins,
-                means01[start : start + nb],
-                acc,
-                block_segments,
-            )
-        else:
-            accumulate_spectral_power(
-                segments[:nb], window, acc, detrend, block_segments
-            )
+        accumulate_spectral_power(
+            segments[:nb], window, acc, detrend, block_segments
+        )
     return n_segments
 
 

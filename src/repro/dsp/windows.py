@@ -70,9 +70,22 @@ _WINDOWS: Dict[str, callable] = {
     "flattop": flattop,
 }
 
+#: Coefficient cache keyed by (generator, n, dtype).  Every Welch call
+#: used to regenerate its window (five cosine passes over nperseg
+#: points for flattop); measurement sessions reuse a handful of
+#: (window, nperseg) pairs thousands of times.  Aliases share entries
+#: by keying on the generator function, and cached arrays are
+#: read-only so no caller can corrupt the shared coefficients.
+_WINDOW_CACHE: Dict[Tuple[callable, int, str], np.ndarray] = {}
 
-def get_window(name: str, n: int) -> np.ndarray:
-    """Return a window of length ``n`` by name.
+
+def get_window(name: str, n: int, dtype=np.float64) -> np.ndarray:
+    """Return a window of length ``n`` by name (cached, read-only).
+
+    The coefficients are generated once per ``(window, n, dtype)`` and
+    served from a cache thereafter — bit-identical to a fresh
+    generation (asserted in ``tests/unit/test_windows.py``).  The
+    returned array is marked read-only; copy before mutating.
 
     Raises ``ConfigurationError`` for unknown names or non-positive length.
     """
@@ -84,7 +97,26 @@ def get_window(name: str, n: int) -> np.ndarray:
         raise ConfigurationError(
             f"unknown window {name!r}; available: {sorted(set(_WINDOWS))}"
         ) from None
-    return fn(n)
+    key = (fn, int(n), np.dtype(dtype).str)
+    cached = _WINDOW_CACHE.get(key)
+    if cached is None:
+        cached = np.asarray(fn(n), dtype=dtype)
+        cached.setflags(write=False)
+        _WINDOW_CACHE[key] = cached
+    return cached
+
+
+def window_cache_info() -> dict:
+    """Size and total bytes of the window coefficient cache."""
+    return {
+        "windows": len(_WINDOW_CACHE),
+        "nbytes": sum(arr.nbytes for arr in _WINDOW_CACHE.values()),
+    }
+
+
+def clear_window_cache() -> None:
+    """Drop every cached window coefficient array."""
+    _WINDOW_CACHE.clear()
 
 
 def window_gains(window: np.ndarray) -> Tuple[float, float]:

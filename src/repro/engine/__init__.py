@@ -49,8 +49,11 @@ from repro.engine.scheduler import (
 from repro.store import ResultStore
 from repro.engine.shm import (
     SharedPackedBatch,
+    SharedResultBlock,
     WelchParams,
+    collect_results,
     publish_packed_tasks,
+    publish_results,
     resolve_shared_task,
     welch_batch_shared,
 )
@@ -73,13 +76,16 @@ __all__ = [
     "RunReport",
     "TaskFailure",
     "SharedPackedBatch",
+    "SharedResultBlock",
     "WelchParams",
     "WorkerPool",
     "as_scheduler",
+    "collect_results",
     "default_pool",
     "plan_measurements",
     "plan_retest",
     "publish_packed_tasks",
+    "publish_results",
     "resolve_shared_task",
     "run_serial",
     "run_with_processes",

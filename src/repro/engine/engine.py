@@ -63,6 +63,7 @@ from repro.dsp.psd import DEFAULT_BLOCK_SEGMENTS, _welch_grid, welch_batch
 from repro.dsp.spectrum import SpectrumBatch
 from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
+from repro.kernels import get_kernel_backend
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 from repro.store.keys import measurement_key
@@ -402,6 +403,7 @@ class MeasurementEngine:
                 detrend=True,
                 block_segments=self.block_segments,
                 bit_domain=self.bit_domain,
+                kernel_backend=get_kernel_backend(),
             )
             psd = welch_batch_shared(
                 records, params, self.max_workers, pool=self.worker_pool

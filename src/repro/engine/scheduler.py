@@ -48,8 +48,10 @@ import numpy as np
 
 from repro.core.bist import OneBitNoiseFigureBIST
 from repro.core.production import Verdict
+from repro.dsp.fft_backend import get_fft_backend, set_fft_backend
 from repro.errors import ConfigurationError, ExecutionError, MeasurementError
 from repro.faults.injector import active_injector, faulted_call, task_fault
+from repro.kernels import get_kernel_backend, set_kernel_backend
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike
 
@@ -73,6 +75,25 @@ __all__ = [
 #: been killed or declared broken — they resolve as soon as the
 #: executor's management thread notices the dead processes.
 _SETTLE_TIMEOUT_S = 10.0
+
+
+def _worker_init(kernel_backend: str, fft_name: str) -> None:
+    """Pool initializer: inherit the parent's backend selections.
+
+    Runs once in every spawned worker process.  The kernel tier carries
+    over as selected in the parent (triggering the backend's one-time
+    parity self-check in the child before any hot-path dispatch); the
+    FFT backend carries over with ``workers`` pinned to 1 — each worker
+    owns one core, and a pocketfft thread pool per worker process is a
+    fight, not a speedup.  A selection that cannot be honoured in the
+    child (environment drift) falls back to the defaults rather than
+    poisoning the pool.
+    """
+    try:
+        set_kernel_backend(kernel_backend)
+        set_fft_backend(fft_name, workers=1)
+    except ConfigurationError:  # pragma: no cover - env drift at spawn
+        pass
 
 
 @dataclass(frozen=True)
@@ -188,7 +209,9 @@ class MapOutcome:
     ``results`` keeps payload order (``None`` for dead-lettered tasks);
     ``attempts`` counts every dispatch, ``retries`` the re-dispatches,
     ``timeouts`` the hung-worker detections, ``respawns`` the pool
-    rebuilds this call consumed.
+    rebuilds this call consumed.  ``kernel_backend`` / ``fft_backend``
+    record which compute tiers were active when the call ran (workers
+    inherit them through the pool initializer).
     """
 
     results: List
@@ -197,6 +220,8 @@ class MapOutcome:
     timeouts: int = 0
     respawns: int = 0
     dead: List[TaskFailure] = field(default_factory=list)
+    kernel_backend: str = ""
+    fft_backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -270,7 +295,11 @@ class WorkerPool:
         if self._executor is not None and self._size < wanted:
             self.close()  # grow by respawning wider
         if self._executor is None:
-            self._executor = ProcessPoolExecutor(max_workers=wanted)
+            self._executor = ProcessPoolExecutor(
+                max_workers=wanted,
+                initializer=_worker_init,
+                initargs=(get_kernel_backend(), get_fft_backend()[0]),
+            )
             self._size = wanted
             self.spawn_count += 1
         return self._executor
@@ -337,6 +366,8 @@ class WorkerPool:
             else (self.policy or DEFAULT_RETRY_POLICY)
         )
         outcome = MapOutcome(results=[None] * len(payloads))
+        outcome.kernel_backend = get_kernel_backend()
+        outcome.fft_backend = get_fft_backend()[0]
         if not payloads:
             return outcome
         run_seq = self._run_seq
@@ -431,6 +462,8 @@ class WorkerPool:
         self.telemetry.timeouts += outcome.timeouts
         self.telemetry.respawns += outcome.respawns
         self.telemetry.dead.extend(outcome.dead)
+        self.telemetry.kernel_backend = outcome.kernel_backend
+        self.telemetry.fft_backend = outcome.fft_backend
         return outcome
 
     def map(
@@ -561,7 +594,9 @@ class RunReport:
     (if any) fired *during* this run, per site — under chaos testing
     every injected fault must be accounted for here or in a recovery
     the report can explain.  ``cached_tasks`` counts tasks served from
-    the store on a resumed run.
+    the store on a resumed run.  ``kernel_backend`` / ``fft_backend``
+    record the compute tiers active for the run (worker processes
+    inherit them through the pool initializer).
     """
 
     results: List
@@ -574,6 +609,8 @@ class RunReport:
     injections: Dict[str, int] = field(default_factory=dict)
     cached_tasks: int = 0
     wall_s: float = 0.0
+    kernel_backend: str = ""
+    fft_backend: str = ""
 
     @property
     def ok(self) -> bool:
@@ -598,6 +635,8 @@ class RunReport:
             "dead": [f.describe() for f in self.dead],
             "injections": dict(self.injections),
             "wall_s": self.wall_s,
+            "kernel_backend": self.kernel_backend,
+            "fft_backend": self.fft_backend,
             "groups": [g.describe() for g in self.groups],
         }
 
@@ -816,6 +855,8 @@ class MeasurementPlan:
                 report.injections[record.site] = (
                     report.injections.get(record.site, 0) + 1
                 )
+        report.kernel_backend = get_kernel_backend()
+        report.fft_backend = get_fft_backend()[0]
         report.wall_s = time.perf_counter() - start
         return report
 

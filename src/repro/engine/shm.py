@@ -5,8 +5,17 @@ The engine's process backend used to pickle every record to its worker
 cost.  With the packed record model the batch is written once into a
 ``multiprocessing.shared_memory`` block (1 bit/sample) and workers
 attach read-only views; the only pickled payload per task is a small
-descriptor plus the Welch parameters, and the only pickled result is
-the PSD row (~40 kB).
+descriptor plus the Welch parameters.
+
+The *return* path is shared-memory too: the parent publishes a
+:class:`SharedResultBlock` (one float64 row per record) alongside the
+batch, workers write their PSD rows straight into it
+(:func:`publish_results`) and ship only the row indices back through
+the pool — the pickled result shrinks from ~40 kB of spectrum per
+record to a few bytes of header.  Workers that fail to attach the
+block (host without POSIX shm, injected fault) fall back to pickling
+their rows, bit-identically — the bytes in the block are the bytes the
+pickle would have carried.
 
 :func:`welch_batch_shared` is the engine-facing entry point: it fans
 the per-record Welch transforms of a :class:`~repro.bitstream.
@@ -54,6 +63,11 @@ class WelchParams:
     detrend: bool
     block_segments: int
     bit_domain: bool = False
+    #: Kernel backend tier the worker should analyze under (``None`` =
+    #: the worker's own default).  Lets throwaway pools honor the
+    #: parent's :func:`repro.kernels.set_kernel_backend` selection;
+    #: persistent pools also pin it at spawn via their initializer.
+    kernel_backend: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -118,29 +132,178 @@ class SharedPackedBatch:
             self._shm = None
 
 
+@dataclass(frozen=True)
+class SharedResultDescriptor:
+    """Locates a float64 result matrix inside a shared-memory block."""
+
+    shm_name: str
+    n_records: int
+    n_bins: int
+
+
+class SharedResultBlock:
+    """A ``(n_records, n_bins)`` float64 result matrix in shared memory.
+
+    The return-path counterpart of :class:`SharedPackedBatch`: the
+    parent creates the block before fanning tasks out, workers write
+    their finished PSD rows into it (:func:`publish_results`) and ship
+    only the row indices back, and the parent reads the rows straight
+    out of :meth:`rows`.  Creation draws the same ``shm_publish``
+    fault-injection site as the outbound batch, so chaos plans
+    exercise the return direction's pickled fallback too.
+    """
+
+    def __init__(self, n_records: int, n_bins: int):
+        if n_records <= 0 or n_bins <= 0:
+            raise ConfigurationError(
+                f"result block needs positive dims, got "
+                f"({n_records}, {n_bins})"
+            )
+        if shm_fault():
+            raise OSError("injected shared-memory result-publish failure")
+        self._shm = shared_memory.SharedMemory(
+            create=True, size=n_records * n_bins * 8
+        )
+        self.descriptor = SharedResultDescriptor(
+            shm_name=self._shm.name, n_records=n_records, n_bins=n_bins
+        )
+
+    def rows(self) -> np.ndarray:
+        """Parent-side view of the result matrix (valid until close)."""
+        return np.ndarray(
+            (self.descriptor.n_records, self.descriptor.n_bins),
+            dtype=np.float64,
+            buffer=self._shm.buf,
+        )
+
+    def __enter__(self) -> "SharedResultBlock":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Release the parent handle and unlink the block."""
+        if self._shm is not None:
+            self._shm.close()
+            try:
+                self._shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+            self._shm = None
+
+
+def _as_slice(indices: Sequence[int]):
+    """A slice for contiguous ascending indices, the list otherwise.
+
+    Slice indexing scatters with one straight ``memcpy`` and gathers
+    as a view (no temporary) — the common full-lot case where a worker
+    owns a contiguous index range stays zero-copy on the gather side.
+    """
+    idx = list(indices)
+    if idx and idx == list(range(idx[0], idx[0] + len(idx))):
+        return slice(idx[0], idx[0] + len(idx))
+    return idx
+
+
+def publish_results(
+    descriptor: SharedResultDescriptor,
+    indices: Sequence[int],
+    rows: np.ndarray,
+) -> bool:
+    """Worker-side: write finished rows into the shared result block.
+
+    Returns False when the block cannot be attached or written (host
+    without POSIX shm, block gone, injected fault upstream) — the
+    caller then ships ``rows`` back by pickle instead, bit-identically.
+    """
+    try:
+        shm = shared_memory.SharedMemory(name=descriptor.shm_name)
+    except (OSError, ValueError):
+        return False
+    try:
+        view = np.ndarray(
+            (descriptor.n_records, descriptor.n_bins),
+            dtype=np.float64,
+            buffer=shm.buf,
+        )
+        view[_as_slice(indices)] = rows
+    finally:
+        shm.close()
+    return True
+
+
+def collect_results(
+    outcomes: Sequence[Tuple[List[int], Optional[np.ndarray]]],
+    result_block: Optional[SharedResultBlock],
+    psd: np.ndarray,
+) -> None:
+    """Merge worker outcomes into ``psd`` (parent-side).
+
+    Workers that published into the shared result block returned
+    ``(indices, None)`` — their rows are copied out of the block in one
+    pass; pickled fallbacks carry their rows inline.
+    """
+    shared_indices: List[int] = []
+    for indices, rows in outcomes:
+        if rows is None:
+            shared_indices.extend(indices)
+        else:
+            psd[_as_slice(indices)] = rows
+    if shared_indices:
+        if result_block is None:  # pragma: no cover - defensive
+            raise ConfigurationError(
+                "workers published rows to a shared result block the "
+                "parent does not hold"
+            )
+        shared_indices.sort()
+        select = _as_slice(shared_indices)
+        psd[select] = result_block.rows()[select]
+
+
 def _psd_rows(
     batch: PackedRecordBatch, indices: Sequence[int], params: WelchParams
 ) -> np.ndarray:
     """Welch PSD rows of the selected records (the shared kernel)."""
-    from repro.dsp.psd import welch  # local: workers import lazily
+    from contextlib import nullcontext
 
+    from repro.dsp.psd import welch  # local: workers import lazily
+    from repro.kernels import kernel_backend
+
+    select = (
+        kernel_backend(params.kernel_backend)
+        if params.kernel_backend
+        else nullcontext()
+    )
     rows = np.empty((len(indices), params.nperseg // 2 + 1))
-    for k, i in enumerate(indices):
-        rows[k] = welch(
-            batch[i],
-            nperseg=params.nperseg,
-            window=params.window,
-            overlap=params.overlap,
-            detrend=params.detrend,
-            block_segments=params.block_segments,
-            bit_domain=params.bit_domain,
-        ).psd
+    with select:
+        for k, i in enumerate(indices):
+            rows[k] = welch(
+                batch[i],
+                nperseg=params.nperseg,
+                window=params.window,
+                overlap=params.overlap,
+                detrend=params.detrend,
+                block_segments=params.block_segments,
+                bit_domain=params.bit_domain,
+            ).psd
     return rows
 
 
-def _shared_welch_worker(payload) -> Tuple[List[int], np.ndarray]:
+def _return_rows(
+    indices: Sequence[int],
+    rows: np.ndarray,
+    result_ref: Optional[SharedResultDescriptor],
+) -> Tuple[List[int], Optional[np.ndarray]]:
+    """Ship rows via the shared result block, falling back to pickle."""
+    if result_ref is not None and publish_results(result_ref, indices, rows):
+        return list(indices), None
+    return list(indices), rows
+
+
+def _shared_welch_worker(payload) -> Tuple[List[int], Optional[np.ndarray]]:
     """Process-pool worker: attach, transform its records, detach."""
-    descriptor, indices, params = payload
+    descriptor, indices, params, result_ref = payload
     shm = shared_memory.SharedMemory(name=descriptor.shm_name)
     try:
         words = np.ndarray(
@@ -158,17 +321,17 @@ def _shared_welch_worker(payload) -> Tuple[List[int], np.ndarray]:
         rows = _psd_rows(batch, indices, params)
     finally:
         shm.close()
-    return list(indices), rows
+    return _return_rows(indices, rows, result_ref)
 
 
-def _pickled_welch_worker(payload) -> Tuple[List[int], np.ndarray]:
+def _pickled_welch_worker(payload) -> Tuple[List[int], Optional[np.ndarray]]:
     """Fallback worker: the packed words travel by pickle (64x smaller
     than float records, but still copied per task)."""
-    words, n_samples, sample_rate, indices, params = payload
+    words, n_samples, sample_rate, indices, params, result_ref = payload
     batch = PackedRecordBatch(
         words, n_samples, sample_rate, validate=False, copy=False
     )
-    return list(indices), _psd_rows(batch, indices, params)
+    return _return_rows(indices, _psd_rows(batch, indices, params), result_ref)
 
 
 def _chunk_indices(n_records: int, n_chunks: int) -> List[List[int]]:
@@ -197,6 +360,11 @@ def welch_batch_shared(
     runs in each worker).  ``pool`` may supply a persistent
     :class:`~repro.engine.scheduler.WorkerPool`; without one a
     throwaway ``ProcessPoolExecutor`` is spawned for the call.
+
+    Records travel out through a :class:`SharedPackedBatch` and PSD
+    rows travel back through a :class:`SharedResultBlock`; either leg
+    degrades independently to its pickled equivalent (no POSIX shm, or
+    an injected ``shm_publish`` fault) with bit-identical results.
     """
     import os
 
@@ -207,30 +375,50 @@ def welch_batch_shared(
     else:
         workers = os.cpu_count() or 1
     workers = max(1, min(workers, batch.n_records))
-    psd = np.empty((batch.n_records, params.nperseg // 2 + 1))
+    n_bins = params.nperseg // 2 + 1
+    psd = np.empty((batch.n_records, n_bins))
     chunks = _chunk_indices(batch.n_records, workers)
     try:
         shared: Optional[SharedPackedBatch] = SharedPackedBatch(batch)
     except (OSError, ValueError):  # no POSIX shm, or an injected fault
         shared = None
-    if shared is not None:
-        with shared:
+    try:
+        result_block: Optional[SharedResultBlock] = SharedResultBlock(
+            batch.n_records, n_bins
+        )
+    except (OSError, ValueError):  # no POSIX shm, or an injected fault
+        result_block = None
+    result_ref = result_block.descriptor if result_block is not None else None
+    try:
+        if shared is not None:
             payloads = [
-                (shared.descriptor, chunk, params) for chunk in chunks
+                (shared.descriptor, chunk, params, result_ref)
+                for chunk in chunks
             ]
-            for indices, rows in map_over_workers(
+            outcomes = map_over_workers(
                 _shared_welch_worker, payloads, workers, pool
-            ):
-                psd[indices] = rows
-    else:
-        payloads = [
-            (batch.words, batch.n_samples, batch.sample_rate, chunk, params)
-            for chunk in chunks
-        ]
-        for indices, rows in map_over_workers(
-            _pickled_welch_worker, payloads, workers, pool
-        ):
-            psd[indices] = rows
+            )
+        else:
+            payloads = [
+                (
+                    batch.words,
+                    batch.n_samples,
+                    batch.sample_rate,
+                    chunk,
+                    params,
+                    result_ref,
+                )
+                for chunk in chunks
+            ]
+            outcomes = map_over_workers(
+                _pickled_welch_worker, payloads, workers, pool
+            )
+        collect_results(outcomes, result_block, psd)
+    finally:
+        if shared is not None:
+            shared.close()
+        if result_block is not None:
+            result_block.close()
     return psd
 
 

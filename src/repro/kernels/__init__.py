@@ -1,0 +1,55 @@
+"""Multi-backend kernel tier for the reproduction's hot loops.
+
+One registry (:mod:`repro.kernels.registry`) dispatches the hot
+kernels — popcount segment-sum over packed words, bit-domain spectral
+detrend, Bernoulli u32 threshold-compare synthesis, windowed block
+unpack — across three implementation tiers:
+
+- ``reference``: the plain-numpy PR 4 code paths, the parity baseline;
+- ``tuned`` (default): cache-blocked numpy with preallocated FFT plans
+  and the ``numpy.bitwise_count`` fast path;
+- ``numba``: optional compiled tier, auto-detected and lazily built.
+
+Select globally with :func:`set_kernel_backend` / the
+``REPRO_KERNEL_BACKEND`` env var, or locally with the
+:func:`kernel_backend` context manager; :func:`report` summarizes the
+environment for benchmarks.  Every non-reference tier passes
+:func:`self_check` (bit-identity, or <= 1e-15 scale-relative for the
+spectral kernel) before it serves a single call.
+"""
+
+from repro.kernels import numba_backend as _numba_backend
+from repro.kernels import reference, tuned  # noqa: F401  (register tiers)
+from repro.kernels.registry import (
+    BACKEND_TIERS,
+    KernelSpec,
+    available_backends,
+    get_kernel,
+    get_kernel_backend,
+    kernel_backend,
+    kernel_names,
+    register_check,
+    register_kernel,
+    report,
+    resolve_backend,
+    self_check,
+    set_kernel_backend,
+)
+
+_numba_backend.register()
+
+__all__ = [
+    "BACKEND_TIERS",
+    "KernelSpec",
+    "available_backends",
+    "get_kernel",
+    "get_kernel_backend",
+    "kernel_backend",
+    "kernel_names",
+    "register_check",
+    "register_kernel",
+    "report",
+    "resolve_backend",
+    "self_check",
+    "set_kernel_backend",
+]

@@ -1,0 +1,207 @@
+"""Optional numba-compiled kernel tier (auto-detected, lazily built).
+
+When numba is importable the integer hot kernels — popcount, the
+Welch-grid segment popcount, the windowed block unpack and the
+Bernoulli threshold-compare pack — register ``njit(parallel=True)``
+implementations.  Compilation is deferred to the first call of each
+kernel (importing this module never triggers LLVM), and the spectral
+kernel is deliberately *not* reimplemented: FFT time dominates it and
+the registry fallback chain serves the tuned tier's version.
+
+When numba is absent everything here is inert: ``register()`` is a
+no-op, :func:`repro.kernels.available_backends` omits the tier, and
+selecting it raises a :class:`~repro.errors.ConfigurationError` —
+skipped, never broken.  All compiled kernels are integer/bit exact,
+so the registry self-check asserts them bit-identical to reference.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+import numpy as np
+
+from repro.kernels.registry import register_kernel
+
+__all__ = ["numba_available", "numba_version", "register"]
+
+_NUMBA = None
+_IMPORT_TRIED = False
+
+#: Lazily compiled dispatchers, keyed by kernel name.
+_COMPILED: Dict[str, Callable] = {}
+
+
+def _numba():
+    global _NUMBA, _IMPORT_TRIED
+    if not _IMPORT_TRIED:
+        _IMPORT_TRIED = True
+        try:
+            import numba
+
+            _NUMBA = numba
+        except Exception:  # pragma: no cover - import-time env damage
+            _NUMBA = None
+    return _NUMBA
+
+
+def numba_available() -> bool:
+    """True when numba can be imported (tier auto-detection)."""
+    return _numba() is not None
+
+
+def numba_version() -> Optional[str]:
+    """The numba version string, or ``None`` when unavailable."""
+    nb = _numba()
+    return getattr(nb, "__version__", None) if nb is not None else None
+
+
+# ----------------------------------------------------------------------
+# Compiled kernel builders (only ever called when numba imports)
+# ----------------------------------------------------------------------
+def _build_popcount():  # pragma: no cover - exercised by the CI numba leg
+    numba = _numba()
+    table = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    @numba.njit(parallel=True, cache=False)
+    def _popcount_flat(arr, table, out):
+        for i in numba.prange(arr.size):
+            out[i] = table[arr[i]]
+
+    def popcount(words: np.ndarray) -> np.ndarray:
+        arr = np.ascontiguousarray(words, dtype=np.uint8)
+        out = np.empty(arr.size, dtype=np.uint8)
+        _popcount_flat(arr.reshape(-1), table, out)
+        return out.reshape(arr.shape)
+
+    return popcount
+
+
+def _build_segment_ones():  # pragma: no cover - CI numba leg
+    numba = _numba()
+    table = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    @numba.njit(parallel=True, cache=False)
+    def _segment_ones(words, n_segments, word_step, word_seg, table, out):
+        for s in numba.prange(n_segments):
+            lo = s * word_step
+            total = np.int64(0)
+            for w in range(lo, lo + word_seg):
+                total += table[words[w]]
+            out[s] = total
+
+    def segment_ones(
+        words: np.ndarray, n_samples: int, nperseg: int, step: int
+    ) -> np.ndarray:
+        n_segments = 1 + (n_samples - nperseg) // step
+        out = np.empty(n_segments, dtype=np.int64)
+        _segment_ones(
+            np.ascontiguousarray(words, dtype=np.uint8),
+            n_segments,
+            step // 8,
+            nperseg // 8,
+            table,
+            out,
+        )
+        return out
+
+    return segment_ones
+
+
+def _build_unpack_block():  # pragma: no cover - CI numba leg
+    numba = _numba()
+
+    @numba.njit(parallel=True, cache=False)
+    def _unpack(words, start, n, bipolar, out):
+        for i in numba.prange(n):
+            idx = start + i
+            bit = (words[idx >> 3] >> (7 - (idx & 7))) & 1
+            if bipolar:
+                out[i] = 2.0 * bit - 1.0
+            else:
+                out[i] = float(bit)
+
+    def unpack_block(
+        words: np.ndarray,
+        start: int,
+        stop: int,
+        out: np.ndarray = None,
+        bipolar: bool = True,
+    ) -> np.ndarray:
+        n = stop - start
+        result = np.empty(n, dtype=np.float64) if out is None else out[:n]
+        _unpack(
+            np.ascontiguousarray(words, dtype=np.uint8),
+            start,
+            n,
+            bipolar,
+            result,
+        )
+        return result
+
+    return unpack_block
+
+
+def _build_bernoulli_pack():  # pragma: no cover - CI numba leg
+    numba = _numba()
+
+    @numba.njit(parallel=True, cache=False)
+    def _pack(lanes, thresholds, n, out_words):
+        for b in numba.prange(out_words.size):
+            byte = 0
+            base = b * 8
+            for j in range(8):
+                t = base + j
+                if t < n and lanes[t] < thresholds[t]:
+                    byte |= 1 << (7 - j)
+            out_words[b] = byte
+
+    def bernoulli_pack(
+        raw: np.ndarray, thresholds: np.ndarray, out_words: np.ndarray
+    ) -> np.ndarray:
+        n = thresholds.size
+        lanes = np.ascontiguousarray(raw).view(np.uint32)[:n]
+        _pack(lanes, thresholds, n, out_words)
+        return out_words
+
+    return bernoulli_pack
+
+
+_BUILDERS: Dict[str, Callable] = {
+    "popcount": _build_popcount,
+    "segment_ones": _build_segment_ones,
+    "unpack_block": _build_unpack_block,
+    "bernoulli_pack": _build_bernoulli_pack,
+}
+
+
+def _lazy(name: str) -> Callable:
+    """A dispatcher that compiles the kernel on its first call."""
+
+    def call(*args, **kwargs):
+        fn = _COMPILED.get(name)
+        if fn is None:  # pragma: no cover - CI numba leg
+            fn = _BUILDERS[name]()
+            _COMPILED[name] = fn
+        return fn(*args, **kwargs)
+
+    call.__name__ = f"numba_{name}"
+    return call
+
+
+def register() -> bool:
+    """Register the compiled tier's kernels when numba is importable.
+
+    Returns True when the tier registered.  Called once from
+    :mod:`repro.kernels` at import; safe to call again (re-registration
+    replaces the lazy dispatchers with identical ones).
+    """
+    if not numba_available():
+        return False
+    for name in _BUILDERS:  # pragma: no cover - CI numba leg
+        register_kernel(name, "numba", _lazy(name))
+    return True

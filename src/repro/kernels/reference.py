@@ -1,0 +1,335 @@
+"""Reference kernel tier: the plain-numpy hot-loop implementations.
+
+These are the PR 4 code paths lifted out of
+:mod:`repro.dsp.bitstats`, :mod:`repro.dsp.psd`,
+:mod:`repro.bitstream` and :mod:`repro.signals.batch_rng` verbatim —
+the semantics every equivalence test pins and the baseline every other
+backend tier is asserted against.  Kernels operate on *raw arrays*
+(packed ``uint8`` words, ``uint32`` thresholds, float scratch), never
+on bitstream objects: argument validation lives with the callers, and
+keeping this package free of :mod:`repro.bitstream`/:mod:`repro.dsp`
+module-level imports is what lets those modules dispatch through the
+registry without an import cycle.
+
+Also defines the parity checkers (:func:`register_check`) that
+:func:`repro.kernels.self_check` runs: integer kernels must match the
+reference bit for bit; the spectral accumulation kernel must match to
+``<= 1e-15`` scale-relative.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from numpy.lib.stride_tricks import sliding_window_view
+
+from repro.buffers import default_pool
+from repro.kernels.registry import register_check, register_kernel
+
+__all__ = [
+    "popcount",
+    "segment_ones",
+    "unpack_block",
+    "bernoulli_pack",
+    "welch_bit_domain",
+]
+
+#: Set-bit counts of every byte value — the portable popcount.
+POPCOUNT_TABLE = np.array(
+    [bin(value).count("1") for value in range(256)], dtype=np.uint8
+)
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-byte set-bit counts by 256-entry table lookup."""
+    arr = np.asarray(words, dtype=np.uint8)
+    return POPCOUNT_TABLE[arr]
+
+
+def segment_ones_with(
+    words: np.ndarray,
+    n_samples: int,
+    nperseg: int,
+    step: int,
+    popcount_fn,
+) -> np.ndarray:
+    """Welch-grid per-segment set-bit counts from one popcount pass.
+
+    Shared skeleton: segment boundaries all fall on multiples of
+    ``gcd(step, nperseg) / 8`` words, so the prefix sum only needs that
+    granularity — one vectorized chunk reduction over the byte counts,
+    then a cumsum over the (few hundred) chunks instead of every word.
+    The caller guarantees a byte-aligned grid
+    (``nperseg % 8 == step % 8 == 0``) and ``n_samples >= nperseg``.
+    """
+    n_segments = 1 + (n_samples - nperseg) // step
+    word_step = step // 8
+    word_seg = nperseg // 8
+    chunk = math.gcd(word_step, word_seg)
+    last_word = (n_segments - 1) * word_step + word_seg
+    n_chunks = last_word // chunk
+    counts = popcount_fn(words[:last_word])
+    chunk_sums = counts.reshape(n_chunks, chunk).sum(axis=1, dtype=np.int64)
+    prefix = np.zeros(n_chunks + 1, dtype=np.int64)
+    np.cumsum(chunk_sums, out=prefix[1:])
+    lo = np.arange(n_segments, dtype=np.int64) * (word_step // chunk)
+    return prefix[lo + word_seg // chunk] - prefix[lo]
+
+
+def segment_ones(
+    words: np.ndarray, n_samples: int, nperseg: int, step: int
+) -> np.ndarray:
+    """Set-bit count of every Welch segment (byte-aligned grid)."""
+    return segment_ones_with(words, n_samples, nperseg, step, popcount)
+
+
+def unpack_block(
+    words: np.ndarray,
+    start: int,
+    stop: int,
+    out: np.ndarray = None,
+    bipolar: bool = True,
+) -> np.ndarray:
+    """Unpack packed-word samples ``[start, stop)`` to float64.
+
+    ``numpy.packbits`` bit order (MSB first).  With ``bipolar`` the
+    bits map to ``+/-1``; otherwise the raw ``0/1`` values come back as
+    floats.  ``out`` may supply a reusable destination of length
+    ``>= stop - start``; range validation is the caller's job
+    (:meth:`repro.bitstream.PackedBitstream.unpack_range`).
+    """
+    n = stop - start
+    word_lo = start // 8
+    bits = np.unpackbits(
+        words[word_lo : (stop + 7) // 8], count=stop - 8 * word_lo
+    )[start - 8 * word_lo :]
+    if out is None:
+        result = bits.astype(np.float64)
+    else:
+        result = out[:n]
+        result[:] = bits
+    if bipolar:
+        result *= 2.0
+        result -= 1.0
+    return result
+
+
+def bernoulli_pack(
+    raw: np.ndarray, thresholds: np.ndarray, out_words: np.ndarray
+) -> np.ndarray:
+    """Threshold-compare one stream's counter output into packed bits.
+
+    ``raw`` is the stream's raw ``uint64`` counter output (two u32
+    lanes per word, ``>= ceil(n / 2)`` words for ``n`` thresholds); bit
+    ``t`` of the output is set iff lane ``t`` is below
+    ``thresholds[t]``.  Writes ``numpy.packbits``-order words into
+    ``out_words`` (length ``ceil(n / 8)``, final-byte padding zero) and
+    returns it.
+    """
+    n = thresholds.size
+    bits = default_pool.take("kernels.bernoulli_bits", n, dtype=np.bool_)
+    np.less(raw.view(np.uint32)[:n], thresholds, out=bits)
+    out_words[:] = np.packbits(bits)
+    return out_words
+
+
+def welch_bit_domain(
+    words: np.ndarray,
+    n_samples: int,
+    nperseg: int,
+    step: int,
+    window: np.ndarray,
+    window_spectrum: np.ndarray,
+    means01: np.ndarray,
+    acc: np.ndarray,
+    block_segments: int = 16,
+) -> int:
+    """Blocked bit-domain Welch accumulation over one packed record.
+
+    Adds ``sum_s |rfft(detrend(seg_s) * window)|^2`` into ``acc`` with
+    the detrend folded into the spectrum: segments unpack as raw 0/1
+    bits, are windowed and transformed as ``B = F[b w]``, and the
+    per-segment mean subtraction becomes the exact rank-one power
+    correction
+
+        4 [ sum_s |B_s|^2 - 2 Re((sum_s m_s B_s) conj(W))
+            + (sum_s m_s^2) |W|^2 ],
+
+    with ``W = F[window]`` and ``m_s`` the popcount bit fractions
+    (``means01``).  Bins where ``|W|`` is large (near DC — the only
+    place the expansion cancels catastrophically) are recomputed by the
+    direct per-segment ``|B - m W|^2``.  Matches the float detrend path
+    to summation rounding.  Returns the number of segments accumulated.
+    """
+    from repro.dsp.fft_backend import rfft
+
+    n_segments = means01.shape[0]
+    window_power = window_spectrum.real**2 + window_spectrum.imag**2
+    exact_bins = np.flatnonzero(window_power > window_power.max() * 1e-12)
+    scratch = default_pool.take(
+        "psd.unpack_block", (block_segments - 1) * step + nperseg
+    )
+    wblock = default_pool.take(
+        "psd.windowed_block", (block_segments, nperseg)
+    )
+    for start in range(0, n_segments, block_segments):
+        nb = min(block_segments, n_segments - start)
+        lo = start * step
+        hi = (start + nb - 1) * step + nperseg
+        samples = unpack_block(words, lo, hi, out=scratch, bipolar=False)
+        segments = sliding_window_view(samples, nperseg)[::step][:nb]
+        buf = wblock[:nb]
+        np.multiply(segments, window, out=buf)
+        spectra = rfft(buf, axis=-1)
+        power = spectra.real**2
+        power += spectra.imag**2
+        m = means01[start : start + nb]
+        weighted = m.astype(np.complex128) @ spectra
+        correction = power.sum(axis=0)
+        correction -= 2.0 * (
+            weighted.real * window_spectrum.real
+            + weighted.imag * window_spectrum.imag
+        )
+        correction += (m @ m) * window_power
+        direct = (
+            spectra[:, exact_bins]
+            - m[:, np.newaxis] * window_spectrum[exact_bins]
+        )
+        direct_power = direct.real**2
+        direct_power += direct.imag**2
+        correction[exact_bins] = direct_power.sum(axis=0)
+        correction *= 4.0
+        acc += correction
+    return n_segments
+
+
+# ----------------------------------------------------------------------
+# Registration + parity checkers
+# ----------------------------------------------------------------------
+register_kernel(
+    "popcount", "reference", popcount, doc="per-byte set-bit counts"
+)
+register_kernel(
+    "segment_ones",
+    "reference",
+    segment_ones,
+    doc="Welch-grid per-segment popcount sums over packed words",
+)
+register_kernel(
+    "unpack_block",
+    "reference",
+    unpack_block,
+    doc="windowed block unpack of packed words to float64",
+)
+register_kernel(
+    "bernoulli_pack",
+    "reference",
+    bernoulli_pack,
+    doc="Bernoulli u32 threshold-compare into packed words",
+)
+register_kernel(
+    "welch_bit_domain",
+    "reference",
+    welch_bit_domain,
+    doc="blocked bit-domain Welch spectral accumulation",
+)
+
+
+def _check_words(rng: np.random.Generator, n_samples: int) -> np.ndarray:
+    """Random packed words with a zeroed final-byte padding."""
+    words = rng.integers(0, 256, size=(n_samples + 7) // 8, dtype=np.uint8)
+    pad = (-n_samples) % 8
+    if pad:
+        words[-1] &= (0xFF << pad) & 0xFF
+    return words
+
+
+def _check_popcount(candidate, ref) -> None:
+    rng = np.random.default_rng(2005)
+    for shape in ((0,), (1,), (257,), (4, 33)):
+        arr = rng.integers(0, 256, size=shape, dtype=np.uint8)
+        got, want = candidate(arr), ref(arr)
+        assert got.shape == want.shape and np.array_equal(got, want), (
+            f"popcount mismatch on shape {shape}"
+        )
+
+
+def _check_segment_ones(candidate, ref) -> None:
+    rng = np.random.default_rng(2005)
+    for n_samples, nperseg, step in ((512, 64, 32), (520, 64, 64), (64, 64, 8)):
+        words = _check_words(rng, n_samples)
+        got = candidate(words, n_samples, nperseg, step)
+        want = ref(words, n_samples, nperseg, step)
+        assert np.array_equal(got, want), (
+            f"segment_ones mismatch at n={n_samples}, nperseg={nperseg}, "
+            f"step={step}"
+        )
+
+
+def _check_unpack_block(candidate, ref) -> None:
+    rng = np.random.default_rng(2005)
+    n_samples = 301  # tail bits < 8: exercises the padding boundary
+    words = _check_words(rng, n_samples)
+    for start, stop in ((0, n_samples), (7, 123), (64, 64), (295, 301)):
+        for bipolar in (True, False):
+            got = candidate(words, start, stop, bipolar=bipolar)
+            want = ref(words, start, stop, bipolar=bipolar)
+            assert np.array_equal(got, want), (
+                f"unpack_block mismatch on [{start}, {stop}), "
+                f"bipolar={bipolar}"
+            )
+            out = np.empty(stop - start + 3)
+            got_out = candidate(words, start, stop, out=out, bipolar=bipolar)
+            assert np.array_equal(got_out, want), (
+                f"unpack_block(out=...) mismatch on [{start}, {stop})"
+            )
+
+
+def _check_bernoulli_pack(candidate, ref) -> None:
+    rng = np.random.default_rng(2005)
+    for n in (1, 7, 128, 1001):
+        raw = rng.integers(0, 1 << 64, size=(n + 1) // 2, dtype=np.uint64)
+        thresholds = rng.integers(0, 1 << 32, size=n, dtype=np.uint32)
+        got = candidate(raw, thresholds, np.empty((n + 7) // 8, np.uint8))
+        want = ref(raw, thresholds, np.empty((n + 7) // 8, np.uint8))
+        assert np.array_equal(got, want), f"bernoulli_pack mismatch at n={n}"
+
+
+def _check_welch_bit_domain(candidate, ref) -> None:
+    from repro.dsp.windows import get_window
+
+    rng = np.random.default_rng(2005)
+    nperseg, step = 256, 128
+    window = np.asarray(get_window("hann", nperseg))
+    window_spectrum = np.fft.rfft(window)
+    for n_samples in (4096, 4104):
+        words = _check_words(rng, n_samples)
+        n_segments = 1 + (n_samples - nperseg) // step
+        ones = segment_ones(words, n_samples, nperseg, step)
+        means01 = ones / float(nperseg)
+        got = np.zeros(nperseg // 2 + 1)
+        want = np.zeros(nperseg // 2 + 1)
+        assert (
+            candidate(
+                words, n_samples, nperseg, step, window, window_spectrum,
+                means01, got,
+            )
+            == n_segments
+        )
+        ref(
+            words, n_samples, nperseg, step, window, window_spectrum,
+            means01, want,
+        )
+        scale = float(np.max(np.abs(want)))
+        err = float(np.max(np.abs(got - want))) / scale
+        assert err <= 1e-15, (
+            f"welch_bit_domain exceeds 1e-15 scale-relative parity: {err:.3e}"
+        )
+
+
+register_check("popcount", _check_popcount)
+register_check("segment_ones", _check_segment_ones)
+register_check("unpack_block", _check_unpack_block)
+register_check("bernoulli_pack", _check_bernoulli_pack)
+register_check("welch_bit_domain", _check_welch_bit_domain)

@@ -1,0 +1,152 @@
+"""Tuned-numpy kernel tier: cache-blocked, scratch-preallocating.
+
+Same contracts as :mod:`repro.kernels.reference`, restructured for the
+memory system:
+
+- ``popcount`` takes the hardware ``numpy.bitwise_count`` path
+  (numpy >= 2.0) — bit-identical to the table lookup, one ufunc pass.
+- ``welch_bit_domain`` processes 128-segment FFT blocks (vs the
+  reference 16) through preallocated ``rfft(..., out=)`` plans
+  (:func:`repro.dsp.fft_backend.plan_rfft`), frames segments with a
+  zero-copy ``as_strided`` view, reduces block power with a single
+  ``einsum`` over the complex buffer viewed as floats, and hoists the
+  detrend correction out of the block loop: power, the mean-weighted
+  matvec and the near-DC direct terms accumulate per *record* and the
+  rank-one correction is assembled once.  The integer kernels stay
+  bit-identical to reference; the spectral kernel agrees to summation
+  rounding (<= 1e-15 scale-relative — the additions happen in a
+  different order), measured ~1.3-1.4x over reference at paper scale
+  on the 1-CPU bench host.
+
+``unpack_block`` and ``bernoulli_pack`` are *not* re-registered here:
+their reference forms are already single-ufunc-pass numpy, so the
+tuned tier inherits them through the registry fallback chain.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from numpy.lib.stride_tricks import as_strided
+
+from repro.buffers import default_pool
+from repro.kernels import reference
+from repro.kernels.registry import register_kernel
+
+__all__ = ["TUNED_BLOCK_SEGMENTS", "popcount", "segment_ones", "welch_bit_domain"]
+
+#: Segments per batched FFT block.  Larger than the reference 16: the
+#: per-record correction hoist removes the per-block O(n_bins) work
+#: that used to favor small blocks, so the block size is set by FFT
+#: batching efficiency instead — 128 x 1e4 doubles = 10 MB scratch,
+#: measured fastest of {32, 64, 96, 128, 200} at paper scale on the
+#: bench host (larger blocks amortize the per-block framing/einsum
+#: setup; past ~128 the curve is flat and scratch keeps growing).
+TUNED_BLOCK_SEGMENTS = 128
+
+_HAS_BITWISE_COUNT = hasattr(np, "bitwise_count")
+
+
+def popcount(words: np.ndarray) -> np.ndarray:
+    """Per-byte set-bit counts via ``numpy.bitwise_count``."""
+    arr = np.asarray(words, dtype=np.uint8)
+    if _HAS_BITWISE_COUNT:
+        return np.bitwise_count(arr)
+    return reference.popcount(arr)
+
+
+def segment_ones(
+    words: np.ndarray, n_samples: int, nperseg: int, step: int
+) -> np.ndarray:
+    """Reference chunked-cumsum skeleton over the hardware popcount."""
+    return reference.segment_ones_with(
+        words, n_samples, nperseg, step, popcount
+    )
+
+
+def welch_bit_domain(
+    words: np.ndarray,
+    n_samples: int,
+    nperseg: int,
+    step: int,
+    window: np.ndarray,
+    window_spectrum: np.ndarray,
+    means01: np.ndarray,
+    acc: np.ndarray,
+    block_segments: int = 16,
+) -> int:
+    """Blocked bit-domain Welch accumulation, record-hoisted.
+
+    Same mathematical contract as the reference kernel (see
+    :func:`repro.kernels.reference.welch_bit_domain`); ``block_segments``
+    is treated as a lower bound — the tier's own cache blocking
+    (:data:`TUNED_BLOCK_SEGMENTS`) is the knob that makes it fast.
+    """
+    from repro.dsp.fft_backend import plan_rfft
+
+    bs = max(int(block_segments), TUNED_BLOCK_SEGMENTS)
+    n_segments = means01.shape[0]
+    n_bins = nperseg // 2 + 1
+    window_power = window_spectrum.real**2 + window_spectrum.imag**2
+    exact_bins = np.flatnonzero(window_power > window_power.max() * 1e-12)
+    w_exact = window_spectrum[exact_bins]
+    means_c = means01.astype(np.complex128)
+
+    scratch = default_pool.take(
+        "kernels.tuned.unpack", (bs - 1) * step + nperseg
+    )
+    wblock = default_pool.take("kernels.tuned.windowed", (bs, nperseg))
+    power = default_pool.take("kernels.tuned.power", n_bins)
+    power[:] = 0.0
+    weighted = default_pool.take(
+        "kernels.tuned.weighted", n_bins, dtype=np.complex128
+    )
+    weighted[:] = 0.0
+    folded = default_pool.take("kernels.tuned.folded", n_bins)
+    matvec = default_pool.take(
+        "kernels.tuned.matvec", n_bins, dtype=np.complex128
+    )
+    direct_acc = np.zeros(exact_bins.size)
+    itemsize = scratch.itemsize
+
+    for start in range(0, n_segments, bs):
+        nb = min(bs, n_segments - start)
+        lo = start * step
+        hi = (start + nb - 1) * step + nperseg
+        samples = reference.unpack_block(
+            words, lo, hi, out=scratch, bipolar=False
+        )
+        segments = as_strided(
+            samples, (nb, nperseg), (step * itemsize, itemsize)
+        )
+        buf = wblock[:nb]
+        np.multiply(segments, window, out=buf)
+        spectra = plan_rfft((nb, nperseg), buf.dtype).execute(buf)
+        # sum_s |B_s|^2 over the block: one einsum over the complex
+        # buffer viewed as interleaved floats, then fold re^2 + im^2.
+        flat = spectra.view(np.float64)
+        sums = np.einsum("ij,ij->j", flat, flat)
+        np.add(sums[0::2], sums[1::2], out=folded)
+        power += folded
+        np.matmul(means_c[start : start + nb], spectra, out=matvec)
+        weighted += matvec
+        m = means01[start : start + nb]
+        direct = spectra[:, exact_bins] - m[:, np.newaxis] * w_exact
+        direct_power = direct.real**2
+        direct_power += direct.imag**2
+        direct_acc += direct_power.sum(axis=0)
+
+    correction = power  # pooled scratch; consumed into acc below
+    correction -= 2.0 * (
+        weighted.real * window_spectrum.real
+        + weighted.imag * window_spectrum.imag
+    )
+    correction += (means01 @ means01) * window_power
+    correction[exact_bins] = direct_acc
+    correction *= 4.0
+    acc += correction
+    return n_segments
+
+
+register_kernel("popcount", "tuned", popcount)
+register_kernel("segment_ones", "tuned", segment_ones)
+register_kernel("welch_bit_domain", "tuned", welch_bit_domain)

@@ -52,8 +52,8 @@ from typing import Optional, Sequence, Union
 
 import numpy as np
 
-from repro.buffers import default_pool
 from repro.errors import ConfigurationError
+from repro.kernels import get_kernel
 from repro.signals.random import GeneratorLike, make_rng
 
 __all__ = [
@@ -269,13 +269,12 @@ class BatchNoiseGenerator:
                 )
         n = int(rows[0].size)
         n_raw = (n + 1) // 2  # two u32 lanes per raw u64
-        bits = default_pool.take(
-            "batch_rng.bernoulli_bits", (self.n_streams, n), dtype=np.bool_
-        )
+        pack = get_kernel("bernoulli_pack")
+        words = np.empty((self.n_streams, (n + 7) // 8), dtype=np.uint8)
         for i, gen in enumerate(self._gens):
             raw = gen.bit_generator.random_raw(n_raw)
-            np.less(raw.view(np.uint32)[:n], rows[i], out=bits[i])
-        return np.packbits(bits, axis=-1)
+            pack(raw, rows[i], words[i])
+        return words
 
 
 def white_noise_matrix(

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.bitstream import PackedBitstream
-from repro.dsp import bitstats
 from repro.dsp.bitstats import (
     packed_mean,
     packed_mean_square,
@@ -15,6 +14,7 @@ from repro.dsp.bitstats import (
     segment_grid_aligned,
 )
 from repro.errors import ConfigurationError
+from repro.kernels import kernel_backend
 
 
 def _random_record(n, seed, bias=0.5):
@@ -29,13 +29,13 @@ class TestPopcount:
         expected = np.array([bin(v).count("1") for v in range(256)])
         assert np.array_equal(popcount(words), expected)
 
-    def test_lookup_table_fallback_matches(self, monkeypatch):
+    def test_lookup_table_fallback_matches(self):
         words = np.random.default_rng(0).integers(
             0, 256, size=10_000
         ).astype(np.uint8)
         fast = popcount(words)
-        monkeypatch.setattr(bitstats, "_HAS_BITWISE_COUNT", False)
-        assert np.array_equal(popcount(words), fast)
+        with kernel_backend("reference"):
+            assert np.array_equal(popcount(words), fast)
 
 
 class TestPackedMoments:

@@ -302,3 +302,89 @@ class TestChaosSubcommand:
         assert doc["identical"] is True
         assert doc["injections"]["n_injected"] > 0
         assert set(doc["runs"]) == {"faulted", "faulted_resume"}
+
+
+class TestKernelBackendOptions:
+    def test_defaults_to_process_global(self):
+        args = build_parser().parse_args(["run", "table1"])
+        assert args.kernel_backend is None
+        assert args.fft_backend is None
+
+    def test_flags_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "production",
+                "--kernel-backend",
+                "tuned",
+                "--fft-backend",
+                "numpy",
+            ]
+        )
+        assert args.kernel_backend == "tuned"
+        assert args.fft_backend == "numpy"
+
+    def test_unknown_kernel_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["run", "production", "--kernel-backend", "cuda"]
+            )
+
+    def test_numba_without_numba_errors_cleanly(self):
+        from repro.kernels import available_backends
+
+        if "numba" in available_backends():
+            pytest.skip("numba installed on this host")
+        # Parses (numba is a legal choice) but fails cleanly at
+        # application time with a parser error, not a traceback.
+        with pytest.raises(SystemExit):
+            main(["run", "table1", "--kernel-backend", "numba"])
+
+    def test_run_with_explicit_backends(self, capsys):
+        from repro.dsp.fft_backend import set_fft_backend
+        from repro.kernels import get_kernel_backend, set_kernel_backend
+
+        before = get_kernel_backend()
+        try:
+            assert (
+                main(
+                    [
+                        "run",
+                        "table1",
+                        "--kernel-backend",
+                        "reference",
+                        "--fft-backend",
+                        "numpy",
+                    ]
+                )
+                == 0
+            )
+            assert get_kernel_backend() == "reference"
+        finally:
+            set_kernel_backend(before)
+            set_fft_backend("numpy")
+        assert "Table 1" in capsys.readouterr().out
+
+    def test_chaos_accepts_backend_flags(self):
+        args = build_parser().parse_args(
+            ["chaos", "--kernel-backend", "reference"]
+        )
+        assert args.kernel_backend == "reference"
+
+
+class TestBenchCommand:
+    def test_subcommand_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["bench"])
+
+    def test_envinfo_prints_json(self, capsys):
+        import json
+
+        assert main(["bench", "envinfo"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["kernel_backend"]
+        assert doc["fft_backend"] in ("numpy", "scipy")
+        assert "numpy" in doc
+        assert "kernel_backends_available" in doc
+        assert doc["kernels"]
+        assert "numba" in doc

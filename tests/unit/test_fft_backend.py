@@ -69,3 +69,70 @@ class TestBitIdentical:
     def test_numpy_fallback_always_works(self, rng):
         x = rng.normal(0.0, 1.0, size=(4, 256))
         assert np.array_equal(rfft(x), np.fft.rfft(x))
+
+
+class TestPlanRegistry:
+    @pytest.fixture(autouse=True)
+    def fresh_cache(self):
+        from repro.dsp.fft_backend import clear_plan_cache
+
+        clear_plan_cache()
+        yield
+        clear_plan_cache()
+
+    def test_plan_bit_identical_to_numpy_rfft(self, rng):
+        from repro.dsp.fft_backend import plan_rfft
+
+        block = rng.normal(0.0, 1.0, size=(16, 1000))
+        plan = plan_rfft(block.shape, block.dtype)
+        assert np.array_equal(plan.execute(block), np.fft.rfft(block, axis=-1))
+
+    def test_plan_cached_per_shape_and_dtype(self):
+        from repro.dsp.fft_backend import plan_cache_info, plan_rfft
+
+        a = plan_rfft((4, 256))
+        assert plan_rfft((4, 256)) is a
+        b = plan_rfft((8, 256))
+        assert b is not a
+        info = plan_cache_info()
+        assert info["plans"] == 2
+        assert info["misses"] == 2
+        assert info["hits"] == 1
+
+    def test_plan_rejects_wrong_shape(self, rng):
+        from repro.dsp.fft_backend import plan_rfft
+
+        plan = plan_rfft((4, 256))
+        with pytest.raises(ConfigurationError):
+            plan.execute(rng.normal(size=(5, 256)))
+
+    def test_plan_rejects_invalid_shape(self):
+        from repro.dsp.fft_backend import plan_rfft
+
+        with pytest.raises(ConfigurationError):
+            plan_rfft((0, 16))
+
+    @needs_scipy
+    def test_backend_switch_gets_fresh_plans(self, rng):
+        from repro.dsp.fft_backend import plan_rfft
+
+        numpy_plan = plan_rfft((2, 128))
+        with fft_backend("scipy", workers=1):
+            scipy_plan = plan_rfft((2, 128))
+            assert scipy_plan is not numpy_plan
+            assert scipy_plan.backend == "scipy"
+            block = rng.normal(size=(2, 128))
+            assert np.array_equal(
+                scipy_plan.execute(block), np.fft.rfft(block, axis=-1)
+            )
+
+    def test_clear_plan_cache_resets_counters(self):
+        from repro.dsp.fft_backend import (
+            clear_plan_cache,
+            plan_cache_info,
+            plan_rfft,
+        )
+
+        plan_rfft((2, 64))
+        clear_plan_cache()
+        assert plan_cache_info() == {"plans": 0, "hits": 0, "misses": 0}

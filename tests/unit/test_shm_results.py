@@ -1,0 +1,134 @@
+"""Tests for the shared-memory result return path (repro.engine.shm).
+
+The outbound leg (packed batches to workers) is covered by the packed
+equivalence suite; this file covers the return leg introduced with the
+kernel tier: :class:`SharedResultBlock`, :func:`publish_results`,
+:func:`collect_results`, the pickle fallback and its fault injection.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import PackedRecordBatch
+from repro.dsp.psd import welch_batch
+from repro.engine.shm import (
+    SharedResultBlock,
+    SharedResultDescriptor,
+    WelchParams,
+    _as_slice,
+    collect_results,
+    publish_results,
+    welch_batch_shared,
+)
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, inject
+
+RATE = 10_000.0
+
+
+def _batch(n_records=4, n_samples=4096, seed=0):
+    rng = np.random.default_rng(seed)
+    records = np.where(rng.random((n_records, n_samples)) < 0.5, 1.0, -1.0)
+    return PackedRecordBatch.pack(records, RATE)
+
+
+def _params(nperseg=256, bit_domain=True):
+    return WelchParams(
+        nperseg=nperseg,
+        window="hann",
+        overlap=0.5,
+        detrend=True,
+        block_segments=16,
+        bit_domain=bit_domain,
+    )
+
+
+class TestAsSlice:
+    def test_contiguous_run_becomes_slice(self):
+        assert _as_slice([3, 4, 5]) == slice(3, 6)
+        assert _as_slice([0]) == slice(0, 1)
+
+    def test_gaps_and_disorder_stay_lists(self):
+        assert _as_slice([1, 3, 4]) == [1, 3, 4]
+        assert _as_slice([2, 1, 0]) == [2, 1, 0]
+        assert _as_slice([]) == []
+
+
+class TestSharedResultBlock:
+    def test_roundtrip(self):
+        rows = np.random.default_rng(1).random((3, 7))
+        with SharedResultBlock(3, 7) as block:
+            assert publish_results(block.descriptor, [0, 1, 2], rows)
+            assert np.array_equal(block.rows(), rows)
+
+    def test_partial_and_noncontiguous_publish(self):
+        rows = np.random.default_rng(2).random((2, 5))
+        with SharedResultBlock(4, 5) as block:
+            block.rows()[:] = 0.0
+            assert publish_results(block.descriptor, [0, 3], rows)
+            view = block.rows()
+            assert np.array_equal(view[[0, 3]], rows)
+            assert np.all(view[[1, 2]] == 0.0)
+
+    def test_invalid_dims_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SharedResultBlock(0, 10)
+        with pytest.raises(ConfigurationError):
+            SharedResultBlock(10, -1)
+
+    def test_publish_to_missing_block_returns_false(self):
+        bogus = SharedResultDescriptor(
+            shm_name="repro_no_such_block", n_records=2, n_bins=3
+        )
+        assert not publish_results(bogus, [0], np.zeros((1, 3)))
+
+    def test_creation_draws_the_shm_publish_fault_site(self):
+        with inject(FaultPlan(shm_publish=1.0)) as injector:
+            with pytest.raises(OSError):
+                SharedResultBlock(2, 3)
+        assert injector.counts() == {"shm_publish": 1}
+
+
+class TestCollectResults:
+    def test_pickle_outcomes_scatter_in_index_order(self):
+        psd = np.zeros((4, 3))
+        a = np.full((2, 3), 1.0)
+        b = np.full((2, 3), 2.0)
+        collect_results([([2, 3], a), ([0, 1], b)], None, psd)
+        assert np.array_equal(psd, np.vstack([b, a]))
+
+    def test_mixed_shm_and_pickle_outcomes(self):
+        rows = np.random.default_rng(3).random((4, 5))
+        psd = np.zeros((4, 5))
+        with SharedResultBlock(4, 5) as block:
+            assert publish_results(block.descriptor, [1, 3], rows[[1, 3]])
+            collect_results(
+                [([1], None), ([0, 2], rows[[0, 2]]), ([3], None)],
+                block,
+                psd,
+            )
+        assert np.array_equal(psd, rows)
+
+    def test_shared_rows_without_block_rejected(self):
+        with pytest.raises(ConfigurationError):
+            collect_results([([0], None)], None, np.zeros((1, 3)))
+
+
+class TestWelchBatchShared:
+    def test_matches_inprocess_psd(self):
+        batch = _batch()
+        params = _params()
+        expected = welch_batch(batch, params.nperseg, bit_domain=True).psd
+        psd = welch_batch_shared(batch, params, max_workers=2)
+        assert np.array_equal(psd, expected)
+
+    def test_injected_publish_faults_fall_back_bit_identically(self):
+        # Every shm creation fails: both legs (outbound batch and the
+        # result return) must degrade to pickle with identical output.
+        batch = _batch(seed=7)
+        params = _params()
+        expected = welch_batch_shared(batch, params, max_workers=2)
+        with inject(FaultPlan(shm_publish=1.0)) as injector:
+            psd = welch_batch_shared(batch, params, max_workers=2)
+        assert injector.counts()["shm_publish"] >= 2
+        assert np.array_equal(psd, expected)

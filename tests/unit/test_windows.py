@@ -98,3 +98,59 @@ class TestEnbw:
     def test_zero_sum_window_raises(self):
         with pytest.raises(ConfigurationError):
             enbw_bins(np.array([1.0, -1.0]))
+
+
+class TestCoefficientCache:
+    def test_cache_hit_returns_same_object(self):
+        from repro.dsp.windows import clear_window_cache
+
+        clear_window_cache()
+        first = get_window("hann", 512)
+        second = get_window("hann", 512)
+        assert second is first
+
+    def test_cached_window_bit_identical_to_generator(self):
+        # The promise in the get_window docstring: serving from the
+        # cache never changes a single bit vs a fresh generation.
+        from repro.dsp.windows import clear_window_cache
+
+        clear_window_cache()
+        for name, fn in [
+            ("hann", hann),
+            ("hamming", hamming),
+            ("blackman", blackman),
+            ("flattop", flattop),
+            ("rectangular", rectangular),
+        ]:
+            get_window(name, 10_000)  # populate
+            assert np.array_equal(get_window(name, 10_000), fn(10_000))
+
+    def test_cached_window_is_read_only(self):
+        w = get_window("hann", 64)
+        with pytest.raises(ValueError):
+            w[0] = 1.0
+
+    def test_cache_keys_on_length_and_dtype(self):
+        from repro.dsp.windows import clear_window_cache, window_cache_info
+
+        clear_window_cache()
+        get_window("hann", 64)
+        get_window("hann", 128)
+        get_window("hann", 64, dtype=np.float32)
+        get_window("hann", 64)  # hit, no growth
+        assert window_cache_info()["windows"] == 3
+        assert window_cache_info()["nbytes"] > 0
+
+    def test_aliases_share_cache_entry(self):
+        from repro.dsp.windows import clear_window_cache, window_cache_info
+
+        clear_window_cache()
+        assert get_window("boxcar", 32) is get_window("rectangular", 32)
+        assert window_cache_info()["windows"] == 1
+
+    def test_clear_window_cache(self):
+        from repro.dsp.windows import clear_window_cache, window_cache_info
+
+        get_window("hann", 256)
+        clear_window_cache()
+        assert window_cache_info() == {"windows": 0, "nbytes": 0}
