@@ -12,6 +12,9 @@ Usage::
     python -m repro store ls ./nfstore
     python -m repro store info ./nfstore [KEY]
     python -m repro store gc ./nfstore
+    python -m repro store compact ./nfstore
+    python -m repro store evict ./nfstore --budget 100000000
+    python -m repro store reindex ./nfstore
     python -m repro chaos --plan transient --seed 7 --backend process
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
@@ -29,8 +32,12 @@ the process backend's fault tolerance (task retry budget and hung-
 worker detection).  ``--kernel-backend``/``--fft-backend`` select the
 compute tiers (``repro.kernels`` dispatch and the FFT library) for the
 whole invocation — results are bit-identical across backends, only
-wall-clock changes.  The ``store`` subcommand inspects and garbage-
-collects a store directory.  The ``chaos`` subcommand runs the
+wall-clock changes.  The ``store`` subcommand inspects, compacts
+(``compact``: merge small payloads into per-shard packs), size-bounds
+(``evict --budget``), reindexes (``reindex``: rebuild the persistent
+enumeration index) and garbage-collects a store directory;
+``run --cache-budget`` applies the same eviction online while a sweep
+writes.  The ``chaos`` subcommand runs the
 production screen under a named fault-injection plan and verifies the
 flagship robustness guarantee from the shell: the faulted outcome must
 be bit-identical to a fault-free run.  ``bench envinfo`` prints the
@@ -627,6 +634,16 @@ def build_parser() -> argparse.ArgumentParser:
         "survive the process",
     )
     run.add_argument(
+        "--cache-budget",
+        type=int,
+        default=None,
+        metavar="BYTES",
+        dest="cache_budget",
+        help="cap the attached store's payload size: after warm writes "
+        "the engine evicts oldest entries (outcomes stay pinned) "
+        "until the store fits (requires --store)",
+    )
+    run.add_argument(
         "--resume",
         action="store_true",
         help="replay an interrupted sweep from the store, measuring "
@@ -694,17 +711,37 @@ def build_parser() -> argparse.ArgumentParser:
     _add_retry_arguments(chaos)
     _add_backend_arguments(chaos)
     store = sub.add_parser(
-        "store", help="inspect or garbage-collect a result store"
+        "store", help="inspect, compact or garbage-collect a result store"
     )
     store_sub = store.add_subparsers(dest="store_command", required=True)
-    ls = store_sub.add_parser("ls", help="list stored entries")
+    ls = store_sub.add_parser(
+        "ls",
+        help="list stored entries (persistent-index fast path; index "
+        "stats go to stderr)",
+    )
     info = store_sub.add_parser(
         "info", help="store summary, or one entry's metadata (JSON)"
     )
     gc = store_sub.add_parser(
         "gc", help="remove stale-schema entries and abandoned temp files"
     )
-    for sub_parser in (ls, info, gc):
+    compact = store_sub.add_parser(
+        "compact",
+        help="merge each shard's small payload files into one pack "
+        "container (payload bytes are preserved exactly; reads "
+        "resolve packs transparently)",
+    )
+    evict = store_sub.add_parser(
+        "evict",
+        help="evict oldest entries until the store fits a byte budget "
+        "(production outcomes stay pinned unless --unpin-outcomes)",
+    )
+    reindex = store_sub.add_parser(
+        "reindex",
+        help="(re)build the persistent index from a tree walk and "
+        "verify it (recovery path for legacy or damaged indexes)",
+    )
+    for sub_parser in (ls, info, gc, compact, evict, reindex):
         sub_parser.add_argument("dir", help="store directory")
     info.add_argument(
         "key",
@@ -717,6 +754,28 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         dest="gc_all",
         help="remove every entry, not just dead ones",
+    )
+    compact.add_argument(
+        "--kind",
+        action="append",
+        dest="kinds",
+        choices=("results", "records", "outcomes"),
+        default=None,
+        help="compact only this kind (repeatable; default: all kinds)",
+    )
+    evict.add_argument(
+        "--budget",
+        type=int,
+        required=True,
+        metavar="BYTES",
+        help="target total payload size in bytes",
+    )
+    evict.add_argument(
+        "--unpin-outcomes",
+        action="store_true",
+        help="allow evicting production outcome manifests too "
+        "(default: outcomes are pinned — they are tiny and hold "
+        "lot provenance)",
     )
     bench = sub.add_parser(
         "bench", help="benchmark utilities (environment reporting)"
@@ -731,20 +790,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _store_enumerate(store):
+    """``(index, via)`` — persistent-index fast path, tree walk fallback.
+
+    ``via`` is ``"index"`` (O(changed) segment replay, no walk) or
+    ``"walk"`` (ground-truth directory walk; a warning points the user
+    at ``store reindex`` so subsequent listings stay cheap).
+    """
+    fast = store.load_index()
+    if fast is not None:
+        return fast, "index"
+    print(
+        "warning: store has no persistent index, enumerating via tree "
+        "walk (run `store reindex` to build one)",
+        file=sys.stderr,
+    )
+    return store.index(), "walk"
+
+
 def _store_main(args) -> int:
-    """The ``store`` subcommand: ls / info / gc."""
+    """The ``store`` subcommand: ls / info / gc / compact / evict /
+    reindex."""
     from repro.store import ResultStore
 
     store = ResultStore(args.dir)
-    index = store.index()
     if args.store_command == "ls":
+        index, via = _store_enumerate(store)
         for entry in index:
             print(f"{entry.key}  {entry.kind:8s}  {entry.nbytes:>10d} B")
+        stats = store.index_stats()
+        if stats is not None:
+            # Stats go to stderr so stdout stays one parseable entry
+            # per line.
+            print(
+                f"# index: {stats['n_entries']} entries, "
+                f"{stats['n_segments']} segment(s), "
+                f"{stats['index_bytes']} index B, "
+                f"{stats['payload_bytes']} payload B (via {via})",
+                file=sys.stderr,
+            )
         return 0
     if args.store_command == "info":
         if args.key is None:
-            print(_dump_json(index.summary()))
+            index, via = _store_enumerate(store)
+            summary = index.summary()
+            summary["enumerated_via"] = via
+            summary["index"] = store.index_stats()
+            print(_dump_json(summary))
             return 0
+        index, _ = _store_enumerate(store)
         matches = index.find(args.key)
         # One key may carry several kinds (a measurement's result plus
         # its pooled records); ambiguity means several *keys* matched.
@@ -763,7 +857,7 @@ def _store_main(args) -> int:
                         {
                             "kind": entry.kind,
                             "nbytes": entry.nbytes,
-                            "meta": entry.load_meta(),
+                            "meta": store.read_meta(entry.kind, entry.key),
                         }
                         for entry in matches
                     ],
@@ -771,6 +865,20 @@ def _store_main(args) -> int:
             )
         )
         return 0
+    if args.store_command == "compact":
+        stats = store.compact(kinds=args.kinds or None)
+        print(_dump_json(stats))
+        return 0
+    if args.store_command == "evict":
+        pin_kinds = () if args.unpin_outcomes else ("outcomes",)
+        stats = store.evict(args.budget, pin_kinds=pin_kinds)
+        print(_dump_json(stats))
+        return 0
+    if args.store_command == "reindex":
+        stats = store.rebuild_index()
+        stats["verify"] = store.verify_index()
+        print(_dump_json(stats))
+        return 0 if stats["verify"]["consistent"] else 1
     removed = store.gc(all_entries=args.gc_all)
     print(_dump_json(removed))
     return 0
@@ -871,6 +979,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--workers requires --backend process")
         if args.resume and args.store is None:
             parser.error("--resume requires --store")
+        if args.cache_budget is not None and args.store is None:
+            parser.error("--cache-budget requires --store")
         if args.as_json and args.experiment not in JSON_EXPERIMENTS:
             parser.error(
                 "--json supports " + "/".join(sorted(JSON_EXPERIMENTS))
@@ -901,6 +1011,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         rng_mode=args.rng_mode,
         store=store,
         retry=_retry_policy(args),
+        cache_budget_bytes=getattr(args, "cache_budget", None),
     ) as sched:
         if args.experiment == "all":
             for name in sorted(EXPERIMENTS):

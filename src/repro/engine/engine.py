@@ -63,9 +63,11 @@ from repro.dsp.psd import DEFAULT_BLOCK_SEGMENTS, _welch_grid, welch_batch
 from repro.dsp.spectrum import SpectrumBatch
 from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
+from repro.faults.injector import active_injector
 from repro.kernels import get_kernel_backend
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
+from repro.store.io import put_result_direct
 from repro.store.keys import measurement_key
 from repro.store.store import ResultStore
 
@@ -84,6 +86,15 @@ _CACHE_MODES = ("off", "read", "write", "readwrite")
 #: far more than transforming a hot/cold pair in-process — so tiny
 #: batches (a single ``measure``) always stay local.
 MIN_SHARED_WELCH_RECORDS = 4
+
+#: Smallest ``(key, result)`` batch :meth:`MeasurementEngine.
+#: persist_results` fans out to worker-direct store writes.  Below it
+#: the parent writes inline — dispatch overhead would eat the win.
+MIN_DIRECT_STORE_ITEMS = 4
+
+#: Single-measurement writes between engine-side budget checks;
+#: bounding the store costs an enumeration, so it is amortized.
+_BUDGET_CHECK_EVERY = 32
 
 
 @runtime_checkable
@@ -234,6 +245,13 @@ class MeasurementEngine:
         worker timeouts, pool respawn budget).  ``None`` uses the
         pool's defaults; ignored when an external ``pool`` is shared
         in (that pool keeps its own policy).
+    cache_budget_bytes:
+        Bound the attached store to a byte budget: after writes the
+        engine evicts oldest entries (lot manifests stay pinned) until
+        live payload bytes fit (see :meth:`ResultStore.evict
+        <repro.store.ResultStore.evict>`).  Eviction is cache
+        management — every evicted payload is recomputable from its
+        provenance.  ``None`` (default) leaves the store unbounded.
     """
 
     def __init__(
@@ -248,6 +266,7 @@ class MeasurementEngine:
         cache: str = "readwrite",
         store_records: bool = False,
         retry: Optional[RetryPolicy] = None,
+        cache_budget_bytes: Optional[int] = None,
     ):
         if backend not in _BACKENDS:
             raise ConfigurationError(
@@ -269,6 +288,10 @@ class MeasurementEngine:
             raise ConfigurationError(
                 f"block_segments must be >= 1, got {block_segments}"
             )
+        if cache_budget_bytes is not None and cache_budget_bytes < 1:
+            raise ConfigurationError(
+                f"cache_budget_bytes must be >= 1, got {cache_budget_bytes}"
+            )
         self.backend = backend
         self.max_workers = max_workers
         self.block_segments = int(block_segments)
@@ -278,8 +301,15 @@ class MeasurementEngine:
         self.cache = cache
         self.store_records = bool(store_records)
         self.retry = retry
+        self.cache_budget_bytes = (
+            int(cache_budget_bytes) if cache_budget_bytes is not None else None
+        )
         self._pool = pool
         self._owns_pool = pool is None
+        # Writes since the last budget check — bounding the store is
+        # O(entries), so it runs every _BUDGET_CHECK_EVERY single
+        # writes (and after every group persist), not per write.
+        self._budget_writes = 0
 
     # ------------------------------------------------------------------
     # Result store
@@ -317,6 +347,55 @@ class MeasurementEngine:
             # Unfingerprintable source/estimator: uncacheable, not fatal.
             return None
 
+    def persist_results(self, items: Sequence[Tuple[str, BISTResult]]) -> int:
+        """Persist ``(key, result)`` pairs; returns how many were new.
+
+        The warm-write fast path: on the process backend, when the
+        engine's pool ships this store's root to its workers (see
+        :attr:`~repro.engine.scheduler.WorkerPool.store_root`) and no
+        fault injector is active, serialization and publish fan out to
+        the workers — each writes its shard directly, eliminating the
+        parent round-trip.  Otherwise (serial backend, shared pool on a
+        different store, tiny batches, chaos runs — store-damage
+        decisions are drawn parent-side, so injected runs keep the
+        parent-funneled path and their deterministic fault streams) the
+        parent writes inline.  Both paths run the same serialization
+        and sealing code, so the bytes on disk are identical.
+        """
+        items = [
+            (key, result)
+            for key, result in items
+            if key is not None and result is not None
+        ]
+        if not items or not self.cache_writes:
+            return 0
+        pool = self.worker_pool
+        if (
+            pool is not None
+            and pool.store_root == str(self.store.root)
+            and len(items) >= MIN_DIRECT_STORE_ITEMS
+            and active_injector() is None
+        ):
+            written = sum(map(bool, pool.map(put_result_direct, items)))
+        else:
+            written = sum(
+                bool(self.store.put_result(key, result))
+                for key, result in items
+            )
+        self._budget_writes += written
+        self._maybe_enforce_budget(force=True)
+        return written
+
+    def _maybe_enforce_budget(self, force: bool = False) -> None:
+        """Evict down to ``cache_budget_bytes`` when due (amortized)."""
+        if self.cache_budget_bytes is None or self.store is None:
+            return
+        if not force and self._budget_writes < _BUDGET_CHECK_EVERY:
+            return
+        self._budget_writes = 0
+        if self.store.approx_total_bytes() > self.cache_budget_bytes:
+            self.store.evict(self.cache_budget_bytes)
+
     # ------------------------------------------------------------------
     # Pool lifetime
     # ------------------------------------------------------------------
@@ -332,8 +411,15 @@ class MeasurementEngine:
         if self.backend != "process":
             return None
         if self._pool is None:
+            # Workers of a write-capable store-backed engine get the
+            # store root shipped through the pool initializer, so
+            # planned runs can publish results worker-direct.
             self._pool = WorkerPool(
-                max_workers=self.max_workers, policy=self.retry
+                max_workers=self.max_workers,
+                policy=self.retry,
+                store_root=(
+                    str(self.store.root) if self.cache_writes else None
+                ),
             )
         return self._pool
 
@@ -346,6 +432,7 @@ class MeasurementEngine:
         """
         if self._owns_pool and self._pool is not None:
             self._pool.close()
+        self._maybe_enforce_budget(force=True)
 
     def __enter__(self) -> "MeasurementEngine":
         return self
@@ -481,6 +568,8 @@ class MeasurementEngine:
             self.store.put_result(key, results[0])
             if self.store_records and isinstance(records, PackedRecordBatch):
                 self.store.put_records(key, records)
+            self._budget_writes += 1
+            self._maybe_enforce_budget()
         return results[0]
 
     def run_batch(

@@ -77,7 +77,11 @@ __all__ = [
 _SETTLE_TIMEOUT_S = 10.0
 
 
-def _worker_init(kernel_backend: str, fft_name: str) -> None:
+def _worker_init(
+    kernel_backend: str,
+    fft_name: str,
+    store_root: Optional[str] = None,
+) -> None:
     """Pool initializer: inherit the parent's backend selections.
 
     Runs once in every spawned worker process.  The kernel tier carries
@@ -88,12 +92,21 @@ def _worker_init(kernel_backend: str, fft_name: str) -> None:
     fight, not a speedup.  A selection that cannot be honoured in the
     child (environment drift) falls back to the defaults rather than
     poisoning the pool.
+
+    ``store_root`` is the *only* store state the parent ships: workers
+    open their own :class:`~repro.store.ResultStore` handle lazily and
+    publish result payloads straight into their shard (see
+    :mod:`repro.store.io`), eliminating the parent serialization
+    round-trip on warm-write paths.
     """
     try:
         set_kernel_backend(kernel_backend)
         set_fft_backend(fft_name, workers=1)
     except ConfigurationError:  # pragma: no cover - env drift at spawn
         pass
+    from repro.store.io import configure_worker_store
+
+    configure_worker_store(store_root)
 
 
 @dataclass(frozen=True)
@@ -260,6 +273,7 @@ class WorkerPool:
         self,
         max_workers: Optional[int] = None,
         policy: Optional[RetryPolicy] = None,
+        store_root: Optional[str] = None,
     ):
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError(
@@ -270,6 +284,9 @@ class WorkerPool:
         self._size = 0
         self.spawn_count = 0
         self.policy = policy
+        #: Store root the workers may write directly (shipped through
+        #: the pool initializer; ``None`` keeps workers store-less).
+        self.store_root = str(store_root) if store_root is not None else None
         self.telemetry = MapOutcome(results=[])
         self._run_seq = 0
 
@@ -298,7 +315,11 @@ class WorkerPool:
             self._executor = ProcessPoolExecutor(
                 max_workers=wanted,
                 initializer=_worker_init,
-                initargs=(get_kernel_backend(), get_fft_backend()[0]),
+                initargs=(
+                    get_kernel_backend(),
+                    get_fft_backend()[0],
+                    self.store_root,
+                ),
             )
             self._size = wanted
             self.spawn_count += 1
@@ -715,16 +736,32 @@ class MeasurementPlan:
     def _commit(self, engine, keys, group, out, results) -> None:
         """Scatter one group's results; persist them when the engine
         writes to a store (per group, so an interrupted plan keeps
-        every group that completed)."""
+        every group that completed).
+
+        Persistence goes through
+        :meth:`~repro.engine.engine.MeasurementEngine.persist_results`,
+        which fans the serialization out to the worker pool when the
+        workers share the engine's store (worker-direct writes) and
+        falls back to parent-side writes otherwise — bit-identical
+        either way.
+        """
+        items = []
         for index, result in zip(group.indices, out):
             results[index] = result
             if (
                 keys is not None
                 and keys[index] is not None
                 and result is not None
-                and engine.cache_writes
             ):
-                engine.store.put_result(keys[index], result)
+                items.append((keys[index], result))
+        if not items or not getattr(engine, "cache_writes", False):
+            return
+        persist = getattr(engine, "persist_results", None)
+        if persist is not None:
+            persist(items)
+        else:  # pragma: no cover - engine-like stub without the method
+            for key, result in items:
+                engine.store.put_result(key, result)
 
     def run(
         self,
@@ -1125,6 +1162,7 @@ class MeasurementScheduler:
         cache: str = "readwrite",
         store_records: bool = False,
         retry: Optional[RetryPolicy] = None,
+        cache_budget_bytes: Optional[int] = None,
     ):
         from repro.engine.engine import MeasurementEngine
 
@@ -1138,6 +1176,7 @@ class MeasurementScheduler:
                 or cache != "readwrite"
                 or store_records
                 or retry is not None
+                or cache_budget_bytes is not None
             ):
                 raise ConfigurationError(
                     "pass either an engine or backend/max_workers/packed/"
@@ -1163,6 +1202,7 @@ class MeasurementScheduler:
                 cache=cache,
                 store_records=store_records,
                 retry=retry,
+                cache_budget_bytes=cache_budget_bytes,
             )
             self._owns_engine = True
 

@@ -238,10 +238,12 @@ def run_production(
         len(set(samples_by_device)) == 1 and len(set(nperseg_by_device)) == 1
     )
     if multi_device_batch is None:
-        # Resuming needs per-device provenance keys, which only the
-        # planned path computes — map_sweep workers rebuild benches
-        # inside the worker, out of the key's reach.
-        multi_device_batch = report or resume or not (
+        # Resuming and persistence need per-device provenance keys,
+        # which only the planned path computes — map_sweep workers
+        # rebuild benches inside the worker, out of the key's reach.
+        # A write-capable store therefore forces the planned path (its
+        # results publish worker-direct on the process backend anyway).
+        multi_device_batch = report or resume or eng.cache_writes or not (
             eng.backend == "process" and homogeneous
         )
     # Key the lot before drawing it: drawing spawns children off a

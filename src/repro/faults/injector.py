@@ -43,8 +43,10 @@ __all__ = [
     "active_injector",
     "faulted_call",
     "inject",
+    "index_torn_fault",
     "shm_fault",
     "store_fault",
+    "store_lock_fault",
     "task_fault",
 ]
 
@@ -175,6 +177,21 @@ class FaultInjector:
         seq = self._sequence("shm_publish")
         return self._draw("shm_publish", (seq,), f"publish={seq}")
 
+    def lock_directive(self) -> bool:
+        """Whether this lock acquisition should lose its first race.
+
+        A fired fault makes the acquire path behave as if another
+        writer held the lock — the caller backs off and retries, so
+        the operation still succeeds (the site exercises contention
+        handling, not failure)."""
+        seq = self._sequence("store_lock")
+        return self._draw("store_lock", (seq,), f"acquire={seq}")
+
+    def index_torn_directive(self) -> bool:
+        """Whether this index append should land cut mid-record."""
+        seq = self._sequence("index_torn_write")
+        return self._draw("index_torn_write", (seq,), f"append={seq}")
+
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Fired injections per site (only sites that fired)."""
@@ -256,6 +273,20 @@ def shm_fault() -> bool:
     if _ACTIVE is None:
         return False
     return _ACTIVE.shm_directive()
+
+
+def store_lock_fault() -> bool:
+    """Whether the current lock acquisition should lose its first race."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.lock_directive()
+
+
+def index_torn_fault() -> bool:
+    """Whether the current index append should be torn mid-record."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.index_torn_directive()
 
 
 # ----------------------------------------------------------------------

@@ -33,6 +33,10 @@ SITES = (
                         # mid-write (without the atomic rename) would
     "store_corrupt",    # a store payload lands with flipped bits
     "shm_publish",      # publishing records to shared memory fails
+    "store_lock",       # a shard/index lock attempt loses a race and
+                        # must back off and retry
+    "index_torn_write", # a store-index append is cut mid-record, as a
+                        # crash between write() and the record boundary
 )
 
 SITE_IDS: Dict[str, int] = {site: i for i, site in enumerate(SITES)}
@@ -56,6 +60,8 @@ class FaultPlan:
     store_truncate: float = 0.0
     store_corrupt: float = 0.0
     shm_publish: float = 0.0
+    store_lock: float = 0.0
+    index_torn_write: float = 0.0
     max_per_site: Optional[int] = None
     hang_seconds: float = 30.0
 
@@ -96,8 +102,8 @@ class FaultPlan:
 
 #: Named plans for the CLI / CI.  ``transient`` exercises every
 #: retryable path at once (the chaos-identity workload); ``crashes`` /
-#: ``hangs`` / ``store`` isolate one failure family; ``storm`` is the
-#: kitchen sink for soak testing.
+#: ``hangs`` / ``store`` / ``locks`` isolate one failure family;
+#: ``storm`` is the kitchen sink for soak testing.
 FAULT_PLANS: Dict[str, FaultPlan] = {
     "none": FaultPlan(),
     "transient": FaultPlan(
@@ -110,6 +116,7 @@ FAULT_PLANS: Dict[str, FaultPlan] = {
     "crashes": FaultPlan(worker_crash=0.25),
     "hangs": FaultPlan(worker_hang=0.20, hang_seconds=20.0),
     "store": FaultPlan(store_truncate=0.4, store_corrupt=0.4),
+    "locks": FaultPlan(store_lock=0.5, index_torn_write=0.4),
     "storm": FaultPlan(
         worker_crash=0.15,
         worker_hang=0.05,
@@ -117,6 +124,8 @@ FAULT_PLANS: Dict[str, FaultPlan] = {
         store_truncate=0.30,
         store_corrupt=0.30,
         shm_publish=0.25,
+        store_lock=0.20,
+        index_torn_write=0.15,
         hang_seconds=20.0,
     ),
 }

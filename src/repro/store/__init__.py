@@ -18,7 +18,18 @@ persistence layer:
     recompute.
 :mod:`repro.store.store`
     :class:`ResultStore` — the atomic, shardable on-disk layout, the
-    enumeration :class:`StoreIndex` and garbage collection.
+    enumeration :class:`StoreIndex`, shard-pack compaction, byte-budget
+    eviction and garbage collection.
+:mod:`repro.store.index`
+    :class:`PersistentIndex` — the append-only, memory-mapped index
+    that makes enumeration on a large store O(changed) instead of a
+    tree walk.
+:mod:`repro.store.io`
+    Worker-direct writes: pool workers publish payloads straight into
+    their shard (the parent ships only the store root).
+:mod:`repro.store.locks`
+    Per-shard / index advisory file locks (compaction and index
+    appends; plain writes stay lock-free).
 
 Wiring: ``MeasurementEngine(store=..., cache="readwrite")`` consults
 the store in :meth:`~repro.engine.engine.MeasurementEngine.measure`,
@@ -27,7 +38,9 @@ and :func:`~repro.engine.scheduler.plan_retest` plans only the
 failed / guard-band devices of a prior production outcome.
 """
 
+from repro.store.index import PersistentIndex
 from repro.store.keys import (
+    KINDS,
     SCHEMA_VERSION,
     canonical_json,
     digest,
@@ -38,6 +51,8 @@ from repro.store.keys import (
 from repro.store.store import ResultStore, StoreEntry, StoreIndex
 
 __all__ = [
+    "KINDS",
+    "PersistentIndex",
     "SCHEMA_VERSION",
     "ResultStore",
     "StoreEntry",

@@ -1,0 +1,424 @@
+"""Persistent append-only store index.
+
+The tree walk :meth:`repro.store.ResultStore.index` performs is ground
+truth but O(entries) in ``stat`` calls — on a million-entry store every
+``store ls``, resume re-plan and retest plan pays a full 256-way
+directory walk.  This module keeps a *persistent index* under
+``<store root>/index/``: a sequence of append-only segment files of
+fixed 64-byte records, one ``add``/``remove`` per entry mutation, read
+back zero-copy through ``numpy.memmap``.  Loading the index costs one
+vectorized scan of the segment bytes instead of a tree walk, so
+enumeration on a large store is O(changed records), not O(files).
+
+Layout::
+
+    index/
+      lock              # flock serializing appends / rotation
+      seg-00000000.idx  # 16-byte header + N x 64-byte records
+      seg-00000001.idx  # appended after a rotation; ids only grow
+
+Record format (little-endian, 64 bytes)::
+
+    op        u16     1 = add, 2 = remove
+    kind      u16     index into KINDS
+    check     u32     checksum over the remaining fields
+    key       4xu64   raw SHA-256 digest (32 bytes)
+    nbytes    u64     sealed payload size
+    mtime     f64     publish time (advisory; drives LRU eviction)
+    reserved  u64     zero
+
+Crash recovery is *by construction*: records are fixed-size and
+checksummed, so a torn append (process killed mid-``write``, or the
+``index_torn_write`` fault site) leaves a trailing fragment that fails
+the size/checksum filter and is simply skipped on replay — and the next
+locked append truncates the file back to a record boundary before
+writing, so the index self-heals.  The index is an *advisory cache*
+over the tree: a record lost to a torn write means one entry
+temporarily missing from the fast path, never a wrong answer about
+payload bytes; :meth:`PersistentIndex.rebuild` (CLI ``store reindex``)
+restores it from a walk.
+
+Rotation (:meth:`PersistentIndex.rotate`) compacts the log: the live
+set is replayed and written as one fresh checkpoint segment — published
+atomically via ``os.replace`` — then the older segments are unlinked.
+A crash between publish and unlink only leaves duplicate ``add``
+records, which replay idempotently.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import pathlib
+import re
+import tempfile
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import index_torn_fault
+from repro.store.keys import KINDS
+from repro.store.locks import file_lock
+
+__all__ = ["PersistentIndex", "OP_ADD", "OP_REMOVE"]
+
+_LOG = logging.getLogger("repro.store.index")
+
+OP_ADD = 1
+OP_REMOVE = 2
+
+_MAGIC = b"REPROIDX"
+_VERSION = 1
+_HEADER_LEN = 16
+
+#: One index record; fixed 64 bytes so readers can vector-scan and a
+#: torn tail is detectable by size alone.
+RECORD_DTYPE = np.dtype(
+    [
+        ("op", "<u2"),
+        ("kind", "<u2"),
+        ("check", "<u4"),
+        ("key", "<u8", (4,)),
+        ("nbytes", "<u8"),
+        ("mtime", "<f8"),
+        ("reserved", "<u8"),
+    ]
+)
+assert RECORD_DTYPE.itemsize == 64
+
+_KIND_IDS: Dict[str, int] = {kind: i for i, kind in enumerate(KINDS)}
+
+# Splits one bulk-hex pass over a segment's keys back into 64-char
+# digests at C speed (see PersistentIndex.replay).
+_HEX_KEY_RE = re.compile(r".{64}")
+
+
+def _header() -> bytes:
+    return _MAGIC + int(_VERSION).to_bytes(4, "little") + b"\x00" * 4
+
+
+def _checksums(records: np.ndarray) -> np.ndarray:
+    """Vectorized per-record checksum (FNV-style mix over the fields).
+
+    Not cryptographic — the payload seal owns integrity of *data*; this
+    only has to reject torn or zero-filled index records, and it must
+    be computable with one numpy pass over a million-record memmap.
+    """
+    prime = np.uint64(0x100000001B3)
+    acc = np.full(records.shape, np.uint64(0x9E3779B97F4A7C15))
+    key = records["key"]
+    for word in (
+        key[..., 0],
+        key[..., 1],
+        key[..., 2],
+        key[..., 3],
+        records["nbytes"],
+        records["mtime"].view(np.uint64),
+        records["op"].astype(np.uint64),
+        records["kind"].astype(np.uint64),
+    ):
+        acc = (acc ^ np.asarray(word, dtype=np.uint64)) * prime
+    return (acc ^ (acc >> np.uint64(32))).astype(np.uint32)
+
+
+def _key_to_words(key: str) -> np.ndarray:
+    return np.frombuffer(bytes.fromhex(key), dtype="<u8")
+
+
+def _words_to_key(words: np.ndarray) -> str:
+    return words.astype("<u8").tobytes().hex()
+
+
+def make_record(
+    op: int, kind: str, key: str, nbytes: int, mtime: float
+) -> np.ndarray:
+    """One checksummed record, ready to append."""
+    if kind not in _KIND_IDS:
+        raise ConfigurationError(
+            f"kind must be one of {KINDS}, got {kind!r}"
+        )
+    record = np.zeros(1, dtype=RECORD_DTYPE)
+    record["op"] = op
+    record["kind"] = _KIND_IDS[kind]
+    record["key"] = _key_to_words(key)
+    record["nbytes"] = int(nbytes)
+    record["mtime"] = float(mtime)
+    record["check"] = _checksums(record)
+    return record
+
+
+class PersistentIndex:
+    """Append-only segmented index under one store's ``index/`` dir.
+
+    Instances are cheap handles (no open files are held between
+    operations); every mutation takes the index lock, every read goes
+    through a fresh memmap of the current segments — so any number of
+    processes can append and read concurrently.
+    """
+
+    def __init__(self, root: Union[str, os.PathLike]):
+        self.root = pathlib.Path(root)
+
+    # ------------------------------------------------------------------
+    @property
+    def exists(self) -> bool:
+        """Whether this store has an initialized persistent index."""
+        return self.root.is_dir() and bool(self._segments())
+
+    def initialize(self) -> None:
+        """Create the index (an empty checkpoint segment) if absent."""
+        if self.exists:
+            return
+        self.root.mkdir(parents=True, exist_ok=True)
+        with file_lock(self._lock_path()):
+            if not self._segments():
+                self._publish_segment(0, np.zeros(0, dtype=RECORD_DTYPE))
+
+    def _lock_path(self) -> pathlib.Path:
+        return self.root / "lock"
+
+    def _segments(self) -> List[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        return sorted(self.root.glob("seg-????????.idx"))
+
+    @staticmethod
+    def _segment_id(path: pathlib.Path) -> int:
+        return int(path.stem.split("-", 1)[1], 10)
+
+    def _publish_segment(self, seg_id: int, records: np.ndarray) -> None:
+        path = self.root / f"seg-{seg_id:08d}.idx"
+        fd, tmp = tempfile.mkstemp(
+            dir=self.root, prefix=path.stem, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(_header())
+                handle.write(records.tobytes())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:  # pragma: no cover - already published
+                pass
+            raise
+
+    # ------------------------------------------------------------------
+    # Appends
+    # ------------------------------------------------------------------
+    def append(
+        self, op: int, kind: str, key: str, nbytes: int, mtime: float
+    ) -> None:
+        """Append one mutation record (no-op if the index is absent)."""
+        self.append_many([(op, kind, key, nbytes, mtime)])
+
+    def append_many(
+        self, mutations: Iterable[Tuple[int, str, str, int, float]]
+    ) -> None:
+        """Append a batch of ``(op, kind, key, nbytes, mtime)`` records
+        under one lock acquisition.
+
+        Appends go to the newest segment; the file is first truncated
+        back to a record boundary, repairing any torn tail a crashed
+        writer left.  Absent index ⇒ silently skipped (legacy store;
+        the tree walk stays authoritative until ``store reindex``).
+        """
+        records = [make_record(*mutation) for mutation in mutations]
+        if not records:
+            return
+        data = np.concatenate(records).tobytes()
+        if index_torn_fault():
+            # As a crash mid-append would leave it: a partial record
+            # that replay's size/checksum filter skips.
+            data = data[: max(1, RECORD_DTYPE.itemsize // 3)]
+        with file_lock(self._lock_path()):
+            segments = self._segments()
+            if not segments:
+                return
+            with open(segments[-1], "r+b") as handle:
+                handle.seek(0, os.SEEK_END)
+                size = handle.tell()
+                aligned = _HEADER_LEN + max(
+                    0, (size - _HEADER_LEN)
+                ) // RECORD_DTYPE.itemsize * RECORD_DTYPE.itemsize
+                if size != aligned:
+                    handle.truncate(aligned)
+                    handle.seek(aligned)
+                handle.write(data)
+
+    # ------------------------------------------------------------------
+    # Reads
+    # ------------------------------------------------------------------
+    def _segment_records(self, path: pathlib.Path) -> Optional[np.ndarray]:
+        """Valid records of one segment (checksum-filtered), or ``None``
+        for a segment whose header is unreadable."""
+        try:
+            size = path.stat().st_size
+            if size < _HEADER_LEN:
+                return None
+            with open(path, "rb") as handle:
+                head = handle.read(_HEADER_LEN)
+            if head[: len(_MAGIC)] != _MAGIC:
+                return None
+            n = (size - _HEADER_LEN) // RECORD_DTYPE.itemsize
+            if n == 0:
+                return np.zeros(0, dtype=RECORD_DTYPE)
+            records = np.memmap(
+                path,
+                dtype=RECORD_DTYPE,
+                mode="r",
+                offset=_HEADER_LEN,
+                shape=(n,),
+            )
+        except (OSError, ValueError):
+            return None
+        valid = records["check"] == _checksums(records)
+        valid &= (records["op"] == OP_ADD) | (records["op"] == OP_REMOVE)
+        valid &= records["kind"] < len(KINDS)
+        if bool(valid.all()):
+            return np.asarray(records)
+        return np.asarray(records[valid])
+
+    def replay(self) -> Dict[Tuple[str, str], Tuple[int, float]]:
+        """The live entry set: ``(kind, key) -> (nbytes, mtime)``.
+
+        Segments replay in id order, records in file order; the last
+        mutation for a ``(kind, key)`` wins.  Torn or corrupt records
+        are skipped (and counted on :meth:`stats` as ``n_skipped``).
+        """
+        live: Dict[Tuple[str, str], Tuple[int, float]] = {}
+        for path in self._segments():
+            records = self._segment_records(path)
+            if records is None:
+                _LOG.warning("skipping unreadable index segment %s", path)
+                continue
+            ops = records["op"].tolist()
+            kinds = records["kind"].tolist()
+            # One bulk hex pass instead of a per-record conversion: on a
+            # million-record checkpoint this loop is the whole cost of
+            # enumeration, so every per-record allocation counts.
+            keys_hex = records["key"].astype("<u8").tobytes().hex()
+            keys = _HEX_KEY_RE.findall(keys_hex)
+            nbytes = records["nbytes"].tolist()
+            mtimes = records["mtime"].tolist()
+            if OP_REMOVE not in ops:
+                # Checkpoint segments and append tails are usually pure
+                # adds; last-wins then degenerates to dict insertion
+                # order, which zip/update handle without a Python loop.
+                live.update(
+                    zip(
+                        zip(map(KINDS.__getitem__, kinds), keys),
+                        zip(nbytes, mtimes),
+                    )
+                )
+                continue
+            for i, op in enumerate(ops):
+                entry = (KINDS[kinds[i]], keys[i])
+                if op == OP_ADD:
+                    live[entry] = (nbytes[i], mtimes[i])
+                else:
+                    live.pop(entry, None)
+        return live
+
+    def stats(self) -> dict:
+        """Machine-readable index totals (the ``store info`` payload)."""
+        n_records = 0
+        n_skipped = 0
+        index_bytes = 0
+        segments = self._segments()
+        for path in segments:
+            try:
+                index_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - raced with rotation
+                continue
+            records = self._segment_records(path)
+            if records is None:
+                continue
+            n_valid = int(records.shape[0])
+            n_total = (
+                path.stat().st_size - _HEADER_LEN
+            ) // RECORD_DTYPE.itemsize
+            n_records += n_valid
+            n_skipped += max(0, n_total - n_valid)
+        return {
+            "n_segments": len(segments),
+            "n_records": n_records,
+            "n_skipped": n_skipped,
+            "n_entries": len(self.replay()),
+            "index_bytes": index_bytes,
+        }
+
+    def total_bytes(self) -> int:
+        """Live payload bytes according to the index (no tree walk)."""
+        return sum(nbytes for nbytes, _ in self.replay().values())
+
+    # ------------------------------------------------------------------
+    # Rotation / rebuild
+    # ------------------------------------------------------------------
+    def _checkpoint_records(
+        self, live: Dict[Tuple[str, str], Tuple[int, float]]
+    ) -> np.ndarray:
+        if not live:
+            return np.zeros(0, dtype=RECORD_DTYPE)
+        return np.concatenate(
+            [
+                make_record(OP_ADD, kind, key, nbytes, mtime)
+                for (kind, key), (nbytes, mtime) in sorted(live.items())
+            ]
+        )
+
+    def rotate(self) -> dict:
+        """Compact the log into one fresh checkpoint segment.
+
+        The checkpoint publishes atomically *before* older segments are
+        unlinked, so a reader (or a crash) at any instant sees a set of
+        segments that replays to the live set — at worst with
+        idempotent duplicate ``add`` records.
+        """
+        with file_lock(self._lock_path()):
+            segments = self._segments()
+            if not segments:
+                raise ConfigurationError(
+                    f"no persistent index under {self.root}; run reindex"
+                )
+            live = self.replay()
+            next_id = self._segment_id(segments[-1]) + 1
+            self._publish_segment(next_id, self._checkpoint_records(live))
+            for path in segments:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced with a peer
+                    pass
+        return {"n_entries": len(live), "n_segments_merged": len(segments)}
+
+    def rebuild(
+        self, entries: Iterable[Tuple[str, str, int, float]]
+    ) -> dict:
+        """Replace the index with a checkpoint built from a tree walk.
+
+        ``entries`` is ``(kind, key, nbytes, mtime)`` tuples — ground
+        truth from :meth:`repro.store.ResultStore.index`.  This is the
+        recovery path for legacy stores (no index yet) and for an index
+        that lost records to torn writes.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        live = {
+            (kind, key): (int(nbytes), float(mtime))
+            for kind, key, nbytes, mtime in entries
+        }
+        with file_lock(self._lock_path()):
+            segments = self._segments()
+            next_id = (
+                self._segment_id(segments[-1]) + 1 if segments else 0
+            )
+            self._publish_segment(next_id, self._checkpoint_records(live))
+            for path in segments:
+                try:
+                    path.unlink()
+                except OSError:  # pragma: no cover - raced with a peer
+                    pass
+        return {"n_entries": len(live), "n_segments_merged": len(segments)}
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"PersistentIndex({str(self.root)!r})"

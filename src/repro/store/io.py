@@ -1,0 +1,83 @@
+"""Worker-direct store I/O.
+
+PR 5's engine funneled every cache write through the parent process:
+workers returned results (since PR 7 through shared memory), then the
+parent serialized and published each payload alone.  At lot scale that
+round-trip is the warm-write bottleneck — serialization is pure CPU
+and the 256-way key fan-out already makes writes shard-local and
+atomic, so workers can publish straight into the store.
+
+The parent ships only the *store root* through the pool initializer
+(:func:`repro.engine.scheduler._worker_init`); each worker lazily opens
+its own :class:`~repro.store.ResultStore` handle on first use.  The
+write path itself needs no further coordination: content-addressed
+payloads publish via ``os.replace`` and identical keys imply identical
+bytes, so two workers (or two whole processes) racing on one key both
+win.  Worker-side writes run the very same serialization and sealing
+code as parent-side writes — bit-identical on disk by construction,
+asserted in ``tests/`` and ``benchmarks/bench_store.py``.
+
+The functions here are module-level so the process backend can pickle
+them by reference.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.bitstream import PackedRecordBatch
+from repro.core.bist import BISTResult
+from repro.store.store import ResultStore
+
+__all__ = [
+    "configure_worker_store",
+    "put_records_direct",
+    "put_result_direct",
+    "worker_store",
+]
+
+_WORKER_ROOT: Optional[str] = None
+_WORKER_STORE: Optional[ResultStore] = None
+
+
+def configure_worker_store(root: Optional[str]) -> None:
+    """Install (or clear, with ``None``) this process's store root.
+
+    Called by the pool initializer in every worker; the store handle
+    itself opens lazily so workers that never write pay nothing.
+    """
+    global _WORKER_ROOT, _WORKER_STORE
+    _WORKER_ROOT = str(root) if root is not None else None
+    _WORKER_STORE = None
+
+
+def worker_store() -> Optional[ResultStore]:
+    """This process's store handle, or ``None`` when unconfigured."""
+    global _WORKER_STORE
+    if _WORKER_STORE is None and _WORKER_ROOT is not None:
+        _WORKER_STORE = ResultStore(_WORKER_ROOT)
+    return _WORKER_STORE
+
+
+def put_result_direct(item: Tuple[str, BISTResult]) -> bool:
+    """Publish one ``(key, result)`` pair from inside a worker."""
+    key, result = item
+    store = worker_store()
+    if store is None:
+        raise RuntimeError(
+            "worker store is not configured (the pool initializer did "
+            "not receive a store root)"
+        )
+    return store.put_result(key, result)
+
+
+def put_records_direct(item: Tuple[str, PackedRecordBatch]) -> bool:
+    """Publish one ``(key, packed records)`` pair from inside a worker."""
+    key, batch = item
+    store = worker_store()
+    if store is None:
+        raise RuntimeError(
+            "worker store is not configured (the pool initializer did "
+            "not receive a store root)"
+        )
+    return store.put_records(key, batch)

@@ -41,6 +41,7 @@ from repro.errors import ConfigurationError
 from repro.signals.random import GeneratorLike, make_rng
 
 __all__ = [
+    "KINDS",
     "SCHEMA_VERSION",
     "canonical_json",
     "digest",
@@ -54,6 +55,11 @@ __all__ = [
 #: semantics; entries written under an older schema stop matching (their
 #: keys embed the old version) and ``ResultStore.gc`` reclaims them.
 SCHEMA_VERSION = 1
+
+#: Entry kinds, in layout order.  The position of a kind doubles as its
+#: id in the persistent index's on-disk records, so the order is part
+#: of the format — append, never reorder.
+KINDS = ("results", "records", "outcomes")
 
 #: Object-graph recursion limit — benches are a few levels deep
 #: (testbench -> source -> opamp); anything deeper is a cycle or a

@@ -181,3 +181,147 @@ class TestCrashConsistentResume:
         assert resumed.measured_nf_db == uninterrupted.measured_nf_db
         for got, want in zip(resumed.rows, uninterrupted.rows):
             assert got.outcome == want.outcome
+
+
+WRITER_SCRIPT = """\
+import sys
+from repro.engine import MeasurementScheduler, ResultStore
+from repro.experiments.production import run_production
+
+with MeasurementScheduler(store=ResultStore(sys.argv[1])) as sched:
+    run_production(
+        n_devices=6,
+        n_samples=2**14,
+        nperseg=2048,
+        seed=2005,
+        scheduler=sched,
+    )
+"""
+
+
+class TestMultiWriterSafety:
+    """Two whole processes screening the same lot into one store."""
+
+    def _env(self):
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        return env
+
+    def test_concurrent_screens_converge_to_one_coherent_store(
+        self, tmp_path
+    ):
+        store_dir = tmp_path / "shared"
+        children = [
+            subprocess.Popen(
+                [sys.executable, "-c", WRITER_SCRIPT, str(store_dir)],
+                env=self._env(),
+                cwd=Path(__file__).resolve().parents[2],
+            )
+            for _ in range(2)
+        ]
+        for child in children:
+            assert child.wait(timeout=300.0) == 0
+
+        # Content addressing makes the race benign: both writers
+        # published the same payloads, the store holds each exactly
+        # once, and reads verify.
+        store = ResultStore(store_dir)
+        walk = store.index()
+        assert len(walk.by_kind("results")) == 6
+        assert len(walk.by_kind("outcomes")) == 1
+        for entry in walk:
+            assert store.read_meta(entry.kind, entry.key) is not None
+        assert store.quarantine_log == []
+
+        # The multi-process append fan-out kept the persistent index
+        # exactly equal to the tree.
+        assert store.verify_index()["consistent"]
+        fast = store.load_index()
+        assert {(e.kind, e.key, e.nbytes) for e in fast} == {
+            (e.kind, e.key, e.nbytes) for e in walk
+        }
+
+
+COMPACT_SCRIPT = """\
+import sys
+import time
+from repro.store import ResultStore
+
+store = ResultStore(sys.argv[1])
+shards = sorted({entry.key[:2] for entry in store.index()})
+for shard in shards:
+    store.compact(shards=[shard])
+    print(shard, flush=True)
+    time.sleep(0.05)
+"""
+
+
+class TestCompactionCrashSafety:
+    """SIGKILL mid-compaction leaves every payload readable."""
+
+    def test_sigkill_mid_compaction_preserves_store(self, tmp_path):
+        from tests.unit.test_store import (
+            _result,
+            assert_results_identical,
+        )
+
+        store_dir = tmp_path / "packing"
+        store = ResultStore(store_dir)
+        result = _result()
+        # Two entries per shard across several shards, so compaction
+        # has real per-shard work to be killed in the middle of.
+        keys = [
+            f"{shard:02d}" + format(suffix, "062x")
+            for shard in range(6)
+            for suffix in (1, 2)
+        ]
+        for key in keys:
+            store.put_result(key, result)
+        before = {
+            key: store.read_payload_bytes("results", key) for key in keys
+        }
+
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            p for p in ("src", env.get("PYTHONPATH", "")) if p
+        )
+        child = subprocess.Popen(
+            [sys.executable, "-c", COMPACT_SCRIPT, str(store_dir)],
+            env=env,
+            cwd=Path(__file__).resolve().parents[2],
+            stdout=subprocess.PIPE,
+        )
+        try:
+            # Kill the child the moment the first shard lands.
+            line = child.stdout.readline()
+            assert line.strip(), "compactor produced no progress"
+            child.send_signal(signal.SIGKILL)
+            child.wait(timeout=30.0)
+        finally:
+            child.stdout.close()
+            if child.poll() is None:  # pragma: no cover - cleanup path
+                child.kill()
+                child.wait()
+        assert child.returncode == -signal.SIGKILL
+
+        # Some shards packed, some loose, possibly a published pack
+        # whose loose originals were not yet unlinked — every payload must
+        # still read back bit for bit.
+        survivor = ResultStore(store_dir)
+        packs = list(store_dir.glob("results/*/pack-*.pk"))
+        assert packs, "the killed compactor never published a pack"
+        for key in keys:
+            assert survivor.read_payload_bytes("results", key) == before[key]
+            assert_results_identical(survivor.get_result(key), result)
+        assert survivor.quarantine_log == []
+
+        # gc reclaims any orphaned tmp file and a rebuild restores a
+        # consistent index; finishing the compaction converges.
+        survivor.gc(tmp_grace_s=0.0)
+        survivor.rebuild_index()
+        assert survivor.verify_index()["consistent"]
+        survivor.compact()
+        for key in keys:
+            assert survivor.read_payload_bytes("results", key) == before[key]

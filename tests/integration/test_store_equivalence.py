@@ -398,3 +398,93 @@ class TestReviewRegressions:
             )
         assert before == 1
         assert not retest.initial_from_store
+
+
+class TestWorkerDirectWrites:
+    """PR 8: pool workers publish straight into their shard.
+
+    The transport must be invisible on disk — worker-direct payloads
+    are bit-identical to the parent-funneled writes of a serial engine,
+    and the persistent index stays coherent under the multi-process
+    write fan-out.
+    """
+
+    N = 8
+
+    def _tasks(self):
+        true_values, device_rngs = _draw_lot(8.0, 2.0, self.N, 7)
+        return _lot_tasks(
+            true_values, [2**14] * self.N, [2048] * self.N, device_rngs
+        )
+
+    def test_direct_writes_bit_identical_to_parent_funneled(self, tmp_path):
+        funneled = ResultStore(tmp_path / "funneled")
+        reference = plan_measurements(self._tasks()).run(
+            MeasurementEngine(store=funneled)
+        )
+
+        direct = ResultStore(tmp_path / "direct")
+        with MeasurementScheduler(
+            backend="process", max_workers=2, store=direct
+        ) as sched:
+            assert sched.pool.store_root == str(direct.root)
+            results = sched.run(self._tasks())
+
+        for a, b in zip(reference, results):
+            assert_results_identical(a, b)
+        walk = funneled.index()
+        assert len(walk) == self.N
+        assert len(direct.index()) == self.N
+        for entry in walk:
+            mirrored = direct.read_payload_bytes(entry.kind, entry.key)
+            assert mirrored == entry.read_bytes()
+        assert direct.verify_index()["consistent"]
+
+    def test_production_process_backend_persists_devices(self, tmp_path):
+        # Regression: a store-backed homogeneous lot on the process
+        # backend used to take the map_sweep path, whose workers
+        # rebuild benches out of the provenance keys' reach — only the
+        # outcome manifest persisted, never the per-device results.  A
+        # write-capable store must force the planned path.
+        from repro.experiments.production import run_production
+
+        store = ResultStore(tmp_path / "lot")
+        with MeasurementScheduler(
+            backend="process", max_workers=2, store=store
+        ) as sched:
+            run_production(
+                n_devices=4,
+                n_samples=2**14,
+                nperseg=2048,
+                seed=99,
+                scheduler=sched,
+            )
+        walk = store.index()
+        assert len(walk.by_kind("results")) == 4
+        assert len(walk.by_kind("outcomes")) == 1
+        assert store.verify_index()["consistent"]
+
+    def test_cache_budget_keeps_store_bounded(self, tmp_path):
+        store = ResultStore(tmp_path / "budget")
+        one = ResultStore(tmp_path / "one")
+        tasks = self._tasks()
+        plan_measurements(tasks[:1]).run(MeasurementEngine(store=one))
+        per_entry = one.index().entries[0].nbytes
+        budget = int(2.5 * per_entry)
+        with MeasurementScheduler(
+            store=store, cache_budget_bytes=budget
+        ) as sched:
+            sched.run(self._tasks())
+        assert store.approx_total_bytes() <= budget
+        assert 0 < len(store.index()) < self.N
+        assert store.verify_index()["consistent"]
+
+    def test_scheduler_rejects_engine_plus_budget(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementScheduler(
+                engine=MeasurementEngine(), cache_budget_bytes=10
+            )
+
+    def test_bad_budget_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MeasurementEngine(cache_budget_bytes=0)

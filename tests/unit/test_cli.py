@@ -388,3 +388,166 @@ class TestBenchCommand:
         assert "kernel_backends_available" in doc
         assert doc["kernels"]
         assert "numba" in doc
+
+
+class TestStoreScaleSubcommands:
+    """PR 8: indexed ls/info, compact, evict, reindex, --cache-budget."""
+
+    def _populate(self, store_dir):
+        assert (
+            main(["run", "production", "--fast", "--store", store_dir]) == 0
+        )
+
+    def test_ls_uses_index_and_prints_stats_on_stderr(
+        self, tmp_path, capsys
+    ):
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "ls", store_dir]) == 0
+        captured = capsys.readouterr()
+        # stdout stays one parseable entry per line...
+        assert all(
+            len(line.split()) >= 3
+            for line in captured.out.strip().splitlines()
+        )
+        # ...and the index stats ride on stderr.
+        assert "# index:" in captured.err
+        assert "via index" in captured.err
+        assert "segment" in captured.err
+
+    def test_ls_without_index_warns_and_walks(self, tmp_path, capsys):
+        import shutil
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        shutil.rmtree(tmp_path / "s" / "index")
+        capsys.readouterr()
+        assert main(["store", "ls", store_dir]) == 0
+        captured = capsys.readouterr()
+        assert captured.out.strip()  # the walk still lists everything
+        assert "no persistent index" in captured.err
+        assert "store reindex" in captured.err
+
+    def test_info_embeds_index_stats(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "info", store_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["enumerated_via"] == "index"
+        assert summary["index"]["n_entries"] == summary["n_entries"]
+        assert summary["index"]["n_segments"] >= 1
+        assert summary["index"]["payload_bytes"] == summary["total_bytes"]
+
+    def test_compact_then_reads_unchanged(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "ls", store_dir]) == 0
+        before = capsys.readouterr().out
+        assert main(["store", "compact", store_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_files_after"] <= stats["n_files_before"]
+        assert main(["store", "ls", store_dir]) == 0
+        assert capsys.readouterr().out == before
+
+    def test_evict_respects_budget_and_pins(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert main(["store", "evict", store_dir, "--budget", "1"]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_evicted"] > 0
+        assert stats["n_pinned"] >= 1  # the production outcome survives
+        assert main(["store", "info", store_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["kinds"]["outcomes"]["n_entries"] == 1
+        assert summary["kinds"]["results"]["n_entries"] == 0
+
+    def test_evict_unpin_outcomes_empties_store(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        capsys.readouterr()
+        assert (
+            main(
+                [
+                    "store",
+                    "evict",
+                    store_dir,
+                    "--budget",
+                    "0",
+                    "--unpin-outcomes",
+                ]
+            )
+            == 0
+        )
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["total_bytes_after"] == 0
+
+    def test_evict_requires_budget(self, tmp_path):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["store", "evict", str(tmp_path)])
+
+    def test_reindex_rebuilds_and_verifies(self, tmp_path, capsys):
+        import json
+        import shutil
+
+        store_dir = str(tmp_path / "s")
+        self._populate(store_dir)
+        shutil.rmtree(tmp_path / "s" / "index")
+        capsys.readouterr()
+        assert main(["store", "reindex", store_dir]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["n_entries"] > 0
+        assert stats["verify"]["consistent"] is True
+
+    def test_cache_budget_parsed(self):
+        args = build_parser().parse_args(
+            [
+                "run",
+                "production",
+                "--store",
+                "/tmp/s",
+                "--cache-budget",
+                "1000000",
+            ]
+        )
+        assert args.cache_budget == 1_000_000
+
+    def test_cache_budget_requires_store(self):
+        with pytest.raises(SystemExit):
+            main(["run", "production", "--fast", "--cache-budget", "1000"])
+
+    def test_run_with_cache_budget_bounds_store(self, tmp_path, capsys):
+        import json
+
+        store_dir = str(tmp_path / "s")
+        budget = 150_000
+        assert (
+            main(
+                [
+                    "run",
+                    "production",
+                    "--fast",
+                    "--store",
+                    store_dir,
+                    "--cache-budget",
+                    str(budget),
+                ]
+            )
+            == 0
+        )
+        capsys.readouterr()
+        assert main(["store", "info", store_dir]) == 0
+        summary = json.loads(capsys.readouterr().out)
+        assert summary["total_bytes"] <= budget
+        assert summary["kinds"]["outcomes"]["n_entries"] == 1

@@ -203,3 +203,45 @@ class TestFaultedCall:
         policy = RetryPolicy()
         assert policy.is_retryable(InjectedTaskError("x"))
         assert not policy.is_retryable(MeasurementError("x"))
+
+
+class TestStoreLockSites:
+    """The PR 8 fault sites: shard/index locks and torn index appends."""
+
+    def test_sites_registered(self):
+        assert "store_lock" in SITES
+        assert "index_torn_write" in SITES
+
+    def test_hooks_inert_without_injector(self):
+        from repro.faults.injector import index_torn_fault, store_lock_fault
+
+        assert active_injector() is None
+        assert store_lock_fault() is False
+        assert index_torn_fault() is False
+
+    def test_locks_plan_registered(self):
+        plan = resolve_plan("locks", seed=3)
+        assert plan.store_lock > 0
+        assert plan.index_torn_write > 0
+
+    def test_storm_covers_lock_sites(self):
+        plan = FAULT_PLANS["storm"]
+        assert plan.store_lock > 0
+        assert plan.index_torn_write > 0
+
+    def test_lock_directives_deterministic_per_seed(self):
+        def draws(seed):
+            with inject(FaultPlan(seed=seed, store_lock=0.5,
+                                  index_torn_write=0.5)) as injector:
+                lock = [injector.lock_directive() for _ in range(16)]
+                torn = [injector.index_torn_directive() for _ in range(16)]
+            return lock, torn
+
+        assert draws(7) == draws(7)
+        assert draws(7) != draws(8)
+
+    def test_lock_directives_respect_site_cap(self):
+        plan = FaultPlan(seed=1, store_lock=1.0, max_per_site=2)
+        with inject(plan) as injector:
+            fired = sum(injector.lock_directive() for _ in range(10))
+        assert fired == 2

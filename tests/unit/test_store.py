@@ -565,3 +565,274 @@ class TestIntegrity:
                 assert_results_identical(restored, result)
         assert len(injector.log) > 0
         assert len(store.quarantine_log) > 0
+
+
+class TestPersistentIndexIntegration:
+    """The store keeps its persistent index in lock-step with the tree."""
+
+    def test_new_store_has_index(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        assert store.has_persistent_index
+        assert store.index_stats()["n_entries"] == 0
+
+    def test_load_index_matches_walk(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("11" * 32, _result())
+        store.put_result("22" * 32, _result())
+        store.put_outcome(store.outcome_key({"lot": 1}), {"x": 1})
+        walk = {(e.kind, e.key, e.nbytes) for e in store.index()}
+        fast = {(e.kind, e.key, e.nbytes) for e in store.load_index()}
+        assert fast == walk
+        assert store.verify_index()["consistent"]
+
+    def test_quarantine_updates_index(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        key = "ab" * 32
+        store.put_result(key, _result())
+        path = store._path("results", key)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 3] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        assert store.get_result(key) is None  # quarantined
+        assert ("results", key) not in {
+            (e.kind, e.key) for e in store.load_index()
+        }
+        assert store.verify_index()["consistent"]
+
+    def test_gc_updates_index(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("11" * 32, _result())
+        store.put_result("22" * 32, _result())
+        store.gc(all_entries=True)
+        assert len(store.load_index()) == 0
+        assert store.verify_index()["consistent"]
+
+    def test_legacy_store_without_index(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("11" * 32, _result())
+        import shutil
+
+        shutil.rmtree(store.root / "index")
+        legacy = ResultStore(tmp_path / "s")
+        assert not legacy.has_persistent_index
+        assert legacy.load_index() is None
+        assert legacy.index_stats() is None
+        verdict = legacy.verify_index()
+        assert not verdict["consistent"]
+        assert verdict["reason"] == "no persistent index"
+        # Writes still work (index append is a silent no-op)...
+        legacy.put_result("22" * 32, _result())
+        assert len(legacy.index()) == 2
+        # ...and reindex restores the fast path.
+        legacy.rebuild_index()
+        assert legacy.has_persistent_index
+        assert legacy.verify_index()["consistent"]
+        assert len(legacy.load_index()) == 2
+
+    def test_rotate_preserves_enumeration(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        for i in range(4):
+            store.put_result(f"{i:02d}" * 32, _result())
+        before = {(e.kind, e.key) for e in store.load_index()}
+        store.rotate_index()
+        assert {(e.kind, e.key) for e in store.load_index()} == before
+        assert store.index_stats()["n_segments"] == 1
+
+    def test_approx_total_bytes_tracks_walk(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("11" * 32, _result())
+        assert store.approx_total_bytes() == store.index().total_bytes
+
+
+class TestEnumerationRaceSafety:
+    """index() surfaces only fully published entries, race-free."""
+
+    def test_inflight_tmp_files_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("ab" * 32, _result())
+        shard = store.root / "results" / "ab"
+        (shard / "inflight.tmp").write_bytes(b"partial")
+        (shard / ("cd" * 32 + ".npz.tmp")).write_bytes(b"partial")
+        assert len(store.index()) == 1
+
+    def test_non_canonical_names_skipped(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        store.put_result("ab" * 32, _result())
+        shard = store.root / "results" / "ab"
+        (shard / ("AB" * 32 + ".npz")).write_bytes(b"junk")  # uppercase
+        (shard / ("cd" * 32 + ".npz")).write_bytes(b"junk")  # wrong shard
+        assert len(store.index()) == 1
+
+    def test_entry_vanishing_mid_walk_skipped(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path / "s")
+        store.put_result("ab" * 32, _result())
+        # A dangling symlink stats like a file that a peer unlinked
+        # between the directory listing and the stat call.
+        shard = store.root / "results" / "cd"
+        shard.mkdir(parents=True, exist_ok=True)
+        os.symlink(str(tmp_path / "gone.npz"), shard / ("cd" * 32 + ".npz"))
+        index = store.index()  # must not raise
+        assert {e.key for e in index} == {"ab" * 32}
+
+
+class TestCompaction:
+    """Shard packs: fewer files, identical bytes."""
+
+    def _populate(self, tmp_path, n=6):
+        store = ResultStore(tmp_path / "s")
+        result = _result()
+        # One shard ("ab") holds every key: compaction packs per shard.
+        keys = ["ab" + format(i, "062x") for i in range(n)]
+        for key in keys:
+            store.put_result(key, result)
+        return store, keys
+
+    def test_compaction_preserves_every_payload_bit(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        before = {
+            k: store.read_payload_bytes("results", k) for k in keys
+        }
+        n_files_before = len(list(store.root.glob("results/*/*.npz")))
+        stats = store.compact()
+        assert stats["n_members"] == len(keys)
+        assert len(list(store.root.glob("results/*/*.npz"))) == 0
+        packs = list(store.root.glob("results/*/pack-*.pk"))
+        assert 0 < len(packs) < n_files_before
+        for key in keys:
+            assert store.read_payload_bytes("results", key) == before[key]
+            assert store.has_result(key)
+            assert_results_identical(store.get_result(key), _result())
+        assert store.verify_index()["consistent"]
+
+    def test_walk_and_fast_index_agree_after_compaction(self, tmp_path):
+        store, _ = self._populate(tmp_path)
+        store.compact()
+        walk = {(e.kind, e.key, e.nbytes) for e in store.index()}
+        fast = {(e.kind, e.key, e.nbytes) for e in store.load_index()}
+        assert fast == walk and walk
+
+    def test_compaction_is_idempotent(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        store.compact()
+        packs = sorted(store.root.glob("results/*/pack-*.pk"))
+        again = store.compact()
+        assert again["n_shards_compacted"] == 0
+        assert sorted(store.root.glob("results/*/pack-*.pk")) == packs
+        assert store.has_result(keys[0])
+
+    def test_loose_rewrite_shadows_pack(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        key = keys[0]
+        sealed = store.read_payload_bytes("results", key)
+        store.compact()
+        # A peer re-publishes the same key loose while the pack still
+        # holds it: enumeration and reads must prefer the loose file,
+        # never double-count.
+        store._write_atomic(store._path("results", key), sealed)
+        entry = [e for e in store.index() if e.key == key]
+        assert len(entry) == 1 and entry[0].pack is None
+        assert_results_identical(store.get_result(key), _result())
+
+    def test_packed_corruption_quarantines_member(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        store.compact()
+        [pack] = {
+            e.pack for e in store.index() if e.key == keys[0]
+        }
+        raw = bytearray(pack.read_bytes())
+        raw[-10] ^= 0xFF  # damage the last member's payload bytes
+        pack.write_bytes(bytes(raw))
+        damaged = [k for k in keys if store.get_result(k) is None]
+        assert len(damaged) == 1
+        assert store.quarantine_log[-1]["key"] == damaged[0]
+        # The slot is free again; a recompute re-publishes loose.
+        assert store.put_result(damaged[0], _result())
+        assert store.get_result(damaged[0]) is not None
+
+    def test_compact_selected_kind_only(self, tmp_path):
+        store, _ = self._populate(tmp_path)
+        store.put_outcome(store.outcome_key({"lot": 9}), {"x": 1})
+        store.compact(kinds=["results"])
+        assert list(store.root.glob("outcomes/*/pack-*.pk")) == []
+
+    def test_compact_bad_kind_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ConfigurationError):
+            store.compact(kinds=["junk"])
+
+
+class TestEviction:
+    """Byte-budget eviction: oldest first, pins honored."""
+
+    def _populate(self, tmp_path, n=5):
+        import os
+
+        store = ResultStore(tmp_path / "s")
+        result = _result()
+        keys = ["ab" + format(i, "062x") for i in range(n)]
+        for i, key in enumerate(keys):
+            store.put_result(key, result)
+            path = store._path("results", key)
+            os.utime(path, (1_000_000 + i, 1_000_000 + i))
+        return store, keys
+
+    def test_evicts_oldest_until_under_budget(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        per_entry = store.index().entries[0].nbytes
+        budget = int(2.5 * per_entry)
+        stats = store.evict(budget, pin_kinds=())
+        assert stats["total_bytes_after"] <= budget
+        assert stats["n_evicted"] == 3
+        # Oldest mtimes went first.
+        assert not store.has_result(keys[0])
+        assert not store.has_result(keys[1])
+        assert store.has_result(keys[3])
+        assert store.has_result(keys[4])
+        assert store.verify_index()["consistent"]
+
+    def test_outcomes_pinned_by_default(self, tmp_path):
+        store, keys = self._populate(tmp_path, n=2)
+        outcome_key = store.outcome_key({"lot": 1})
+        store.put_outcome(outcome_key, {"manifest": [1, 2]})
+        stats = store.evict(0)
+        assert stats["n_pinned"] >= 1
+        assert store.has_outcome(outcome_key)
+        assert all(not store.has_result(k) for k in keys)
+
+    def test_pin_keys_survive(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        stats = store.evict(0, pin_kinds=(), pin_keys=[keys[0]])
+        assert store.has_result(keys[0])
+        assert stats["n_evicted"] == len(keys) - 1
+
+    def test_evicts_packed_members(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        store.compact()
+        stats = store.evict(0, pin_kinds=())
+        assert stats["n_evicted"] == len(keys)
+        assert store.approx_total_bytes() == 0
+        assert all(not store.has_result(k) for k in keys)
+        assert store.verify_index()["consistent"]
+
+    def test_within_budget_is_noop(self, tmp_path):
+        store, keys = self._populate(tmp_path)
+        stats = store.evict(10**12)
+        assert stats["n_evicted"] == 0
+        assert all(store.has_result(k) for k in keys)
+
+    def test_bad_budget_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "s")
+        with pytest.raises(ConfigurationError):
+            store.evict(-1)
+
+    def test_read_refreshes_lru_rank(self, tmp_path):
+        import time
+
+        store, keys = self._populate(tmp_path)
+        store.get_result(keys[0])  # loose read bumps mtime
+        per_entry = store.index().entries[0].nbytes
+        store.evict(int(1.5 * per_entry), pin_kinds=())
+        assert store.has_result(keys[0])  # oldest by write, hottest by read
+        assert not store.has_result(keys[1])

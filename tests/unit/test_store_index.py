@@ -1,0 +1,228 @@
+"""Tests for repro.store.index: the persistent append-only index."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.store.index import (
+    OP_ADD,
+    OP_REMOVE,
+    RECORD_DTYPE,
+    PersistentIndex,
+    _checksums,
+    _key_to_words,
+    _words_to_key,
+    make_record,
+)
+from repro.store.keys import KINDS
+from repro.store.locks import LockTimeout, file_lock
+
+KEY_A = "ab" * 32
+KEY_B = "cd" * 32
+KEY_C = "0f" * 32
+
+
+def _index(tmp_path) -> PersistentIndex:
+    index = PersistentIndex(tmp_path / "index")
+    index.initialize()
+    return index
+
+
+class TestRecordFormat:
+    def test_record_is_64_bytes(self):
+        assert RECORD_DTYPE.itemsize == 64
+
+    def test_key_words_round_trip(self):
+        words = _key_to_words(KEY_A)
+        assert words.shape == (4,)
+        assert _words_to_key(words) == KEY_A
+
+    def test_make_record_checksummed(self):
+        record = make_record(OP_ADD, "results", KEY_A, 123, 4.5)
+        assert record["check"] == _checksums(record)
+        assert KINDS[int(record["kind"][0])] == "results"
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ConfigurationError):
+            make_record(OP_ADD, "junk", KEY_A, 1, 0.0)
+
+    def test_checksum_detects_field_damage(self):
+        record = make_record(OP_ADD, "results", KEY_A, 123, 4.5)
+        record["nbytes"] = 124
+        assert record["check"] != _checksums(record)
+
+
+class TestAppendReplay:
+    def test_empty_index_replays_empty(self, tmp_path):
+        index = _index(tmp_path)
+        assert index.exists
+        assert index.replay() == {}
+
+    def test_add_remove_last_wins(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        index.append(OP_ADD, "records", KEY_A, 200, 2.0)
+        index.append(OP_ADD, "results", KEY_B, 300, 3.0)
+        index.append(OP_REMOVE, "results", KEY_B, 0, 4.0)
+        index.append(OP_ADD, "results", KEY_A, 150, 5.0)  # rewrite
+        live = index.replay()
+        assert live == {
+            ("results", KEY_A): (150, 5.0),
+            ("records", KEY_A): (200, 2.0),
+        }
+
+    def test_append_many_one_lock(self, tmp_path):
+        index = _index(tmp_path)
+        index.append_many(
+            [
+                (OP_ADD, "results", KEY_A, 10, 1.0),
+                (OP_ADD, "results", KEY_B, 20, 2.0),
+                (OP_ADD, "outcomes", KEY_C, 30, 3.0),
+            ]
+        )
+        assert len(index.replay()) == 3
+
+    def test_append_to_absent_index_is_noop(self, tmp_path):
+        index = PersistentIndex(tmp_path / "never")
+        index.append(OP_ADD, "results", KEY_A, 1, 0.0)
+        assert not index.exists
+        assert index.replay() == {}
+
+    def test_total_bytes(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        index.append(OP_ADD, "results", KEY_B, 250, 2.0)
+        assert index.total_bytes() == 350
+
+
+class TestCrashRecovery:
+    def test_torn_tail_skipped_on_replay(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        segment = index._segments()[-1]
+        # A crash mid-append leaves a partial trailing record.
+        with open(segment, "ab") as handle:
+            handle.write(b"\x01\x00partial")
+        assert index.replay() == {("results", KEY_A): (100, 1.0)}
+        assert index.stats()["n_skipped"] == 0  # sub-record tail, not a slot
+
+    def test_next_append_repairs_torn_tail(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        segment = index._segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"xx")
+        index.append(OP_ADD, "results", KEY_B, 200, 2.0)
+        # The tail was truncated back to a record boundary first.
+        assert (segment.stat().st_size - 16) % RECORD_DTYPE.itemsize == 0
+        assert len(index.replay()) == 2
+
+    def test_zero_filled_record_skipped(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        segment = index._segments()[-1]
+        with open(segment, "ab") as handle:
+            handle.write(b"\x00" * RECORD_DTYPE.itemsize)
+        assert index.replay() == {("results", KEY_A): (100, 1.0)}
+        assert index.stats()["n_skipped"] == 1
+
+    def test_corrupt_record_skipped_not_fatal(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        index.append(OP_ADD, "results", KEY_B, 200, 2.0)
+        segment = index._segments()[-1]
+        raw = bytearray(segment.read_bytes())
+        raw[16 + 20] ^= 0xFF  # flip a bit inside the first record's key
+        segment.write_bytes(bytes(raw))
+        assert index.replay() == {("results", KEY_B): (200, 2.0)}
+
+    def test_bad_header_segment_ignored(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        (index.root / "seg-00000009.idx").write_bytes(b"NOTANIDX" + b"\x00" * 8)
+        assert index.replay() == {("results", KEY_A): (100, 1.0)}
+        assert index.stats()["n_segments"] == 2
+
+    def test_duplicate_adds_replay_idempotently(self, tmp_path):
+        # Rotation crash-ordering: checkpoint published, old segment not
+        # yet unlinked — every entry appears twice, replay is unchanged.
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        live = index.replay()
+        checkpoint = index._checkpoint_records(live)
+        index._publish_segment(7, checkpoint)
+        assert index.replay() == live
+
+
+class TestRotation:
+    def test_rotate_compacts_to_one_segment(self, tmp_path):
+        index = _index(tmp_path)
+        for i in range(6):
+            key = f"{i:02d}" * 32
+            index.append(OP_ADD, "results", key, 100 + i, float(i))
+        index.append(OP_REMOVE, "results", "00" * 32, 0, 9.0)
+        before = index.replay()
+        stats = index.rotate()
+        assert stats["n_entries"] == 5
+        assert len(index._segments()) == 1
+        assert index.replay() == before
+
+    def test_rotate_absent_index_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            PersistentIndex(tmp_path / "never").rotate()
+
+    def test_rebuild_replaces_contents(self, tmp_path):
+        index = _index(tmp_path)
+        index.append(OP_ADD, "results", KEY_A, 100, 1.0)
+        index.rebuild([("records", KEY_B, 200, 2.0)])
+        assert index.replay() == {("records", KEY_B): (200, 2.0)}
+        assert len(index._segments()) == 1
+
+
+class TestTornWriteFault:
+    def test_injected_torn_append_loses_entry_not_index(self, tmp_path):
+        from repro.faults import FaultPlan, inject
+
+        index = _index(tmp_path)
+        keys = [f"{i:02d}" * 32 for i in range(10)]
+        with inject(FaultPlan(seed=5, index_torn_write=0.5)) as injector:
+            for i, key in enumerate(keys):
+                index.append(OP_ADD, "results", key, 100, float(i))
+        torn = sum(
+            1 for r in injector.log if r.site == "index_torn_write"
+        )
+        assert torn > 0
+        live = index.replay()
+        # Torn appends lose exactly their own records, nothing else...
+        assert len(live) == len(keys) - torn
+        # ...and the index stays appendable and self-heals.
+        index.append(OP_ADD, "records", KEY_A, 1, 0.0)
+        assert ("records", KEY_A) in index.replay()
+
+
+class TestFileLock:
+    def test_lock_excludes_within_process(self, tmp_path):
+        path = tmp_path / "lock"
+        with file_lock(path):
+            with pytest.raises(LockTimeout):
+                with file_lock(path, timeout_s=0.05, poll_s=0.01):
+                    pass  # pragma: no cover - must not be reached
+
+    def test_lock_releases_on_exit(self, tmp_path):
+        path = tmp_path / "lock"
+        with file_lock(path):
+            pass
+        with file_lock(path, timeout_s=0.05):
+            pass
+
+    def test_store_lock_fault_delays_not_breaks(self, tmp_path):
+        from repro.faults import FaultPlan, inject
+
+        path = tmp_path / "lock"
+        acquired = 0
+        with inject(FaultPlan(seed=1, store_lock=1.0)) as injector:
+            for _ in range(3):
+                with file_lock(path):
+                    acquired += 1
+        assert acquired == 3  # lost the first race, won the retry
+        assert sum(1 for r in injector.log if r.site == "store_lock") == 3
