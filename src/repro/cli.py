@@ -16,6 +16,8 @@ Usage::
     python -m repro store evict ./nfstore --budget 100000000
     python -m repro store reindex ./nfstore
     python -m repro chaos --plan transient --seed 7 --backend process
+    python -m repro serve --store ./nfstore --backend process
+    python -m repro submit lot --param n_devices=24 --wait --json
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
 the benchmark suite (paper scale).  ``--backend``/``--workers`` pick
@@ -46,6 +48,14 @@ that every benchmark JSON section embeds::
 
     python -m repro run production --kernel-backend tuned --fft-backend scipy
     python -m repro bench envinfo
+
+``serve`` runs the supervised measurement daemon of
+:mod:`repro.service` (write-ahead job journal, admission control,
+graceful SIGTERM/SIGINT drain, liveness watchdog — see
+docs/SERVICE.md) and ``submit`` sends one measure/lot/retest job to
+it.  Every long-running command is interrupt-safe: SIGINT/SIGTERM
+drain the worker pool (killing hung workers after a grace period)
+and exit with the distinct code 130 instead of stranding processes.
 """
 
 from __future__ import annotations
@@ -777,6 +787,164 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: outcomes are pinned — they are tiny and hold "
         "lot provenance)",
     )
+    serve = sub.add_parser(
+        "serve",
+        help="run the supervised measurement daemon (journaled job "
+        "queue over a Unix/TCP JSON-line socket; SIGTERM drains)",
+    )
+    serve.add_argument(
+        "--store",
+        metavar="DIR",
+        required=True,
+        help="result-store root; the job journal lives under "
+        "<DIR>/service/ and every job resumes against this store",
+    )
+    serve.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="Unix socket path (default: <store>/service.sock)",
+    )
+    serve.add_argument(
+        "--host",
+        default=None,
+        help="listen on TCP host:--port instead of a Unix socket",
+    )
+    serve.add_argument(
+        "--port",
+        type=int,
+        default=0,
+        metavar="N",
+        help="TCP port with --host (default: ephemeral, printed in the "
+        "ready event)",
+    )
+    serve.add_argument(
+        "--backend",
+        choices=("serial", "process"),
+        default="process",
+        help="execution backend for the shared scheduler (default: "
+        "process)",
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker cap for the process backend (default: CPU count)",
+    )
+    serve.add_argument(
+        "--max-depth",
+        type=int,
+        default=64,
+        metavar="N",
+        help="admission-queue bound; submissions beyond it are shed "
+        "with an explicit REJECTED(backpressure) response "
+        "(default: 64)",
+    )
+    serve.add_argument(
+        "--max-group-devices",
+        type=int,
+        default=8,
+        metavar="N",
+        help="devices per planned sub-batch — the drain/deadline/"
+        "preemption granularity of bulk lots (default: 8)",
+    )
+    serve.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="how long a drain waits for the in-flight sub-batch "
+        "before killing workers (default: 30)",
+    )
+    serve.add_argument(
+        "--watchdog-stall",
+        type=float,
+        default=60.0,
+        metavar="SECONDS",
+        help="liveness watchdog: a running job with no heartbeat and "
+        "no pool progress for this long gets its workers killed and "
+        "respawned (default: 60)",
+    )
+    serve.add_argument(
+        "--no-fsync",
+        action="store_true",
+        help="skip fsync on journal appends (accepted jobs still "
+        "survive SIGKILL, but not power loss; for tests)",
+    )
+    serve.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the final ServiceReport as JSON when the daemon "
+        "drains",
+    )
+    _add_retry_arguments(serve)
+    _add_backend_arguments(serve)
+    submit = sub.add_parser(
+        "submit",
+        help="submit one job to a running measurement daemon",
+    )
+    submit.add_argument(
+        "kind",
+        choices=("measure", "lot", "retest"),
+        help="job kind (interactive measure jobs preempt bulk lots at "
+        "sub-batch boundaries)",
+    )
+    submit.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="daemon Unix socket path",
+    )
+    submit.add_argument(
+        "--host", default=None, help="daemon TCP host (with --port)"
+    )
+    submit.add_argument(
+        "--port", type=int, default=0, metavar="N", help="daemon TCP port"
+    )
+    submit.add_argument(
+        "--param",
+        action="append",
+        metavar="KEY=VALUE",
+        default=None,
+        help="one experiment parameter (repeatable; VALUE parsed as "
+        "JSON, falling back to string)",
+    )
+    submit.add_argument(
+        "--params",
+        metavar="JSON",
+        default=None,
+        help="experiment parameters as one JSON object",
+    )
+    submit.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget from acceptance; an over-budget job is "
+        "killed at its next sub-batch checkpoint",
+    )
+    submit.add_argument(
+        "--wait",
+        action="store_true",
+        help="block until the job reaches a terminal state",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        metavar="SECONDS",
+        help="socket timeout, and wait budget with --wait "
+        "(default: 300)",
+    )
+    submit.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the ack (and terminal job state with --wait) as "
+        "JSON",
+    )
     bench = sub.add_parser(
         "bench", help="benchmark utilities (environment reporting)"
     )
@@ -962,10 +1130,168 @@ def _bench_main(args) -> int:
     return 0
 
 
+def _serve_main(args) -> int:
+    """The ``serve`` subcommand: run the supervised daemon until drained.
+
+    Prints a one-line ``ready`` JSON event (socket/host/port) once the
+    listener is up, then serves until SIGTERM/SIGINT or a ``drain``
+    request.  The exit code is the daemon's drain verdict: 0 when
+    every acknowledged job finished, 70 (``EXIT_JOBS_DROPPED``) when
+    jobs were left unfinished — they stay journaled, and restarting
+    the daemon on the same store resumes them.
+    """
+    from repro.service import MeasurementService, ServiceConfig
+
+    if args.host is None and args.port:
+        print("repro serve: --port requires --host", file=sys.stderr)
+        return 2
+    config = ServiceConfig(
+        store_root=args.store,
+        socket_path=args.socket,
+        host=args.host,
+        port=args.port,
+        backend=args.backend,
+        max_workers=args.workers,
+        max_depth=args.max_depth,
+        max_group_devices=args.max_group_devices,
+        drain_grace_s=args.drain_grace,
+        watchdog_stall_s=args.watchdog_stall,
+        journal_fsync=not args.no_fsync,
+        retry=_retry_policy(args),
+    )
+    service = MeasurementService(config)
+
+    def _ready(endpoint: dict) -> None:
+        print(json.dumps({"event": "ready", **endpoint}), flush=True)
+
+    code = service.run(ready_callback=_ready)
+    report = service.report().describe()
+    if args.as_json:
+        print(
+            _dump_json(
+                {"event": "drained", "exit_code": code, "report": report}
+            )
+        )
+    else:
+        print(
+            f"drained: {report['completed']} completed, "
+            f"{report['failed']} failed, {report['dropped']} dropped, "
+            f"{report['shed']} shed (exit {code})"
+        )
+    return code
+
+
+def _submit_main(args) -> int:
+    """The ``submit`` subcommand: one job to a running daemon.
+
+    Submission is resilient by construction: the spec's content
+    address is its idempotency token, so a lost connection is retried
+    with a resubmit and at most one execution ever happens.
+    """
+    from repro.errors import ConfigurationError
+    from repro.service import JobSpec, ServiceClient
+    from repro.service.client import ServiceConnectionError
+
+    params = {}
+    if args.params is not None:
+        try:
+            params = json.loads(args.params)
+        except json.JSONDecodeError as exc:
+            print(f"repro submit: bad --params JSON: {exc}", file=sys.stderr)
+            return 2
+    for pair in args.param or []:
+        key, sep, value = pair.partition("=")
+        if not sep:
+            print(
+                f"repro submit: --param needs KEY=VALUE, got {pair!r}",
+                file=sys.stderr,
+            )
+            return 2
+        try:
+            params[key] = json.loads(value)
+        except json.JSONDecodeError:
+            params[key] = value
+    if args.host is not None:
+        address = (args.host, args.port)
+    elif args.socket is not None:
+        address = args.socket
+    else:
+        print(
+            "repro submit: need --socket PATH or --host/--port",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        spec = JobSpec(
+            kind=args.kind, params=params, deadline_s=args.deadline
+        )
+    except ConfigurationError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 2
+    try:
+        with ServiceClient(address, timeout_s=args.timeout) as client:
+            ack = client.submit_resilient(
+                spec, wait=args.wait, wait_timeout_s=args.timeout
+            )
+    except ServiceConnectionError as exc:
+        print(f"repro submit: {exc}", file=sys.stderr)
+        return 1
+    if args.as_json:
+        print(_dump_json(ack))
+    else:
+        line = f"{ack.get('status', 'error')} {ack.get('key', '')[:12]}"
+        job = ack.get("job")
+        if job is not None:
+            line += f" -> {job['state']}"
+            if job.get("error"):
+                line += f" ({job['error']})"
+        print(line)
+    status = ack.get("status")
+    if status not in ("accepted", "duplicate", "cached"):
+        return 1
+    if args.wait:
+        job = ack.get("job") or {}
+        return 0 if job.get("state") == "ok" else 1
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+    """CLI entry point; returns a process exit code.
+
+    ``run`` and ``chaos`` are interrupt-safe: SIGINT/SIGTERM raise
+    through the scheduler context (persisting whatever each
+    experiment already committed), the worker pool is drained with a
+    kill-after-grace fallback for hung workers, and the process exits
+    with the distinct code ``EXIT_INTERRUPTED`` (130).  ``serve``
+    installs its own drain handlers in the daemon's event loop.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
+    if args.command == "serve":
+        _apply_backend_flags(parser, args)
+        return _serve_main(args)
+    if args.command == "submit":
+        return _submit_main(args)
+    from repro.service.lifecycle import (
+        EXIT_INTERRUPTED,
+        ServiceInterrupt,
+        trap_signals,
+    )
+
+    try:
+        with trap_signals():
+            return _dispatch(parser, args)
+    except ServiceInterrupt as exc:
+        print(
+            f"repro: interrupted by signal {exc.signum}; worker pool "
+            "drained, committed results persisted",
+            file=sys.stderr,
+        )
+        return EXIT_INTERRUPTED
+
+
+def _dispatch(parser: argparse.ArgumentParser, args) -> int:
+    """Everything except serve/submit (which manage their own signals)."""
     if args.command == "store":
         return _store_main(args)
     if args.command == "bench":
@@ -1013,12 +1339,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         retry=_retry_policy(args),
         cache_budget_bytes=getattr(args, "cache_budget", None),
     ) as sched:
-        if args.experiment == "all":
-            for name in sorted(EXPERIMENTS):
-                print(EXPERIMENTS[name](opts, sched))
-                print()
-            return 0
-        print(EXPERIMENTS[args.experiment](opts, sched))
+        try:
+            if args.experiment == "all":
+                for name in sorted(EXPERIMENTS):
+                    print(EXPERIMENTS[name](opts, sched))
+                    print()
+                return 0
+            print(EXPERIMENTS[args.experiment](opts, sched))
+        except BaseException:
+            # Interrupt (or any raise) mid-experiment: drain the pool
+            # with a kill-after-grace fallback so hung workers cannot
+            # block the exit, then let the signal/exception surface.
+            from repro.service.lifecycle import drain_scheduler
+
+            drain_scheduler(sched, kill_after_s=10.0, force_close=True)
+            raise
     return 0
 
 

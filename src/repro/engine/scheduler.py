@@ -684,6 +684,10 @@ class MeasurementPlan:
 
     tasks: Tuple[MeasurementTask, ...]
     groups: Tuple[PlanGroup, ...]
+    #: The sub-batch size cap this plan was built with (``None`` =
+    #: unchunked); resumed re-plans inherit it so checkpoint
+    #: granularity survives an interruption.
+    max_group_size: Optional[int] = None
 
     @property
     def n_tasks(self) -> int:
@@ -769,6 +773,7 @@ class MeasurementPlan:
         allow_failures: bool = False,
         pipeline: Union[bool, str] = "auto",
         resume: bool = False,
+        on_group_end: Optional[Callable[[int, int], None]] = None,
     ) -> List:
         """Execute the plan on an engine; results in task order.
 
@@ -790,13 +795,25 @@ class MeasurementPlan:
         *only* the missing tasks into fresh sub-batches — stored tasks
         are never re-acquired.  Results are identical to a cold run
         (the store round-trip is bit-exact).
+
+        ``on_group_end(group_index, n_groups)`` is a checkpoint hook
+        invoked after each group's results are committed (and, with a
+        store, persisted).  An exception it raises aborts the remaining
+        groups but loses nothing already committed — the measurement
+        service's drain/deadline/preemption points.  A checkpointed run
+        executes sequentially: overlapped execution would move the
+        commit the hook observes.
         """
         if resume:
-            return self._run_resumed(engine, allow_failures, pipeline)
+            return self._run_resumed(
+                engine, allow_failures, pipeline, on_group_end
+            )
         keys = self._task_keys(engine)
-        if not self._resolve_pipeline(engine, pipeline):
+        if on_group_end is not None or not self._resolve_pipeline(
+            engine, pipeline
+        ):
             results: List = [None] * len(self.tasks)
-            for group in self.groups:
+            for gi, group in enumerate(self.groups):
                 tasks = [self.tasks[i] for i in group.indices]
                 if group.batched:
                     out = engine.measure_devices(
@@ -808,6 +825,8 @@ class MeasurementPlan:
                 else:
                     out = self._measure_fallback(engine, tasks, allow_failures)
                 self._commit(engine, keys, group, out, results)
+                if on_group_end is not None:
+                    on_group_end(gi, len(self.groups))
             return results
         return self._run_pipelined(engine, allow_failures, keys)
 
@@ -816,6 +835,7 @@ class MeasurementPlan:
         engine,
         allow_failures: bool = False,
         resume: bool = False,
+        on_group_end: Optional[Callable[[int, int], None]] = None,
     ) -> RunReport:
         """Execute the plan with graceful degradation; return a report.
 
@@ -836,6 +856,12 @@ class MeasurementPlan:
         behaves as in :meth:`run` — stored tasks are loaded, only the
         missing ones are re-planned and executed — with the served
         tasks counted in ``cached_tasks``.
+
+        ``on_group_end(group_index, n_groups)`` is the checkpoint hook
+        of :meth:`run`: it fires after each group commits, and an
+        exception it raises stops the remaining groups while keeping
+        everything already committed (unlike a group *failure*, which
+        is recorded and skipped over).
         """
         start = time.perf_counter()
         pool = getattr(engine, "worker_pool", None)
@@ -844,7 +870,9 @@ class MeasurementPlan:
         injected_before = len(injector.log) if injector is not None else 0
 
         if resume:
-            report = self._run_report_resumed(engine, allow_failures)
+            report = self._run_report_resumed(
+                engine, allow_failures, on_group_end
+            )
         else:
             results: List = [None] * len(self.tasks)
             group_reports: List[GroupReport] = []
@@ -878,6 +906,8 @@ class MeasurementPlan:
                         error=error,
                     )
                 )
+                if on_group_end is not None:
+                    on_group_end(gi, len(self.groups))
             report = RunReport(results=results, groups=group_reports)
 
         after = _pool_snapshot(pool)
@@ -897,7 +927,9 @@ class MeasurementPlan:
         report.wall_s = time.perf_counter() - start
         return report
 
-    def _run_report_resumed(self, engine, allow_failures: bool) -> RunReport:
+    def _run_report_resumed(
+        self, engine, allow_failures: bool, on_group_end=None
+    ) -> RunReport:
         """Resume path of :meth:`run_report`: serve stored tasks, run a
         sub-report over the missing ones, merge."""
         if getattr(engine, "store", None) is None or not engine.cache_reads:
@@ -917,8 +949,13 @@ class MeasurementPlan:
         cached = len(self.tasks) - len(missing)
         if not missing:
             return RunReport(results=results, cached_tasks=cached)
-        subplan = plan_measurements([self.tasks[i] for i in missing])
-        sub = subplan.run_report(engine, allow_failures=allow_failures)
+        subplan = plan_measurements(
+            [self.tasks[i] for i in missing],
+            max_group_size=self.max_group_size,
+        )
+        sub = subplan.run_report(
+            engine, allow_failures=allow_failures, on_group_end=on_group_end
+        )
         for local, i in enumerate(missing):
             results[i] = sub.results[local]
         return RunReport(
@@ -928,7 +965,11 @@ class MeasurementPlan:
         )
 
     def _run_resumed(
-        self, engine, allow_failures: bool, pipeline: Union[bool, str]
+        self,
+        engine,
+        allow_failures: bool,
+        pipeline: Union[bool, str],
+        on_group_end=None,
     ) -> List:
         """Load stored tasks, re-plan and run only the missing ones."""
         if getattr(engine, "store", None) is None or not engine.cache_reads:
@@ -946,9 +987,15 @@ class MeasurementPlan:
             else:
                 missing.append(i)
         if missing:
-            subplan = plan_measurements([self.tasks[i] for i in missing])
+            subplan = plan_measurements(
+                [self.tasks[i] for i in missing],
+                max_group_size=self.max_group_size,
+            )
             sub_results = subplan.run(
-                engine, allow_failures=allow_failures, pipeline=pipeline
+                engine,
+                allow_failures=allow_failures,
+                pipeline=pipeline,
+                on_group_end=on_group_end,
             )
             for local, i in enumerate(missing):
                 results[i] = sub_results[local]
@@ -1015,7 +1062,9 @@ def _coerce_task(task) -> MeasurementTask:
     )
 
 
-def plan_measurements(tasks: Sequence) -> MeasurementPlan:
+def plan_measurements(
+    tasks: Sequence, max_group_size: Optional[int] = None
+) -> MeasurementPlan:
     """Group an arbitrary task mix into compatible sub-batches.
 
     Tasks sharing all analysis parameters (nperseg / window / overlap /
@@ -1024,7 +1073,19 @@ def plan_measurements(tasks: Sequence) -> MeasurementPlan:
     singletons, sources without ``acquire_analog_batch`` — falls back
     to per-task measurement.  Group order follows first appearance and
     indices stay ascending, so execution is deterministic.
+
+    ``max_group_size`` caps how many tasks one sub-batch may hold: a
+    compatible run of tasks is split into consecutive chunks of at most
+    that many.  Because every task carries its own generator, chunking
+    never changes results — it only adds group boundaries, which is
+    what gives a long lot *checkpoints*: per-group persistence,
+    ``on_group_end`` preemption points and bounded loss on a drain
+    (see :meth:`MeasurementPlan.run_report`).
     """
+    if max_group_size is not None and max_group_size < 1:
+        raise ConfigurationError(
+            f"max_group_size must be >= 1, got {max_group_size}"
+        )
     coerced = tuple(_coerce_task(t) for t in tasks)
     batchable: dict = {}
     order: List[GroupKey] = []
@@ -1042,15 +1103,24 @@ def plan_measurements(tasks: Sequence) -> MeasurementPlan:
     groups: List[PlanGroup] = []
     for key in order:
         indices = batchable[key]
-        if len(indices) >= 2:
-            groups.append(PlanGroup(key, tuple(indices), batched=True))
-        else:
+        if len(indices) < 2:
             fallback.extend(indices)
+            continue
+        step = max_group_size or len(indices)
+        for lo in range(0, len(indices), step):
+            chunk = indices[lo:lo + step]
+            groups.append(
+                PlanGroup(key, tuple(chunk), batched=len(chunk) >= 2)
+            )
     for i in sorted(fallback):
         groups.append(
             PlanGroup(_group_key(coerced[i]), (i,), batched=False)
         )
-    return MeasurementPlan(tasks=coerced, groups=tuple(groups))
+    return MeasurementPlan(
+        tasks=coerced,
+        groups=tuple(groups),
+        max_group_size=max_group_size,
+    )
 
 
 def _needs_retest(verdict) -> bool:
@@ -1221,9 +1291,29 @@ class MeasurementScheduler:
         return self.engine.worker_pool
 
     # ------------------------------------------------------------------
-    def plan(self, tasks: Sequence) -> MeasurementPlan:
-        """Group tasks into compatible sub-batches (introspectable)."""
-        return plan_measurements(tasks)
+    def _release_on_error(self) -> None:
+        """Error-path cleanup: never strand worker processes.
+
+        A raise anywhere between planning and execution (a malformed
+        task in ``plan_measurements``, a domain error mid-run, a
+        KeyboardInterrupt) used to leave an owned engine's spawned pool
+        alive with no one responsible for it unless the caller used the
+        context-manager form.  Closing here is safe and cheap: the
+        engine stays usable — its next fan-out respawns transparently.
+        """
+        if self._owns_engine:
+            self.engine.close()
+
+    def plan(
+        self, tasks: Sequence, max_group_size: Optional[int] = None
+    ) -> MeasurementPlan:
+        """Group tasks into compatible sub-batches (introspectable).
+
+        ``max_group_size`` caps tasks per sub-batch — extra group
+        boundaries mean finer persistence/checkpoint granularity, same
+        results (see :func:`plan_measurements`).
+        """
+        return plan_measurements(tasks, max_group_size=max_group_size)
 
     def run(
         self,
@@ -1231,6 +1321,8 @@ class MeasurementScheduler:
         allow_failures: bool = False,
         pipeline: Union[bool, str] = "auto",
         resume: bool = False,
+        max_group_size: Optional[int] = None,
+        on_group_end: Optional[Callable[[int, int], None]] = None,
     ) -> List:
         """Plan and execute a heterogeneous screen, results in task order.
 
@@ -1242,19 +1334,28 @@ class MeasurementScheduler:
         fan-out on the pool — see :meth:`MeasurementPlan.run`.
         ``resume=True`` (store-backed engines) loads already-persisted
         tasks and recomputes only the missing ones.
+        ``max_group_size`` / ``on_group_end`` add checkpoint boundaries
+        and a per-boundary hook (see :func:`plan_measurements`).
         """
-        return self.plan(tasks).run(
-            self.engine,
-            allow_failures=allow_failures,
-            pipeline=pipeline,
-            resume=resume,
-        )
+        try:
+            return self.plan(tasks, max_group_size=max_group_size).run(
+                self.engine,
+                allow_failures=allow_failures,
+                pipeline=pipeline,
+                resume=resume,
+                on_group_end=on_group_end,
+            )
+        except BaseException:
+            self._release_on_error()
+            raise
 
     def run_report(
         self,
         tasks: Sequence,
         allow_failures: bool = False,
         resume: bool = False,
+        max_group_size: Optional[int] = None,
+        on_group_end: Optional[Callable[[int, int], None]] = None,
     ) -> RunReport:
         """Plan and execute a screen with graceful degradation.
 
@@ -1262,9 +1363,18 @@ class MeasurementScheduler:
         in the returned :class:`RunReport` instead of aborting the lot
         — see :meth:`MeasurementPlan.run_report`.
         """
-        return self.plan(tasks).run_report(
-            self.engine, allow_failures=allow_failures, resume=resume
-        )
+        try:
+            return self.plan(
+                tasks, max_group_size=max_group_size
+            ).run_report(
+                self.engine,
+                allow_failures=allow_failures,
+                resume=resume,
+                on_group_end=on_group_end,
+            )
+        except BaseException:
+            self._release_on_error()
+            raise
 
     def run_retest(
         self,
@@ -1280,9 +1390,13 @@ class MeasurementScheduler:
         prior verdict stands (the caller merges prior measurements over
         them) — see :func:`plan_retest`.
         """
-        return plan_retest(tasks, verdicts, retest_rngs=retest_rngs).run(
-            self.engine, allow_failures=allow_failures, pipeline=pipeline
-        )
+        try:
+            return plan_retest(tasks, verdicts, retest_rngs=retest_rngs).run(
+                self.engine, allow_failures=allow_failures, pipeline=pipeline
+            )
+        except BaseException:
+            self._release_on_error()
+            raise
 
     def map_sweep(
         self,
@@ -1292,7 +1406,11 @@ class MeasurementScheduler:
         rngs: Optional[Sequence[GeneratorLike]] = None,
     ) -> List:
         """Free-form sweep on the engine (persistent pool underneath)."""
-        return self.engine.map_sweep(fn, tasks, seed=seed, rngs=rngs)
+        try:
+            return self.engine.map_sweep(fn, tasks, seed=seed, rngs=rngs)
+        except BaseException:
+            self._release_on_error()
+            raise
 
     def close(self) -> None:
         """Release the pool of an engine this scheduler created."""

@@ -186,6 +186,8 @@ def run_production(
     scheduler: Optional[MeasurementScheduler] = None,
     resume: bool = False,
     report: bool = False,
+    max_group_devices: Optional[int] = None,
+    checkpoint=None,
 ) -> ProductionResult:
     """Simulate a lot and sweep the guard band.
 
@@ -220,14 +222,26 @@ def run_production(
     outcome needs every device measured, so a screen that dead-letters
     a device past all recovery raises :class:`~repro.errors.
     ExecutionError` instead of screening a partial lot.
+
+    ``max_group_devices`` splits the lot's planned sub-batches to at
+    most that many devices each, and ``checkpoint`` (an
+    ``on_group_end(group_index, n_groups)`` callable) fires after each
+    sub-batch commits — together they are the measurement service's
+    drain/preemption points: a checkpoint that raises aborts the rest
+    of the screen with every finished sub-batch already persisted, and
+    a later ``resume=True`` pass measures only what is missing.  Both
+    force the planned path; results stay bit-identical to an unchunked
+    screen (each device carries its own generator).
     """
     if n_devices < 4:
         raise ConfigurationError(f"need >= 4 devices, got {n_devices}")
     if nf_spread_db <= 0:
         raise ConfigurationError(f"spread must be > 0, got {nf_spread_db}")
-    if report and multi_device_batch is False:
+    chunked = max_group_devices is not None or checkpoint is not None
+    if (report or chunked) and multi_device_batch is False:
         raise ConfigurationError(
-            "report=True needs the planned path; it cannot combine with "
+            "report=True, max_group_devices and checkpoint need the "
+            "planned path; they cannot combine with "
             "multi_device_batch=False"
         )
     sched = as_scheduler(engine=engine, scheduler=scheduler)
@@ -243,8 +257,12 @@ def run_production(
         # rebuild benches inside the worker, out of the key's reach.
         # A write-capable store therefore forces the planned path (its
         # results publish worker-direct on the process backend anyway).
-        multi_device_batch = report or resume or eng.cache_writes or not (
-            eng.backend == "process" and homogeneous
+        multi_device_batch = (
+            report
+            or resume
+            or chunked
+            or eng.cache_writes
+            or not (eng.backend == "process" and homogeneous)
         )
     # Key the lot before drawing it: drawing spawns children off a
     # generator seed, and the key must address the pre-draw lineage
@@ -267,10 +285,12 @@ def run_production(
         tasks = _lot_tasks(
             true_values, samples_by_device, nperseg_by_device, device_rngs
         )
-        plan = sched.plan(tasks)
+        plan = sched.plan(tasks, max_group_size=max_group_devices)
         n_plan_groups = plan.n_groups
         if report:
-            screen_report = plan.run_report(eng, resume=resume)
+            screen_report = plan.run_report(
+                eng, resume=resume, on_group_end=checkpoint
+            )
             results = screen_report.results
             missing = [i for i, r in enumerate(results) if r is None]
             if missing:
@@ -280,7 +300,7 @@ def run_production(
                     f"{[f.describe() for f in screen_report.dead]}"
                 )
         else:
-            results = plan.run(eng, resume=resume)
+            results = plan.run(eng, resume=resume, on_group_end=checkpoint)
         measured_values = [r.noise_figure_db for r in results]
         estimator: Optional[OneBitNoiseFigureBIST] = tasks[-1].estimator
     else:

@@ -17,7 +17,10 @@ from repro.faults.injector import (
     InjectedTaskError,
     InjectionRecord,
     active_injector,
+    client_disconnect_fault,
     inject,
+    job_deadline_fault,
+    journal_torn_fault,
 )
 from repro.faults.plan import FAULT_PLANS, SITES, FaultPlan, resolve_plan
 
@@ -30,6 +33,9 @@ __all__ = [
     "InjectedTaskError",
     "InjectionRecord",
     "active_injector",
+    "client_disconnect_fault",
     "inject",
+    "job_deadline_fault",
+    "journal_torn_fault",
     "resolve_plan",
 ]

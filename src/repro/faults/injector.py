@@ -41,9 +41,12 @@ __all__ = [
     "InjectionRecord",
     "InjectedTaskError",
     "active_injector",
+    "client_disconnect_fault",
     "faulted_call",
     "inject",
     "index_torn_fault",
+    "job_deadline_fault",
+    "journal_torn_fault",
     "shm_fault",
     "store_fault",
     "store_lock_fault",
@@ -192,6 +195,31 @@ class FaultInjector:
         seq = self._sequence("index_torn_write")
         return self._draw("index_torn_write", (seq,), f"append={seq}")
 
+    def journal_torn_directive(self) -> bool:
+        """Whether this service-journal append should land torn."""
+        seq = self._sequence("journal_torn_write")
+        return self._draw("journal_torn_write", (seq,), f"append={seq}")
+
+    def client_disconnect_directive(self) -> bool:
+        """Whether this service response should be lost to a dropped
+        connection (the request itself — and any journal append it
+        caused — has already happened)."""
+        seq = self._sequence("client_disconnect")
+        return self._draw("client_disconnect", (seq,), f"response={seq}")
+
+    def job_deadline_directive(self, job_key: str, check_seq: int) -> bool:
+        """Whether a job's deadline should be forced expired at this
+        checkpoint.
+
+        Keyed by the job's idempotency key plus the checkpoint ordinal,
+        so a *resubmitted* job (same key, fresh checks) redraws the same
+        early expiries while later checkpoints draw independently.
+        """
+        prefix = int(str(job_key)[:15] or "0", 16)
+        coords = (prefix, int(check_seq))
+        detail = f"job={str(job_key)[:12]} check={check_seq}"
+        return self._draw("job_deadline", coords, detail)
+
     # ------------------------------------------------------------------
     def counts(self) -> Dict[str, int]:
         """Fired injections per site (only sites that fired)."""
@@ -287,6 +315,27 @@ def index_torn_fault() -> bool:
     if _ACTIVE is None:
         return False
     return _ACTIVE.index_torn_directive()
+
+
+def journal_torn_fault() -> bool:
+    """Whether the current service-journal append should be torn."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.journal_torn_directive()
+
+
+def client_disconnect_fault() -> bool:
+    """Whether the current service response should be dropped."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.client_disconnect_directive()
+
+
+def job_deadline_fault(job_key: str, check_seq: int) -> bool:
+    """Whether a job's deadline should be forced expired right now."""
+    if _ACTIVE is None:
+        return False
+    return _ACTIVE.job_deadline_directive(job_key, check_seq)
 
 
 # ----------------------------------------------------------------------

@@ -37,6 +37,14 @@ SITES = (
                         # must back off and retry
     "index_torn_write", # a store-index append is cut mid-record, as a
                         # crash between write() and the record boundary
+    "journal_torn_write",  # a service-journal append is cut mid-record,
+                        # as a daemon SIGKILLed between write() and the
+                        # record boundary would leave it
+    "client_disconnect",  # a service client connection drops before the
+                        # response is written (network blip, client
+                        # crash); the accepted job must survive
+    "job_deadline",     # a service job's wall-clock budget is forced
+                        # to expire at its next checkpoint
 )
 
 SITE_IDS: Dict[str, int] = {site: i for i, site in enumerate(SITES)}
@@ -62,6 +70,9 @@ class FaultPlan:
     shm_publish: float = 0.0
     store_lock: float = 0.0
     index_torn_write: float = 0.0
+    journal_torn_write: float = 0.0
+    client_disconnect: float = 0.0
+    job_deadline: float = 0.0
     max_per_site: Optional[int] = None
     hang_seconds: float = 30.0
 
@@ -117,6 +128,11 @@ FAULT_PLANS: Dict[str, FaultPlan] = {
     "hangs": FaultPlan(worker_hang=0.20, hang_seconds=20.0),
     "store": FaultPlan(store_truncate=0.4, store_corrupt=0.4),
     "locks": FaultPlan(store_lock=0.5, index_torn_write=0.4),
+    "service": FaultPlan(
+        journal_torn_write=0.30,
+        client_disconnect=0.25,
+        task_exception=0.15,
+    ),
     "storm": FaultPlan(
         worker_crash=0.15,
         worker_hang=0.05,
@@ -126,6 +142,8 @@ FAULT_PLANS: Dict[str, FaultPlan] = {
         shm_publish=0.25,
         store_lock=0.20,
         index_torn_write=0.15,
+        journal_torn_write=0.15,
+        client_disconnect=0.10,
         hang_seconds=20.0,
     ),
 }

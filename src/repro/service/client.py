@@ -1,0 +1,199 @@
+"""Synchronous service client: sockets in, idempotent resubmits out.
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol of
+:mod:`repro.service.protocol` over a Unix or TCP socket.  It is the
+client the CLI ``submit`` subcommand and the test/chaos harnesses use;
+nothing in it is async — a blocking socket with a timeout is exactly
+the right tool for "send one line, read one line".
+
+The interesting part is :meth:`ServiceClient.submit_resilient`: the
+daemon journals an accepted job *before* acknowledging it, so a
+connection lost between request and response (the
+``client_disconnect`` fault site, a network blip, a daemon SIGKILL)
+leaves the client unsure whether its job was accepted.  Because job
+keys are content-addressed idempotency tokens, the recovery is simply
+to reconnect and resubmit: the daemon answers ``duplicate`` (still
+running) or ``cached`` (already finished) instead of recomputing.
+"""
+
+from __future__ import annotations
+
+import socket
+import time
+from typing import Optional, Tuple, Union
+
+from repro.errors import ResourceError
+from repro.service.protocol import JobSpec, decode_line, encode_line
+
+__all__ = ["ServiceClient", "ServiceConnectionError", "wait_for_server"]
+
+Address = Union[str, Tuple[str, int]]
+
+
+class ServiceConnectionError(ResourceError):
+    """The daemon is unreachable or hung up mid-exchange."""
+
+
+class ServiceClient:
+    """One blocking connection to the measurement daemon."""
+
+    def __init__(self, address: Address, timeout_s: float = 30.0):
+        self.address = address
+        self.timeout_s = float(timeout_s)
+        self._sock: Optional[socket.socket] = None
+        self._fh = None
+
+    # ------------------------------------------------------------------
+    def _connect(self):
+        if self._fh is not None:
+            return self._fh
+        try:
+            if isinstance(self.address, str):
+                sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+                sock.settimeout(self.timeout_s)
+                sock.connect(self.address)
+            else:
+                host, port = self.address
+                sock = socket.create_connection(
+                    (host, int(port)), timeout=self.timeout_s
+                )
+        except OSError as exc:
+            raise ServiceConnectionError(
+                f"cannot reach service at {self.address!r}: {exc}"
+            ) from None
+        self._sock = sock
+        self._fh = sock.makefile("rwb")
+        return self._fh
+
+    def close(self) -> None:
+        for closable in (self._fh, self._sock):
+            if closable is not None:
+                try:
+                    closable.close()
+                except OSError:  # pragma: no cover - raced teardown
+                    pass
+        self._fh = None
+        self._sock = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    def _read_line(self, timeout_s: Optional[float] = None) -> dict:
+        if timeout_s is not None and self._sock is not None:
+            self._sock.settimeout(timeout_s)
+        try:
+            line = self._fh.readline()
+        except (OSError, socket.timeout) as exc:
+            self.close()
+            raise ServiceConnectionError(
+                f"read from service failed: {exc}"
+            ) from None
+        finally:
+            if timeout_s is not None and self._sock is not None:
+                self._sock.settimeout(self.timeout_s)
+        if not line:
+            self.close()
+            raise ServiceConnectionError(
+                "service hung up before responding"
+            )
+        return decode_line(line)
+
+    def request(self, message: dict) -> dict:
+        """One request line out, one response line back."""
+        fh = self._connect()
+        try:
+            fh.write(encode_line(message))
+            fh.flush()
+        except OSError as exc:
+            self.close()
+            raise ServiceConnectionError(
+                f"write to service failed: {exc}"
+            ) from None
+        return self._read_line()
+
+    # ------------------------------------------------------------------
+    def ping(self) -> bool:
+        return bool(self.request({"op": "ping"}).get("pong"))
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"}).get("report", {})
+
+    def status(self, key: str) -> Optional[dict]:
+        return self.request({"op": "status", "key": key}).get("job")
+
+    def drain(self) -> dict:
+        return self.request({"op": "drain"})
+
+    def submit(
+        self,
+        spec: JobSpec,
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
+    ) -> dict:
+        """Submit one job; optionally block for its terminal state.
+
+        Returns the ack (``status`` in ``accepted`` / ``duplicate`` /
+        ``cached`` / ``rejected``); with ``wait`` the terminal job
+        view is merged in under ``"job"``.
+        """
+        ack = self.request(
+            {"op": "submit", "job": spec.canonical(), "wait": wait}
+        )
+        if (
+            wait
+            and ack.get("status") in ("accepted", "duplicate")
+            and "job" not in ack
+        ):
+            result = self._read_line(timeout_s=wait_timeout_s)
+            ack = dict(ack)
+            ack["job"] = result.get("job")
+        return ack
+
+    def submit_resilient(
+        self,
+        spec: JobSpec,
+        wait: bool = False,
+        wait_timeout_s: Optional[float] = None,
+        attempts: int = 5,
+        backoff_s: float = 0.2,
+    ) -> dict:
+        """Submit with reconnect-and-resubmit on lost connections.
+
+        Safe because submission is idempotent: a resubmitted key is
+        deduped against the in-flight or completed job, so at most one
+        execution happens no matter how many times the ack was lost.
+        """
+        last: Optional[ServiceConnectionError] = None
+        for attempt in range(max(1, int(attempts))):
+            try:
+                return self.submit(
+                    spec, wait=wait, wait_timeout_s=wait_timeout_s
+                )
+            except ServiceConnectionError as exc:
+                last = exc
+                self.close()
+                time.sleep(backoff_s * (attempt + 1))
+        raise last  # type: ignore[misc]
+
+
+def wait_for_server(
+    address: Address, timeout_s: float = 10.0, poll_s: float = 0.05
+) -> None:
+    """Block until a daemon answers pings at ``address`` (or raise)."""
+    deadline = time.monotonic() + float(timeout_s)
+    while True:
+        try:
+            with ServiceClient(address, timeout_s=2.0) as client:
+                if client.ping():
+                    return
+        except ServiceConnectionError:
+            pass
+        if time.monotonic() > deadline:
+            raise ServiceConnectionError(
+                f"no service at {address!r} within {timeout_s}s"
+            )
+        time.sleep(poll_s)

@@ -1,0 +1,404 @@
+"""Write-ahead job journal: accepted jobs survive a SIGKILLed daemon.
+
+The supervisor appends one record *before* acknowledging a submission
+and one more when the job reaches a terminal state, so the set of
+acknowledged-but-incomplete jobs is always recoverable from disk.  A
+restarted daemon replays the journal, re-enqueues every incomplete job
+and re-runs it with the store's ``resume=True`` machinery — finished
+sub-batches are loaded, only the missing work is recomputed, and the
+merged outcome is bit-identical to an uninterrupted run.
+
+Layout (under ``<service root>/``, default ``<store root>/service/``)::
+
+    lock                 # flock serializing appends / rotation
+    journal-00000000.jrn # 16-byte header + variable-length records
+    journal-00000001.jrn # appended after a rotation; ids only grow
+
+Each segment opens with a magic/version header; each record is::
+
+    length   u32   payload byte count
+    crc      u32   zlib.crc32 over the payload
+    payload  ...   one JSON object (utf-8)
+
+Records are variable-length (a job spec is arbitrary JSON), so torn
+tails are caught by *framing plus checksum* instead of the store
+index's fixed-size trick: replay walks record to record and stops at
+the first frame whose length runs past EOF or whose payload fails the
+CRC — everything before the tear is intact, everything after never
+happened (it was never acknowledged).  The next locked append
+truncates the file back to the last valid boundary before writing, so
+the journal self-heals exactly like ``store/index``.  The
+``journal_torn_write`` fault site cuts an append mid-record to
+exercise this path deterministically.
+
+Record payloads are ``{"rec": "accept" | "done", "key": ..., ...}``;
+replay is last-state-wins per key, so duplicate accepts (a re-journal
+after a crash between append and ack) and duplicate completions
+(rotation checkpoints) are idempotent.
+
+Rotation checkpoints the *incomplete* set into a fresh segment and
+unlinks the older ones — a crash between publish and unlink leaves
+duplicate records, which replay idempotently.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import os
+import pathlib
+import re
+import struct
+import tempfile
+import zlib
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.faults.injector import journal_torn_fault
+from repro.service.protocol import JobSpec, parse_job_spec
+from repro.store.locks import file_lock
+
+__all__ = ["JobJournal", "JournalEntry", "JournalState"]
+
+_LOG = logging.getLogger("repro.service.journal")
+
+_MAGIC = b"REPROJRN"
+_VERSION = 1
+_HEADER_LEN = 16
+_FRAME = struct.Struct("<II")  # length, crc32
+
+_SEGMENT_RE = re.compile(r"^journal-(\d{8})\.jrn$")
+
+#: Terminal job states a ``done`` record may carry.
+DONE_STATUSES = ("ok", "failed", "deadline", "dropped")
+
+
+def _header() -> bytes:
+    return _MAGIC + struct.pack("<II", _VERSION, 0)
+
+
+def _frame(payload: bytes) -> bytes:
+    return _FRAME.pack(len(payload), zlib.crc32(payload)) + payload
+
+
+@dataclass
+class JournalEntry:
+    """One job's journaled lifecycle state after replay."""
+
+    key: str
+    spec: JobSpec
+    status: str = "accepted"  # accepted | ok | failed | deadline | dropped
+    accepted_at: float = 0.0
+    result: Optional[dict] = None
+    error: str = ""
+
+    @property
+    def incomplete(self) -> bool:
+        """Acknowledged but never finished — must be resumed."""
+        return self.status == "accepted"
+
+
+@dataclass
+class JournalState:
+    """What a replay recovered, plus how much it had to skip."""
+
+    entries: Dict[str, JournalEntry] = field(default_factory=dict)
+    n_records: int = 0
+    n_skipped: int = 0  # torn/corrupt frames dropped at the tail
+    n_segments: int = 0
+
+    @property
+    def incomplete(self) -> List[JournalEntry]:
+        """Jobs to re-enqueue, in first-accepted order."""
+        return [e for e in self.entries.values() if e.incomplete]
+
+
+class JobJournal:
+    """Append-only checksummed job journal with torn-tail recovery.
+
+    Single-writer by design (one daemon owns a service root); the
+    flock guards the restart race where a new daemon starts while the
+    old one is still flushing.  ``fsync`` (default on) makes accepts
+    durable against power loss, not just process death; tests turn it
+    off for speed.
+    """
+
+    def __init__(
+        self, root: Union[str, pathlib.Path], fsync: bool = True
+    ):
+        self.root = pathlib.Path(root)
+        self.fsync = bool(fsync)
+        #: (path, valid byte length) of the active segment, cached so
+        #: steady-state appends skip the full record walk.  Invalidated
+        #: whenever the on-disk size disagrees (another writer, or a
+        #: tear we have not measured yet).
+        self._tail: Optional[tuple] = None
+
+    # ------------------------------------------------------------------
+    def _lock_path(self) -> pathlib.Path:
+        return self.root / "lock"
+
+    def _segments(self) -> List[pathlib.Path]:
+        if not self.root.is_dir():
+            return []
+        found = []
+        for name in os.listdir(self.root):
+            m = _SEGMENT_RE.match(name)
+            if m:
+                found.append((int(m.group(1)), self.root / name))
+        return [path for _, path in sorted(found)]
+
+    def _segment_path(self, seg_id: int) -> pathlib.Path:
+        return self.root / f"journal-{seg_id:08d}.jrn"
+
+    def initialize(self) -> pathlib.Path:
+        """Create the journal directory and first segment if missing."""
+        self.root.mkdir(parents=True, exist_ok=True)
+        segments = self._segments()
+        if segments:
+            return segments[-1]
+        first = self._segment_path(0)
+        with file_lock(self._lock_path()):
+            if not first.exists():
+                fd, tmp = tempfile.mkstemp(
+                    dir=self.root, prefix=".jrn-", suffix=".tmp"
+                )
+                try:
+                    with os.fdopen(fd, "wb") as fh:
+                        fh.write(_header())
+                        fh.flush()
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, first)
+                except BaseException:
+                    try:
+                        os.unlink(tmp)
+                    except OSError:
+                        pass
+                    raise
+        return first
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _scan(path: pathlib.Path) -> tuple:
+        """Walk one segment: ``(records, valid_end, n_skipped)``.
+
+        Stops at the first frame that is torn (length past EOF) or
+        whose payload fails the CRC / JSON decode; ``valid_end`` is the
+        byte offset of the last good record boundary.
+        """
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return [], _HEADER_LEN, 0
+        if len(data) < _HEADER_LEN or data[:8] != _MAGIC:
+            _LOG.warning("journal segment %s has a bad header", path.name)
+            return [], _HEADER_LEN, 1
+        records = []
+        offset = _HEADER_LEN
+        n_skipped = 0
+        while offset + _FRAME.size <= len(data):
+            length, crc = _FRAME.unpack_from(data, offset)
+            start = offset + _FRAME.size
+            end = start + length
+            if end > len(data):
+                n_skipped += 1
+                break  # torn tail: frame promises more bytes than exist
+            payload = data[start:end]
+            if zlib.crc32(payload) != crc:
+                n_skipped += 1
+                break  # corrupt frame; nothing after it is trustworthy
+            try:
+                records.append(json.loads(payload.decode("utf-8")))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                n_skipped += 1
+                break
+            offset = end
+        if offset < len(data) and n_skipped == 0:
+            n_skipped = 1  # trailing fragment shorter than a frame header
+        return records, offset, n_skipped
+
+    def _append(self, payload: dict) -> None:
+        """One locked, torn-tail-repairing, optionally fsynced append."""
+        active = self.initialize()
+        encoded = _frame(
+            json.dumps(
+                payload, separators=(",", ":"), sort_keys=True
+            ).encode("utf-8")
+        )
+        torn = journal_torn_fault()
+        if torn:
+            # Simulate a SIGKILL mid-write: land a prefix of the frame.
+            encoded = encoded[: max(1, len(encoded) // 2)]
+        with file_lock(self._lock_path()):
+            size = active.stat().st_size
+            if self._tail is not None and self._tail[0] == active:
+                valid_end = self._tail[1]
+                if valid_end != size:
+                    valid_end = self._scan(active)[1]
+            else:
+                valid_end = self._scan(active)[1] if size > _HEADER_LEN \
+                    else _HEADER_LEN
+            with open(active, "r+b") as fh:
+                if valid_end != size:
+                    fh.truncate(valid_end)  # heal the torn tail
+                fh.seek(valid_end)
+                fh.write(encoded)
+                fh.flush()
+                if self.fsync:
+                    os.fsync(fh.fileno())
+            if torn:
+                # The frame on disk is garbage; the valid boundary is
+                # still where it was, so the next append re-truncates.
+                self._tail = (active, valid_end)
+            else:
+                self._tail = (active, valid_end + len(encoded))
+
+    # ------------------------------------------------------------------
+    # Record appends
+    # ------------------------------------------------------------------
+    def record_accept(
+        self, key: str, spec: JobSpec, accepted_at: float
+    ) -> None:
+        """Journal one accepted job — called *before* the ack is sent."""
+        self._append(
+            {
+                "rec": "accept",
+                "key": str(key),
+                "job": spec.canonical(),
+                "t": float(accepted_at),
+            }
+        )
+
+    def record_done(
+        self,
+        key: str,
+        status: str,
+        result: Optional[dict] = None,
+        error: str = "",
+    ) -> None:
+        """Journal one job's terminal state."""
+        if status not in DONE_STATUSES:
+            raise ConfigurationError(
+                f"done status must be one of {sorted(DONE_STATUSES)}, "
+                f"got {status!r}"
+            )
+        self._append(
+            {
+                "rec": "done",
+                "key": str(key),
+                "status": status,
+                "result": result,
+                "error": str(error),
+            }
+        )
+
+    # ------------------------------------------------------------------
+    def replay(self) -> JournalState:
+        """Recover the journaled job set (last state per key wins)."""
+        state = JournalState()
+        for path in self._segments():
+            records, _, n_skipped = self._scan(path)
+            state.n_segments += 1
+            state.n_skipped += n_skipped
+            for record in records:
+                state.n_records += 1
+                key = record.get("key")
+                rec = record.get("rec")
+                if not isinstance(key, str):
+                    state.n_skipped += 1
+                    continue
+                if rec == "accept":
+                    if key not in state.entries:
+                        try:
+                            spec = parse_job_spec(record.get("job"))
+                        except ConfigurationError:
+                            state.n_skipped += 1
+                            continue
+                        state.entries[key] = JournalEntry(
+                            key=key,
+                            spec=spec,
+                            accepted_at=float(record.get("t", 0.0)),
+                        )
+                    else:
+                        # Duplicate accept (re-submission of a live
+                        # key, or a rotation checkpoint): idempotent.
+                        pass
+                elif rec == "done" and key in state.entries:
+                    entry = state.entries[key]
+                    entry.status = str(record.get("status", "failed"))
+                    entry.result = record.get("result")
+                    entry.error = str(record.get("error", ""))
+                else:
+                    state.n_skipped += 1
+        return state
+
+    # ------------------------------------------------------------------
+    def rotate(self) -> int:
+        """Compact: checkpoint incomplete jobs into a fresh segment.
+
+        Completed jobs' records are dropped (their results live in the
+        store); incomplete jobs are re-written as ``accept`` records.
+        Returns the number of segments removed.  Crash-safe: the new
+        segment is published via ``os.replace`` before any unlink, and
+        leftover duplicates replay idempotently.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        with file_lock(self._lock_path()):
+            old = self._segments()
+            if not old:
+                return 0
+            state = self.replay()
+            last_id = int(_SEGMENT_RE.match(old[-1].name).group(1))
+            fresh = self._segment_path(last_id + 1)
+            fd, tmp = tempfile.mkstemp(
+                dir=self.root, prefix=".jrn-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    fh.write(_header())
+                    for entry in state.incomplete:
+                        fh.write(
+                            _frame(
+                                json.dumps(
+                                    {
+                                        "rec": "accept",
+                                        "key": entry.key,
+                                        "job": entry.spec.canonical(),
+                                        "t": entry.accepted_at,
+                                    },
+                                    separators=(",", ":"),
+                                    sort_keys=True,
+                                ).encode("utf-8")
+                            )
+                        )
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, fresh)
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+            removed = 0
+            for path in old:
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:  # pragma: no cover - raced unlink
+                    pass
+            self._tail = None
+            return removed
+
+    def stats(self) -> dict:
+        """JSON-ready journal summary."""
+        state = self.replay()
+        return {
+            "segments": state.n_segments,
+            "records": state.n_records,
+            "skipped": state.n_skipped,
+            "jobs": len(state.entries),
+            "incomplete": len(state.incomplete),
+            "bytes": sum(p.stat().st_size for p in self._segments()),
+        }

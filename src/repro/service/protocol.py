@@ -1,0 +1,198 @@
+"""Wire protocol and job specifications of the measurement service.
+
+The daemon speaks newline-delimited JSON over a Unix or TCP socket:
+every request is one JSON object on one line, every response is one
+JSON object on one line, in order.  The framing is deliberately boring
+— any language with a socket and a JSON parser is a client — because
+the service's value is its failure behavior, not its RPC layer.
+
+Requests carry an ``op``:
+
+``submit``
+    ``{"op": "submit", "job": {...}, "wait": bool}`` — enqueue one
+    job.  The ack reports the admission verdict (``accepted`` /
+    ``duplicate`` / ``cached`` / ``rejected``) plus the job's
+    idempotency key; with ``wait`` the connection stays open and a
+    second line delivers the terminal result.
+``status``
+    one job's lifecycle state by key.
+``stats``
+    the daemon's :class:`~repro.service.supervisor.ServiceReport`.
+``drain``
+    ask the daemon to drain and exit (what SIGTERM does, remotely).
+``ping``
+    liveness probe.
+
+A :class:`JobSpec` is the client-side description of work: ``kind``
+(``measure`` / ``lot`` / ``retest``), JSON-safe ``params`` forwarded to
+the matching experiments-layer entry point, and an optional wall-clock
+``deadline_s`` budget.  Its :meth:`JobSpec.key` is the store-style
+SHA-256 digest of the canonical spec — the idempotency token admission
+control dedups on and the journal records jobs under.  Two clients
+submitting the same spec share one execution and one stored result.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.errors import ConfigurationError
+from repro.store.keys import SCHEMA_VERSION, digest
+
+__all__ = [
+    "JOB_KINDS",
+    "PRIORITIES",
+    "JobSpec",
+    "ProtocolError",
+    "decode_line",
+    "encode_line",
+    "parse_job_spec",
+    "parse_request",
+]
+
+#: Job kinds the service executes, mapped to admission priorities
+#: (lower value = more urgent).  Interactive single-device ``measure``
+#: jobs preempt bulk work at sub-batch boundaries; ``retest`` outranks
+#: fresh ``lot`` screens because it blocks a lot's disposition.
+PRIORITIES: Dict[str, int] = {"measure": 0, "retest": 1, "lot": 2}
+JOB_KINDS = tuple(PRIORITIES)
+
+_OPS = ("submit", "status", "stats", "drain", "ping")
+
+#: Upper bound on one request line; a client writing an unbounded blob
+#: must not be able to balloon the daemon's memory.
+MAX_LINE_BYTES = 1 << 20
+
+
+class ProtocolError(ConfigurationError):
+    """A malformed request or response line."""
+
+
+def encode_line(message: dict) -> bytes:
+    """One JSON message as a newline-terminated wire line."""
+    return (
+        json.dumps(message, separators=(",", ":"), sort_keys=True) + "\n"
+    ).encode("utf-8")
+
+
+def decode_line(line: bytes) -> dict:
+    """Parse one wire line back into a message dict."""
+    if len(line) > MAX_LINE_BYTES:
+        raise ProtocolError(
+            f"request line exceeds {MAX_LINE_BYTES} bytes"
+        )
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable request line: {exc}") from None
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"request must be a JSON object, got {type(message).__name__}"
+        )
+    return message
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One unit of work a client asks the service to run.
+
+    ``params`` must be JSON-safe and are forwarded to the experiments
+    layer: a ``lot`` job maps onto :func:`~repro.experiments.
+    production.run_production`, ``retest`` onto
+    :func:`~repro.experiments.production.run_production_retest`, and
+    ``measure`` onto a single-device BIST measurement.  ``deadline_s``
+    is the job's wall-clock budget from *acceptance* — a layer above
+    the pool's per-task ``task_timeout_s`` (see docs/SERVICE.md).
+    """
+
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+    deadline_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.kind not in JOB_KINDS:
+            raise ConfigurationError(
+                f"job kind must be one of {sorted(JOB_KINDS)}, "
+                f"got {self.kind!r}"
+            )
+        if not isinstance(self.params, dict):
+            raise ConfigurationError(
+                f"job params must be a dict, got {type(self.params).__name__}"
+            )
+        if self.deadline_s is not None and float(self.deadline_s) <= 0:
+            raise ConfigurationError(
+                f"deadline_s must be > 0, got {self.deadline_s}"
+            )
+
+    @property
+    def priority(self) -> int:
+        return PRIORITIES[self.kind]
+
+    def canonical(self) -> dict:
+        """The JSON form both the wire and the journal carry.
+
+        The deadline is deliberately *excluded* from the idempotency
+        digest input (see :meth:`key`): the same work under a
+        different budget is still the same work.
+        """
+        return {
+            "kind": self.kind,
+            "params": self.params,
+            "deadline_s": (
+                None if self.deadline_s is None else float(self.deadline_s)
+            ),
+        }
+
+    def key(self) -> str:
+        """The spec's idempotency token — a store-style SHA-256 digest.
+
+        Admission control dedups in-flight jobs on it, the journal
+        records jobs under it, and a completed job's summary is cached
+        against it, so a resubmitted spec is answered without
+        recomputation.
+        """
+        return digest(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "service_job",
+                "job_kind": self.kind,
+                "params": self.params,
+            }
+        )
+
+
+def parse_job_spec(raw: Any) -> JobSpec:
+    """A :class:`JobSpec` from its wire/journal JSON form."""
+    if not isinstance(raw, dict):
+        raise ProtocolError(
+            f"job must be a JSON object, got {type(raw).__name__}"
+        )
+    unknown = set(raw) - {"kind", "params", "deadline_s"}
+    if unknown:
+        raise ProtocolError(f"unknown job fields: {sorted(unknown)}")
+    try:
+        return JobSpec(
+            kind=raw.get("kind", ""),
+            params=raw.get("params", {}) or {},
+            deadline_s=raw.get("deadline_s"),
+        )
+    except ConfigurationError as exc:
+        raise ProtocolError(str(exc)) from None
+
+
+def parse_request(message: dict) -> dict:
+    """Validate one decoded request message (op + op-specific fields)."""
+    op = message.get("op")
+    if op not in _OPS:
+        raise ProtocolError(
+            f"op must be one of {sorted(_OPS)}, got {op!r}"
+        )
+    if op == "submit":
+        message = dict(message)
+        message["job"] = parse_job_spec(message.get("job"))
+        message["wait"] = bool(message.get("wait", False))
+    if op == "status" and not isinstance(message.get("key"), str):
+        raise ProtocolError("status requires a string 'key'")
+    return message

@@ -551,3 +551,127 @@ class TestStoreScaleSubcommands:
         summary = json.loads(capsys.readouterr().out)
         assert summary["total_bytes"] <= budget
         assert summary["kinds"]["outcomes"]["n_entries"] == 1
+
+
+class TestServiceCommands:
+    def test_serve_parser_defaults(self):
+        args = build_parser().parse_args(["serve", "--store", "s"])
+        assert args.command == "serve"
+        assert args.store == "s"
+        assert args.backend == "process"
+        assert args.max_depth == 64
+        assert args.max_group_devices == 8
+        assert args.drain_grace == 30.0
+        assert args.no_fsync is False
+
+    def test_submit_parser(self):
+        args = build_parser().parse_args(
+            [
+                "submit",
+                "lot",
+                "--socket",
+                "svc.sock",
+                "--param",
+                "n_devices=4",
+                "--deadline",
+                "60",
+                "--wait",
+                "--json",
+            ]
+        )
+        assert args.kind == "lot"
+        assert args.param == ["n_devices=4"]
+        assert args.deadline == 60.0
+        assert args.wait is True
+        assert args.as_json is True
+
+    def test_submit_kind_restricted(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "destroy"])
+
+    def test_submit_requires_address(self, capsys):
+        assert main(["submit", "measure"]) == 2
+        assert "--socket" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_params_json(self, capsys):
+        assert (
+            main(
+                [
+                    "submit",
+                    "measure",
+                    "--socket",
+                    "s",
+                    "--params",
+                    "{not json",
+                ]
+            )
+            == 2
+        )
+        assert "bad --params JSON" in capsys.readouterr().err
+
+    def test_submit_rejects_bad_param_pair(self, capsys):
+        assert (
+            main(
+                ["submit", "measure", "--socket", "s", "--param", "seed"]
+            )
+            == 2
+        )
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_submit_unreachable_daemon_fails(self, tmp_path, capsys):
+        rc = main(
+            [
+                "submit",
+                "measure",
+                "--socket",
+                str(tmp_path / "nothing.sock"),
+                "--timeout",
+                "2",
+            ]
+        )
+        assert rc == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_submit_round_trip_against_daemon(self, tmp_path, capsys):
+        import json
+        import queue
+        import threading
+
+        from repro.service import MeasurementService, ServiceConfig
+
+        config = ServiceConfig(
+            store_root=str(tmp_path / "store"),
+            backend="serial",
+            journal_fsync=False,
+        )
+        service = MeasurementService(config)
+        ready: "queue.Queue" = queue.Queue()
+        thread = threading.Thread(
+            target=lambda: service.run(ready.put), daemon=True
+        )
+        thread.start()
+        socket_path = ready.get(timeout=30.0)["socket"]
+        try:
+            rc = main(
+                [
+                    "submit",
+                    "measure",
+                    "--socket",
+                    socket_path,
+                    "--param",
+                    "seed=3",
+                    "--param",
+                    "n_samples=16384",
+                    "--wait",
+                    "--json",
+                    "--timeout",
+                    "120",
+                ]
+            )
+            ack = json.loads(capsys.readouterr().out)
+            assert rc == 0
+            assert ack["status"] == "accepted"
+            assert ack["job"]["state"] == "ok"
+        finally:
+            service.request_drain()
+            thread.join(timeout=60.0)

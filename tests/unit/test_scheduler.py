@@ -782,3 +782,110 @@ class TestBackendTelemetry:
         # The pool initializer pins the parent's selection in every
         # worker, with FFT threads collapsed to workers=1.
         assert outcome.results == [("reference", ("numpy", 1))]
+
+
+class TestChunkedPlanning:
+    def test_max_group_size_splits_groups(self):
+        sim = small_sim()
+        tasks = [
+            MeasurementTask(sim, sim.make_estimator(), i) for i in range(5)
+        ]
+        plan = plan_measurements(tasks, max_group_size=2)
+        assert plan.max_group_size == 2
+        assert [len(g.indices) for g in plan.groups] == [2, 2, 1]
+        # Chunking preserves task order within the compatible set.
+        assert [g.indices for g in plan.groups] == [(0, 1), (2, 3), (4,)]
+
+    def test_bad_max_group_size_rejected(self):
+        sim = small_sim()
+        with pytest.raises(ConfigurationError):
+            plan_measurements(
+                [MeasurementTask(sim, sim.make_estimator(), 1)],
+                max_group_size=0,
+            )
+
+    def test_chunked_run_bit_identical_to_unchunked(self):
+        def build_tasks():
+            sim = small_sim()
+            return [
+                MeasurementTask(sim, sim.make_estimator(), i)
+                for i in range(4)
+            ]
+
+        sched = MeasurementScheduler()
+        whole = sched.run(build_tasks())
+        chunked = sched.run(build_tasks(), max_group_size=1)
+        for a, b in zip(whole, chunked):
+            assert a.noise_figure_db == b.noise_figure_db
+            assert a.y == b.y
+
+    def test_on_group_end_fires_per_sub_batch(self):
+        sim = small_sim()
+        tasks = [
+            MeasurementTask(sim, sim.make_estimator(), i) for i in range(5)
+        ]
+        calls = []
+        MeasurementScheduler().run(
+            tasks,
+            max_group_size=2,
+            on_group_end=lambda gi, n: calls.append((gi, n)),
+        )
+        assert calls == [(0, 3), (1, 3), (2, 3)]
+
+    def test_run_report_supports_checkpoint_hook(self):
+        sim = small_sim()
+        tasks = [
+            MeasurementTask(sim, sim.make_estimator(), i) for i in range(4)
+        ]
+        calls = []
+        report = MeasurementScheduler().run_report(
+            tasks,
+            max_group_size=2,
+            on_group_end=lambda gi, n: calls.append(gi),
+        )
+        assert len([r for r in report.results if r is not None]) == 4
+        assert len(report.groups) == 2
+        assert calls == [0, 1]
+
+
+class TestPoolReleaseOnError:
+    def _spy_close(self, sched):
+        closed = []
+        original = sched.engine.close
+
+        def close():
+            closed.append(True)
+            original()
+
+        sched.engine.close = close
+        return closed
+
+    def test_planning_error_releases_owned_engine(self):
+        sched = MeasurementScheduler()
+        closed = self._spy_close(sched)
+        with pytest.raises(ConfigurationError):
+            sched.run(["nonsense"])
+        assert closed
+
+    def test_checkpoint_hook_error_releases_owned_engine(self):
+        sim = small_sim()
+        tasks = [
+            MeasurementTask(sim, sim.make_estimator(), i) for i in range(2)
+        ]
+        sched = MeasurementScheduler()
+        closed = self._spy_close(sched)
+
+        def explode(gi, n):
+            raise RuntimeError("hook failure")
+
+        with pytest.raises(RuntimeError):
+            sched.run(tasks, max_group_size=1, on_group_end=explode)
+        assert closed
+
+    def test_wrapped_engine_is_not_closed_on_error(self):
+        eng = MeasurementEngine()
+        sched = MeasurementScheduler(engine=eng)
+        closed = self._spy_close(sched)
+        with pytest.raises(ConfigurationError):
+            sched.run(["nonsense"])
+        assert not closed  # the caller owns it; their shutdown decides

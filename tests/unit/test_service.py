@@ -1,0 +1,301 @@
+"""Tests for the measurement service: protocol + client/server round trip.
+
+The round-trip tests run a real :class:`MeasurementService` in a
+background thread (serial backend, fsync off) and talk to it through
+:class:`ServiceClient` over a Unix socket — the same path the CLI
+``serve`` / ``submit`` pair uses, minus the subprocess.
+"""
+
+import queue as queue_mod
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.faults import FaultPlan, inject
+from repro.service import (
+    MeasurementService,
+    ProtocolError,
+    ServiceClient,
+    ServiceConfig,
+    ServiceConnectionError,
+    wait_for_server,
+)
+from repro.service.protocol import (
+    JobSpec,
+    decode_line,
+    encode_line,
+    parse_job_spec,
+    parse_request,
+)
+
+N_SAMPLES = 2**14  # smallest record length the Y-factor fit tolerates
+NPERSEG = 2048
+
+
+class TestProtocol:
+    def test_line_round_trip(self):
+        message = {"op": "submit", "job": {"kind": "measure"}, "wait": True}
+        assert decode_line(encode_line(message)) == message
+
+    def test_oversized_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"x" * (2**20 + 1))
+
+    def test_non_object_line_rejected(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1,2,3]\n")
+        with pytest.raises(ProtocolError):
+            decode_line(b"not json\n")
+
+    def test_parse_request_validates_op(self):
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "halt"})
+        with pytest.raises(ProtocolError):
+            parse_request({"op": "status", "key": 7})
+
+    def test_parse_request_coerces_submit(self):
+        request = parse_request(
+            {"op": "submit", "job": {"kind": "lot", "params": {"seed": 1}}}
+        )
+        assert isinstance(request["job"], JobSpec)
+        assert request["wait"] is False
+
+    def test_unknown_job_fields_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse_job_spec({"kind": "measure", "nice": -20})
+
+    def test_key_excludes_deadline(self):
+        base = JobSpec(kind="measure", params={"seed": 5})
+        budgeted = JobSpec(
+            kind="measure", params={"seed": 5}, deadline_s=30.0
+        )
+        assert base.key() == budgeted.key()
+        assert base.key() != JobSpec(
+            kind="measure", params={"seed": 6}
+        ).key()
+
+    def test_bad_specs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobSpec(kind="destroy")
+        with pytest.raises(ConfigurationError):
+            JobSpec(kind="measure", deadline_s=0.0)
+        with pytest.raises(ConfigurationError):
+            JobSpec(kind="measure", params="seed=1")
+
+
+def _start_daemon(store_root, **overrides):
+    """One in-process daemon on a Unix socket; returns its handles."""
+    config = ServiceConfig(
+        store_root=str(store_root),
+        backend="serial",
+        journal_fsync=False,
+        max_group_devices=1,
+        **overrides,
+    )
+    service = MeasurementService(config)
+    ready: "queue_mod.Queue" = queue_mod.Queue()
+    codes: list = []
+    thread = threading.Thread(
+        target=lambda: codes.append(service.run(ready.put)), daemon=True
+    )
+    thread.start()
+    endpoint = ready.get(timeout=30.0)
+    address = endpoint.get("socket") or (
+        endpoint["host"],
+        endpoint["port"],
+    )
+    wait_for_server(address, timeout_s=10.0)
+    return service, thread, codes, address
+
+
+@pytest.fixture(scope="class")
+def daemon(request, tmp_path_factory):
+    store_root = tmp_path_factory.mktemp("service") / "store"
+    service, thread, codes, address = _start_daemon(store_root)
+    yield service, address
+    service.request_drain()
+    thread.join(timeout=60.0)
+    assert not thread.is_alive(), "daemon failed to drain"
+
+
+def measure_spec(seed, **extra):
+    params = {"seed": seed, "n_samples": N_SAMPLES, "nperseg": NPERSEG}
+    params.update(extra)
+    return JobSpec(kind="measure", params=params)
+
+
+class TestRoundTrip:
+    def test_ping_and_stats(self, daemon):
+        _, address = daemon
+        with ServiceClient(address) as client:
+            assert client.ping()
+            report = client.stats()
+        assert report["draining"] is False
+        assert report["kernel_backend"]
+
+    def test_submit_wait_returns_terminal_result(self, daemon):
+        _, address = daemon
+        spec = measure_spec(seed=100)
+        with ServiceClient(address) as client:
+            ack = client.submit(spec, wait=True, wait_timeout_s=120.0)
+        assert ack["status"] == "accepted"
+        assert ack["key"] == spec.key()
+        job = ack["job"]
+        assert job["state"] == "ok"
+        assert job["result"]["kind"] == "measure"
+        assert 0.0 < job["result"]["noise_figure_db"] < 20.0
+        type(self).first_nf = job["result"]["noise_figure_db"]
+
+    def test_resubmit_answered_from_cache(self, daemon):
+        service, address = daemon
+        before = service.n_cached_hits
+        with ServiceClient(address) as client:
+            ack = client.submit(measure_spec(seed=100), wait=True)
+        assert ack["status"] == "cached"
+        assert ack["job"]["result"]["noise_figure_db"] == self.first_nf
+        assert service.n_cached_hits == before + 1
+
+    def test_status_op(self, daemon):
+        _, address = daemon
+        spec = measure_spec(seed=100)
+        with ServiceClient(address) as client:
+            view = client.status(spec.key())
+            assert view["state"] == "ok"
+            assert client.status("ab" * 32) is None
+
+    def test_malformed_requests_get_error_lines(self, daemon):
+        _, address = daemon
+        with ServiceClient(address) as client:
+            response = client.request({"op": "halt"})
+            assert response["ok"] is False
+            assert "op" in response["error"]
+            response = client.request(
+                {"op": "submit", "job": {"kind": "destroy"}}
+            )
+            assert response["ok"] is False
+
+    def test_bad_params_fail_terminally(self, daemon):
+        _, address = daemon
+        spec = JobSpec(kind="lot", params={"no_such_param": 1})
+        with ServiceClient(address) as client:
+            ack = client.submit(spec, wait=True, wait_timeout_s=60.0)
+        assert ack["job"]["state"] == "failed"
+        assert "bad job spec" in ack["job"]["error"]
+
+    def test_deadline_expired_before_run(self, daemon):
+        service, address = daemon
+        spec = JobSpec(
+            kind="measure",
+            params={"seed": 101, "n_samples": N_SAMPLES},
+            deadline_s=1e-6,
+        )
+        with ServiceClient(address) as client:
+            ack = client.submit(spec, wait=True, wait_timeout_s=60.0)
+        assert ack["job"]["state"] == "deadline"
+        # Even a never-run expiry is journaled terminally: a restart
+        # must not resurrect a job whose budget is already spent.
+        assert service.journal.replay().entries[spec.key()].status == (
+            "deadline"
+        )
+
+    def test_journal_records_lifecycle(self, daemon):
+        service, _ = daemon
+        state = service.journal.replay()
+        done = state.entries[measure_spec(seed=100).key()]
+        assert done.status == "ok"
+        # Every completed job above has its terminal record.
+        assert all(
+            not entry.incomplete for entry in state.entries.values()
+        )
+
+
+class TestFaultSites:
+    def test_disconnect_then_resilient_resubmit(self, tmp_path):
+        service, thread, codes, address = _start_daemon(
+            tmp_path / "store"
+        )
+        try:
+            spec = measure_spec(seed=200)
+            with inject(FaultPlan(client_disconnect=1.0)) as injector:
+                with pytest.raises(ServiceConnectionError):
+                    ServiceClient(address).submit(spec)
+            assert injector.counts().get("client_disconnect") == 1
+            assert service.n_disconnect_drops == 1
+            # The job WAS accepted and journaled before the drop; the
+            # idempotent resubmit attaches to it instead of recomputing.
+            with ServiceClient(address) as client:
+                ack = client.submit_resilient(
+                    spec, wait=True, wait_timeout_s=120.0
+                )
+            assert ack["status"] in ("duplicate", "cached")
+            assert ack["job"]["state"] == "ok"
+            assert service.queue.n_accepted == 1
+        finally:
+            service.request_drain()
+            thread.join(timeout=60.0)
+        assert codes == [0]
+
+    def test_job_deadline_fault_kills_lot_at_checkpoint(self, tmp_path):
+        service, thread, codes, address = _start_daemon(
+            tmp_path / "store"
+        )
+        try:
+            spec = JobSpec(
+                kind="lot",
+                params={
+                    "n_devices": 4,
+                    "n_samples": N_SAMPLES,
+                    "nperseg": NPERSEG,
+                    "seed": 9,
+                },
+                deadline_s=3600.0,
+            )
+            with inject(FaultPlan(job_deadline=1.0)):
+                with ServiceClient(address) as client:
+                    ack = client.submit(
+                        spec, wait=True, wait_timeout_s=120.0
+                    )
+            assert ack["job"]["state"] == "deadline"
+            assert "budget" in ack["job"]["error"]
+            assert service.n_deadline_kills == 1
+            # The killed lot is terminal (budget spent is spent): its
+            # journal record is a done/deadline, not an incomplete.
+            entry = service.journal.replay().entries[spec.key()]
+            assert entry.status == "deadline"
+            # A fresh submission redoes the lot and resumes from the
+            # sub-batches the killed run committed.
+            with ServiceClient(address) as client:
+                ack = client.submit(spec, wait=True, wait_timeout_s=240.0)
+            assert ack["job"]["state"] == "ok"
+            assert len(ack["job"]["result"]["measured_nf_db"]) == 4
+        finally:
+            service.request_drain()
+            thread.join(timeout=60.0)
+        assert codes == [0]
+
+
+class TestDrainExitCodes:
+    def test_clean_drain_exits_zero(self, tmp_path):
+        service, thread, codes, address = _start_daemon(
+            tmp_path / "store"
+        )
+        with ServiceClient(address) as client:
+            response = client.drain()
+        assert response["ok"] is True
+        thread.join(timeout=60.0)
+        assert codes == [0]
+        assert service.queue.draining
+
+    def test_tcp_endpoint(self, tmp_path):
+        service, thread, codes, address = _start_daemon(
+            tmp_path / "store", host="127.0.0.1"
+        )
+        try:
+            assert isinstance(address, tuple)
+            with ServiceClient(address) as client:
+                assert client.ping()
+        finally:
+            service.request_drain()
+            thread.join(timeout=60.0)
+        assert codes == [0]

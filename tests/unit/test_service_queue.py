@@ -1,0 +1,223 @@
+"""Tests for repro.service.queue: admission control and job lifecycle."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.protocol import JobSpec, PRIORITIES
+from repro.service.queue import ADMITTED, DUPLICATE, REJECTED, JobQueue
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deadline tests."""
+
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, dt: float) -> None:
+        self.now += dt
+
+
+def spec(kind="measure", deadline_s=None, **params):
+    return JobSpec(kind=kind, params=params, deadline_s=deadline_s)
+
+
+class TestAdmission:
+    def test_submit_claim_finish_lifecycle(self):
+        queue = JobQueue(clock=FakeClock())
+        verdict, job = queue.submit(spec(seed=1))
+        assert verdict == ADMITTED
+        assert job.state == "queued"
+        claimed = queue.claim(timeout_s=0.0)
+        assert claimed is job
+        assert job.state == "running"
+        queue.finish(job, "ok", result={"nf_db": 6.0})
+        assert job.done
+        assert queue.get(job.key).result == {"nf_db": 6.0}
+
+    def test_duplicate_attaches_to_live_job(self):
+        queue = JobQueue(clock=FakeClock())
+        _, first = queue.submit(spec(seed=2))
+        verdict, second = queue.submit(spec(seed=2))
+        assert verdict == DUPLICATE
+        assert second is first
+        assert queue.n_duplicates == 1
+        # The deadline is excluded from the idempotency key: the same
+        # work under a different budget dedups onto the same job.
+        verdict, third = queue.submit(spec(seed=2, deadline_s=5.0))
+        assert verdict == DUPLICATE
+        assert third is first
+
+    def test_completed_key_resubmits_as_fresh_job(self):
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(seed=3))
+        queue.claim(timeout_s=0.0)
+        queue.finish(job, "failed", error="boom")
+        verdict, fresh = queue.submit(spec(seed=3))
+        assert verdict == ADMITTED
+        assert fresh is not job
+
+    def test_backpressure_sheds_beyond_max_depth(self):
+        queue = JobQueue(max_depth=2, clock=FakeClock())
+        assert queue.submit(spec(seed=10))[0] == ADMITTED
+        assert queue.submit(spec(seed=11))[0] == ADMITTED
+        verdict, job = queue.submit(spec(seed=12))
+        assert verdict == REJECTED
+        assert job is None
+        assert queue.n_shed == 1
+        assert queue.stats()["depth"] == 2
+
+    def test_held_job_is_dedupable_but_not_claimable(self):
+        queue = JobQueue(clock=FakeClock())
+        verdict, job = queue.submit(spec(seed=20), hold=True)
+        assert verdict == ADMITTED
+        assert queue.claim(timeout_s=0.0) is None  # not claimable yet
+        assert queue.submit(spec(seed=20))[0] == DUPLICATE
+        assert queue.release(job)
+        assert queue.claim(timeout_s=0.0) is job
+
+    def test_release_during_drain_drops_the_job(self):
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(seed=21), hold=True)
+        queue.drain()
+        assert not queue.release(job)
+        assert job.state == "dropped"
+        assert queue.claim(timeout_s=0.0) is None
+
+    def test_bad_depth_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobQueue(max_depth=0)
+
+    def test_bad_terminal_state_rejected(self):
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(seed=13))
+        queue.claim(timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            queue.finish(job, "exploded")
+
+
+class TestPriority:
+    def test_claim_order_is_priority_then_fifo(self):
+        queue = JobQueue(clock=FakeClock())
+        _, lot = queue.submit(spec(kind="lot", seed=1))
+        _, retest = queue.submit(spec(kind="retest", seed=1))
+        _, probe_a = queue.submit(spec(kind="measure", seed=1))
+        _, probe_b = queue.submit(spec(kind="measure", seed=2))
+        order = [queue.claim(timeout_s=0.0) for _ in range(4)]
+        assert order == [probe_a, probe_b, retest, lot]
+        assert [PRIORITIES[j.spec.kind] for j in order] == [0, 0, 1, 2]
+
+    def test_claim_nowait_preempts_only_higher_priority(self):
+        queue = JobQueue(clock=FakeClock())
+        _, lot = queue.submit(spec(kind="lot", seed=1))
+        running = queue.claim(timeout_s=0.0)
+        assert running is lot
+        # Nothing interactive queued: no preemption.
+        assert queue.claim_nowait(max_priority=lot.priority - 1) is None
+        _, probe = queue.submit(spec(kind="measure", seed=1))
+        _, other_lot = queue.submit(spec(kind="lot", seed=2))
+        inner = queue.claim_nowait(max_priority=lot.priority - 1)
+        assert inner is probe  # the queued lot does NOT preempt a lot
+        assert other_lot.state == "queued"
+
+    def test_requeue_restores_queued_state(self):
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(seed=5))
+        queue.claim(timeout_s=0.0)
+        queue.requeue(job)
+        assert job.state == "queued"
+        assert queue.claim(timeout_s=0.0) is job
+
+    def test_claim_timeout_returns_none(self):
+        queue = JobQueue()
+        assert queue.claim(timeout_s=0.01) is None
+
+
+class TestDeadline:
+    def test_queued_job_expires_without_running(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        _, stale = queue.submit(spec(seed=1, deadline_s=5.0))
+        _, fresh = queue.submit(spec(seed=2))
+        clock.advance(10.0)
+        claimed = queue.claim(timeout_s=0.0)
+        assert claimed is fresh
+        assert stale.state == "deadline"
+        assert "expired" in stale.error
+        assert stale.checks == 0  # it never ran a checkpoint
+
+    def test_remaining_budget_accounting(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        _, job = queue.submit(spec(seed=3, deadline_s=30.0))
+        clock.advance(12.0)
+        assert job.remaining_s(clock()) == pytest.approx(18.0)
+        assert not job.expired(clock())
+        clock.advance(18.0)
+        assert job.expired(clock())
+
+    def test_budgetless_job_never_expires(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        _, job = queue.submit(spec(seed=4))
+        clock.advance(1e9)
+        assert job.remaining_s(clock()) is None
+        assert not job.expired(clock())
+
+    def test_claim_nowait_fails_expired_job_in_place(self):
+        clock = FakeClock()
+        queue = JobQueue(clock=clock)
+        _, probe = queue.submit(spec(seed=5, deadline_s=1.0))
+        clock.advance(2.0)
+        assert queue.claim_nowait(max_priority=0) is None
+        assert probe.state == "deadline"
+
+    def test_on_expire_fires_for_queue_level_expiry_only(self):
+        clock = FakeClock()
+        expired = []
+        queue = JobQueue(clock=clock, on_expire=expired.append)
+        _, stale = queue.submit(spec(seed=6, deadline_s=1.0))
+        _, ran = queue.submit(spec(seed=7))
+        clock.advance(5.0)
+        claimed = queue.claim(timeout_s=0.0)
+        assert claimed is ran
+        assert expired == [stale]
+        # A job the executor finishes normally never fires the hook.
+        queue.finish(ran, "ok")
+        assert expired == [stale]
+
+
+class TestDrain:
+    def test_drain_drops_queued_and_stops_admission(self):
+        queue = JobQueue(clock=FakeClock())
+        _, running = queue.submit(spec(kind="lot", seed=1))
+        queue.claim(timeout_s=0.0)
+        _, queued = queue.submit(spec(seed=2))
+        dropped = queue.drain()
+        assert dropped == [queued]
+        assert queued.state == "dropped"
+        assert running.state == "running"  # in-flight is the executor's
+        assert queue.submit(spec(seed=3))[0] == REJECTED
+        assert queue.draining
+        assert queue.stats()["draining"]
+
+    def test_finish_of_queued_job_removes_it_from_pending(self):
+        # Regression: a job failed while still queued (journal append
+        # error) must not be claimable afterwards.
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(seed=6))
+        queue.finish(job, "dropped", error="journal write failed")
+        assert queue.claim(timeout_s=0.0) is None
+        assert queue.stats()["depth"] == 0
+
+    def test_describe_is_json_ready(self):
+        queue = JobQueue(clock=FakeClock())
+        _, job = queue.submit(spec(kind="retest", seed=7, deadline_s=9.0))
+        view = job.describe()
+        assert view["kind"] == "retest"
+        assert view["state"] == "queued"
+        assert view["priority"] == PRIORITIES["retest"]
+        assert view["deadline_s"] == 9.0
+        assert view["replayed"] is False
