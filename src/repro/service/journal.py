@@ -309,21 +309,34 @@ class JobJournal:
                     state.n_skipped += 1
                     continue
                 if rec == "accept":
-                    if key not in state.entries:
-                        try:
-                            spec = parse_job_spec(record.get("job"))
-                        except ConfigurationError:
-                            state.n_skipped += 1
-                            continue
+                    existing = state.entries.get(key)
+                    if existing is not None and existing.incomplete:
+                        # Duplicate accept (re-submission of a live
+                        # key, or a rotation checkpoint): idempotent.
+                        continue
+                    try:
+                        spec = parse_job_spec(record.get("job"))
+                    except ConfigurationError:
+                        state.n_skipped += 1
+                        continue
+                    if existing is None:
                         state.entries[key] = JournalEntry(
                             key=key,
                             spec=spec,
                             accepted_at=float(record.get("t", 0.0)),
                         )
                     else:
-                        # Duplicate accept (re-submission of a live
-                        # key, or a rotation checkpoint): idempotent.
-                        pass
+                        # Re-admission after a terminal state: the
+                        # queue re-admits a done key and the daemon
+                        # journals (and acks) a fresh accept, so a
+                        # crash before the rerun finishes must replay
+                        # the key as incomplete again — last state
+                        # wins, and the last state is ``accepted``.
+                        existing.spec = spec
+                        existing.status = "accepted"
+                        existing.accepted_at = float(record.get("t", 0.0))
+                        existing.result = None
+                        existing.error = ""
                 elif rec == "done" and key in state.entries:
                     entry = state.entries[key]
                     entry.status = str(record.get("status", "failed"))

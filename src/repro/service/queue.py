@@ -24,6 +24,7 @@ from __future__ import annotations
 import itertools
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
@@ -98,12 +99,18 @@ class JobQueue:
         max_depth: int = 64,
         clock: Callable[[], float] = time.monotonic,
         on_expire: Optional[Callable[[Job], None]] = None,
+        completed_retain: int = 256,
     ):
         if max_depth < 1:
             raise ConfigurationError(
                 f"max_depth must be >= 1, got {max_depth}"
             )
+        if completed_retain < 1:
+            raise ConfigurationError(
+                f"completed_retain must be >= 1, got {completed_retain}"
+            )
         self.max_depth = int(max_depth)
+        self.completed_retain = int(completed_retain)
         self.clock = clock
         #: Called (under the queue lock — do not reenter the queue) for
         #: every job the queue itself expires without running, so the
@@ -111,7 +118,12 @@ class JobQueue:
         self.on_expire = on_expire
         self._lock = threading.Lock()
         self._ready = threading.Condition(self._lock)
-        self._jobs: Dict[str, Job] = {}  # every job ever admitted
+        #: Live jobs plus the ``completed_retain`` most recent finished
+        #: ones (kept for dedup/cached answers); older completed jobs
+        #: are evicted so a long-lived daemon's memory stays bounded —
+        #: their results live on in the content-addressed store.
+        self._jobs: Dict[str, Job] = {}
+        self._completed: "deque" = deque()  # finished keys, oldest first
         self._pending: List[Job] = []
         self._seq = itertools.count()
         self._draining = False
@@ -268,6 +280,16 @@ class JobQueue:
         job.result = result
         job.error = error
         job.finished_at = self.clock()
+        self._completed.append(job.key)
+        while len(self._completed) > self.completed_retain:
+            old_key = self._completed.popleft()
+            old = self._jobs.get(old_key)
+            # The key may have been re-admitted (a live job now holds
+            # it) or already evicted via an older deque entry; only a
+            # still-completed job is dropped, and never the one being
+            # finished right now (its waiters have not resolved yet).
+            if old is not None and old.done and old is not job:
+                del self._jobs[old_key]
         self._ready.notify_all()
 
     def finish(

@@ -56,6 +56,7 @@ from repro.service.lifecycle import (
     drain_scheduler,
 )
 from repro.service.protocol import (
+    MAX_LINE_BYTES,
     JobSpec,
     ProtocolError,
     decode_line,
@@ -103,6 +104,13 @@ class ServiceConfig:
     watchdog_interval_s: float = 0.5
     watchdog_stall_s: float = 60.0
     journal_fsync: bool = True
+    #: Rotate (compact) the journal after this many terminal records,
+    #: not only at drain — a long-lived daemon's journal disk stays
+    #: bounded.  ``0`` disables mid-run rotation.
+    journal_rotate_records: int = 512
+    #: Completed jobs kept in memory for dedup/cached answers; older
+    #: ones are evicted (their results live on in the store).
+    completed_retain: int = 256
     retry: Optional[RetryPolicy] = None
     rng_mode: str = "compat"
 
@@ -121,6 +129,11 @@ class ServiceConfig:
         if self.watchdog_stall_s <= 0:
             raise ConfigurationError(
                 f"watchdog_stall_s must be > 0, got {self.watchdog_stall_s}"
+            )
+        if self.journal_rotate_records < 0:
+            raise ConfigurationError(
+                f"journal_rotate_records must be >= 0, "
+                f"got {self.journal_rotate_records}"
             )
 
     def resolved_socket(self) -> str:
@@ -205,6 +218,7 @@ class MeasurementService:
             max_depth=config.max_depth,
             clock=clock,
             on_expire=self._on_queue_expire,
+            completed_retain=config.completed_retain,
         )
         # Mutable counters the report snapshots.
         self.n_completed = 0
@@ -216,6 +230,7 @@ class MeasurementService:
         self.n_disconnect_drops = 0
         self.n_journal_replayed = 0
         self.n_journal_skipped = 0
+        self._done_since_rotate = 0
         self._started_at = clock()
         self._stop = threading.Event()
         self._drain_requested = threading.Event()
@@ -235,6 +250,7 @@ class MeasurementService:
         self.n_deadline_kills += 1
         try:
             self.journal.record_done(job.key, "deadline", error=job.error)
+            self._done_since_rotate += 1
         except OSError as exc:  # pragma: no cover - disk loss
             _LOG.error("journal done record failed: %s", exc)
         self._notify(job)
@@ -464,10 +480,28 @@ class MeasurementService:
             self.journal.record_done(
                 job.key, status, result=result, error=error
             )
+            self._done_since_rotate += 1
         except OSError as exc:  # pragma: no cover - disk loss
             _LOG.error("journal done record failed: %s", exc)
         self.queue.finish(job, status, result=result, error=error)
         self._notify(job)
+
+    def _maybe_rotate_journal(self) -> None:
+        """Compact the journal once enough terminal records piled up.
+
+        ``done`` records embed full lot results, so a journal that only
+        rotates at drain grows without bound under sustained traffic.
+        Runs on the executor thread between jobs; the journal's flock
+        serializes it against in-flight ``record_accept`` appends.
+        """
+        threshold = self.config.journal_rotate_records
+        if not threshold or self._done_since_rotate < threshold:
+            return
+        self._done_since_rotate = 0
+        try:
+            self.journal.rotate()
+        except OSError as exc:  # pragma: no cover - disk loss
+            _LOG.error("journal rotation failed: %s", exc)
 
     def _executor_loop(self) -> None:
         while not self._stop.is_set():
@@ -480,6 +514,7 @@ class MeasurementService:
                 self._execute(job)
             except ServiceDrain:
                 break
+            self._maybe_rotate_journal()
 
     # ------------------------------------------------------------------
     # Watchdog thread
@@ -547,6 +582,29 @@ class MeasurementService:
         writer.write(encode_line(payload))
         await writer.drain()
 
+    def _release_held(self, job: Job) -> bool:
+        """Make a held job claimable; reconcile the journal if not.
+
+        When a drain wins the held-admission race the client is told
+        ``rejected``, so the already-journaled accept must be cancelled
+        with a ``dropped`` record — otherwise the next daemon would run
+        a job its client was told will not run, and a resubmit to
+        another daemon would execute the work twice.
+        """
+        if self.queue.release(job):
+            return True
+        try:
+            self.journal.record_done(
+                job.key, "dropped",
+                error="daemon drained before the job ran",
+            )
+            self._done_since_rotate += 1
+        except OSError as exc:  # pragma: no cover - disk loss
+            _LOG.error("journal done record failed: %s", exc)
+        self.n_dropped += 1
+        self._notify(job)
+        return False
+
     async def _handle_submit(self, request: dict, writer) -> None:
         spec: JobSpec = request["job"]
         key = spec.key()
@@ -598,10 +656,7 @@ class MeasurementService:
                     },
                 )
                 return
-            if not self.queue.release(job):
-                # The daemon started draining during the hold; the
-                # journaled accept makes the next daemon resume it.
-                self.n_dropped += 1
+            if not self._release_held(job):
                 verdict = "rejected"
         payload = {
             "ok": verdict != "rejected",
@@ -637,7 +692,24 @@ class MeasurementService:
     async def _handle_connection(self, reader, writer) -> None:
         try:
             while True:
-                line = await reader.readline()
+                try:
+                    line = await reader.readline()
+                except (ValueError, asyncio.LimitOverrunError):
+                    # The request line blew past the reader's limit.
+                    # readline() already discarded the partial buffer
+                    # and there is no way to resync mid-line, so
+                    # answer once and hang up.
+                    await self._send(
+                        writer,
+                        {
+                            "ok": False,
+                            "error": (
+                                f"request line exceeds "
+                                f"{MAX_LINE_BYTES} bytes"
+                            ),
+                        },
+                    )
+                    break
                 if not line:
                     break
                 try:
@@ -727,9 +799,17 @@ class MeasurementService:
         self._executor_thread.start()
         self._watchdog_thread.start()
 
+        # StreamReader defaults to a 64 KiB line limit; the protocol
+        # allows MAX_LINE_BYTES, plus slack so a line just over the
+        # protocol bound is read whole and rejected with a clean
+        # ProtocolError instead of a reader overrun.
+        read_limit = MAX_LINE_BYTES + (1 << 10)
         if self.config.host is not None:
             server = await asyncio.start_server(
-                self._handle_connection, self.config.host, self.config.port
+                self._handle_connection,
+                self.config.host,
+                self.config.port,
+                limit=read_limit,
             )
             bound = server.sockets[0].getsockname()
             endpoint = {"host": bound[0], "port": bound[1]}
@@ -738,7 +818,9 @@ class MeasurementService:
             with contextlib.suppress(OSError):
                 pathlib.Path(socket_path).unlink()
             server = await asyncio.start_unix_server(
-                self._handle_connection, path=socket_path
+                self._handle_connection,
+                path=socket_path,
+                limit=read_limit,
             )
             endpoint = {"socket": socket_path}
 

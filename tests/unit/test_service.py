@@ -6,8 +6,11 @@ background thread (serial backend, fsync off) and talk to it through
 ``serve`` / ``submit`` pair uses, minus the subprocess.
 """
 
+import json
 import queue as queue_mod
+import socket
 import threading
+import time
 
 import pytest
 
@@ -199,6 +202,33 @@ class TestRoundTrip:
             "deadline"
         )
 
+    def test_oversized_request_line_gets_error_not_hangup(self, daemon):
+        # A line past the reader limit cannot even be framed; the
+        # daemon must answer with a protocol error instead of letting
+        # the overrun escape _handle_connection and drop the client
+        # without a word.
+        from repro.service.protocol import MAX_LINE_BYTES
+
+        _, address = daemon
+        payload = (
+            b'{"op":"ping","pad":"'
+            + b"x" * (MAX_LINE_BYTES + 4096)
+            + b'"}\n'
+        )
+        with socket.socket(socket.AF_UNIX, socket.SOCK_STREAM) as sock:
+            sock.connect(address)
+            sock.settimeout(30.0)
+            sock.sendall(payload)
+            data = b""
+            while b"\n" not in data:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                data += chunk
+        response = json.loads(data.split(b"\n", 1)[0])
+        assert response["ok"] is False
+        assert "exceeds" in response["error"]
+
     def test_journal_records_lifecycle(self, daemon):
         service, _ = daemon
         state = service.journal.replay()
@@ -269,6 +299,70 @@ class TestFaultSites:
                 ack = client.submit(spec, wait=True, wait_timeout_s=240.0)
             assert ack["job"]["state"] == "ok"
             assert len(ack["job"]["result"]["measured_nf_db"]) == 4
+        finally:
+            service.request_drain()
+            thread.join(timeout=60.0)
+        assert codes == [0]
+
+
+class TestJournalMaintenance:
+    def test_drain_during_held_admission_journals_drop(self, tmp_path):
+        # A drain that wins the held-admission race rejects the client,
+        # so the already-journaled accept must be cancelled with a
+        # dropped record — the next daemon may not run a job whose
+        # client was told it will not run.
+        config = ServiceConfig(
+            store_root=str(tmp_path / "store"),
+            backend="serial",
+            journal_fsync=False,
+        )
+        service = MeasurementService(config)
+        try:
+            service.journal.initialize()
+            spec = measure_spec(seed=300)
+            verdict, job = service.queue.submit(spec, hold=True)
+            assert verdict == "accepted"
+            service.journal.record_accept(job.key, spec, 0.0)
+            service.queue.drain()
+            assert service._release_held(job) is False
+            assert service.n_dropped == 1
+            assert job.state == "dropped"
+            entry = service.journal.replay().entries[spec.key()]
+            assert entry.status == "dropped"
+            assert not entry.incomplete
+            # A restarted daemon replays nothing for this key.
+            restarted = MeasurementService(config)
+            try:
+                assert restarted.replay_journal() == 0
+            finally:
+                restarted.sched.close()
+        finally:
+            service.sched.close()
+
+    def test_journal_rotates_under_sustained_traffic(self, tmp_path):
+        # The journal must compact while serving, not only at drain —
+        # done records embed full results and would grow disk without
+        # bound on a long-lived daemon.
+        service, thread, codes, address = _start_daemon(
+            tmp_path / "store", journal_rotate_records=1
+        )
+        try:
+            with ServiceClient(address) as client:
+                ack = client.submit(
+                    measure_spec(seed=400), wait=True, wait_timeout_s=120.0
+                )
+            assert ack["job"]["state"] == "ok"
+            deadline = time.monotonic() + 30.0
+            while time.monotonic() < deadline:
+                segments = service.journal._segments()
+                if segments and segments[-1].name != "journal-00000000.jrn":
+                    break
+                time.sleep(0.05)
+            segments = service.journal._segments()
+            assert segments[-1].name != "journal-00000000.jrn"
+            # The completed job's records were compacted away; nothing
+            # is left to resume.
+            assert service.journal.replay().incomplete == []
         finally:
             service.request_drain()
             thread.join(timeout=60.0)

@@ -124,6 +124,41 @@ class TestReplay:
         assert state.entries[job.key()].accepted_at == 1.0
         assert state.n_records == 2
 
+    def test_reaccept_after_terminal_is_incomplete_again(self, tmp_path):
+        # The queue re-admits a key whose prior job finished
+        # failed/deadline/dropped, and the daemon journals (and acks) a
+        # fresh accept.  A crash before the rerun finishes must replay
+        # the key as incomplete — the acknowledged job may not be lost
+        # behind the stale terminal record.
+        journal = _journal(tmp_path)
+        job = spec(seed=5)
+        journal.record_accept(job.key(), job, accepted_at=1.0)
+        journal.record_done(job.key(), "failed", error="boom")
+        journal.record_accept(job.key(), job, accepted_at=7.0)
+        state = journal.replay()
+        entry = state.entries[job.key()]
+        assert entry.incomplete
+        assert entry.accepted_at == 7.0
+        assert entry.result is None
+        assert entry.error == ""
+        assert [e.key for e in state.incomplete] == [job.key()]
+
+    def test_reaccept_then_done_is_terminal_again(self, tmp_path):
+        # Full accept -> done -> accept -> done cycle: last state wins
+        # at every step.
+        journal = _journal(tmp_path)
+        job = spec(seed=6)
+        journal.record_accept(job.key(), job, accepted_at=0.0)
+        journal.record_done(job.key(), "deadline", error="too slow")
+        journal.record_accept(job.key(), job, accepted_at=3.0)
+        journal.record_done(job.key(), "ok", result={"nf_db": 7.0})
+        state = journal.replay()
+        entry = state.entries[job.key()]
+        assert not entry.incomplete
+        assert entry.status == "ok"
+        assert entry.result == {"nf_db": 7.0}
+        assert state.incomplete == []
+
     def test_done_without_accept_skipped(self, tmp_path):
         journal = _journal(tmp_path)
         journal.record_done("ab" * 32, "ok")

@@ -90,6 +90,42 @@ class TestAdmission:
         with pytest.raises(ConfigurationError):
             JobQueue(max_depth=0)
 
+    def test_bad_completed_retain_rejected(self):
+        with pytest.raises(ConfigurationError):
+            JobQueue(completed_retain=0)
+
+    def test_completed_jobs_evicted_beyond_retain_bound(self):
+        # A long-lived daemon must not hold every result ever computed:
+        # only the most recent completed jobs stay resident.
+        queue = JobQueue(clock=FakeClock(), completed_retain=2)
+        jobs = []
+        for seed in range(4):
+            _, job = queue.submit(spec(seed=seed))
+            queue.claim(timeout_s=0.0)
+            queue.finish(job, "ok", result={"seed": seed})
+            jobs.append(job)
+        assert queue.get(jobs[0].key) is None
+        assert queue.get(jobs[1].key) is None
+        assert queue.get(jobs[2].key) is jobs[2]
+        assert queue.get(jobs[3].key) is jobs[3]
+
+    def test_eviction_spares_live_readmission_of_old_key(self):
+        # A completed key's re-admission is a *new* live job; the stale
+        # retention entry for the old completion must not evict it.
+        queue = JobQueue(clock=FakeClock(), completed_retain=1)
+        _, first = queue.submit(spec(seed=1))
+        queue.claim(timeout_s=0.0)
+        queue.finish(first, "failed", error="boom")
+        verdict, again = queue.submit(spec(seed=1))  # re-admit same key
+        assert verdict == ADMITTED
+        _, other = queue.submit(spec(seed=2))
+        # `other` completing pushes retention past the bound; the
+        # oldest entry is `first`'s key, now held by the live `again`.
+        queue.finish(other, "ok")
+        assert queue.get(again.key) is again
+        assert again.state == "queued"
+        assert queue.get(other.key) is other
+
     def test_bad_terminal_state_rejected(self):
         queue = JobQueue(clock=FakeClock())
         _, job = queue.submit(spec(seed=13))
