@@ -18,6 +18,9 @@ Usage::
     python -m repro chaos --plan transient --seed 7 --backend process
     python -m repro serve --store ./nfstore --backend process
     python -m repro submit lot --param n_devices=24 --wait --json
+    python -m repro stats --socket ./nfstore/service.sock
+    python -m repro stats --socket ./nfstore/service.sock --watch
+    python -m repro --log-level info --log-json serve --store ./nfstore
 
 ``--fast`` shrinks record lengths for a quick look; default sizes match
 the benchmark suite (paper scale).  ``--backend``/``--workers`` pick
@@ -52,17 +55,27 @@ that every benchmark JSON section embeds::
 ``serve`` runs the supervised measurement daemon of
 :mod:`repro.service` (write-ahead job journal, admission control,
 graceful SIGTERM/SIGINT drain, liveness watchdog — see
-docs/SERVICE.md) and ``submit`` sends one measure/lot/retest job to
-it.  Every long-running command is interrupt-safe: SIGINT/SIGTERM
-drain the worker pool (killing hung workers after a grace period)
-and exit with the distinct code 130 instead of stranding processes.
+docs/SERVICE.md), ``submit`` sends one measure/lot/retest job to it,
+and ``stats`` asks a running daemon for its telemetry: the
+ServiceReport by default, the raw Prometheus exposition with
+``--prometheus``, refreshing in place with ``--watch`` (see
+docs/OBSERVABILITY.md).  The global ``--log-level``/``--log-json``
+flags route every diagnostic through :mod:`logging` — with
+``--log-json`` each record is one JSON object carrying the active
+trace span id and job key, joinable against the daemon's span
+timelines.  Every long-running command is interrupt-safe:
+SIGINT/SIGTERM drain the worker pool (killing hung workers after a
+grace period) and exit with the distinct code 130 instead of
+stranding processes.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import logging
 import sys
+import time
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
@@ -71,6 +84,8 @@ from repro.reporting.tables import render_table
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.engine.scheduler import MeasurementScheduler
+
+_LOG = logging.getLogger("repro.cli")
 
 
 @dataclass(frozen=True)
@@ -598,6 +613,19 @@ def build_parser() -> argparse.ArgumentParser:
         description="Reproduce experiments from 'Noise Figure Evaluation "
         "Using Low Cost BIST' (DATE 2005).",
     )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="warning",
+        help="diagnostic verbosity on stderr (default: warning)",
+    )
+    parser.add_argument(
+        "--log-json",
+        action="store_true",
+        help="emit diagnostics as one JSON object per line, each "
+        "carrying the active trace span id and job key where known "
+        "(joinable against the daemon's span timelines)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("list", help="list available experiments")
     run = sub.add_parser("run", help="run one experiment and print its table")
@@ -945,6 +973,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="print the ack (and terminal job state with --wait) as "
         "JSON",
     )
+    stats = sub.add_parser(
+        "stats",
+        help="query a running daemon's telemetry (ServiceReport, "
+        "Prometheus metrics, span traces)",
+    )
+    stats.add_argument(
+        "--socket",
+        metavar="PATH",
+        default=None,
+        help="daemon Unix socket path",
+    )
+    stats.add_argument(
+        "--host", default=None, help="daemon TCP host (with --port)"
+    )
+    stats.add_argument(
+        "--port", type=int, default=0, metavar="N", help="daemon TCP port"
+    )
+    stats.add_argument(
+        "--watch",
+        action="store_true",
+        help="refresh the view every --interval seconds until "
+        "interrupted",
+    )
+    stats.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="refresh period with --watch (default: 2)",
+    )
+    stats.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="print the daemon's metrics in Prometheus text exposition "
+        "format instead of the report view (scrape-friendly)",
+    )
+    stats.add_argument(
+        "--timeout",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="socket timeout (default: 10)",
+    )
+    stats.add_argument(
+        "--json",
+        action="store_true",
+        dest="as_json",
+        help="print the raw stats report (and obs snapshot) as JSON",
+    )
     bench = sub.add_parser(
         "bench", help="benchmark utilities (environment reporting)"
     )
@@ -968,10 +1045,9 @@ def _store_enumerate(store):
     fast = store.load_index()
     if fast is not None:
         return fast, "index"
-    print(
-        "warning: store has no persistent index, enumerating via tree "
-        "walk (run `store reindex` to build one)",
-        file=sys.stderr,
+    _LOG.warning(
+        "store has no persistent index, enumerating via tree "
+        "walk (run `store reindex` to build one)"
     )
     return store.index(), "walk"
 
@@ -1143,7 +1219,7 @@ def _serve_main(args) -> int:
     from repro.service import MeasurementService, ServiceConfig
 
     if args.host is None and args.port:
-        print("repro serve: --port requires --host", file=sys.stderr)
+        _LOG.error("repro serve: --port requires --host")
         return 2
     config = ServiceConfig(
         store_root=args.store,
@@ -1181,6 +1257,115 @@ def _serve_main(args) -> int:
     return code
 
 
+def _service_address(args, command: str):
+    """The daemon address the flags describe, or ``None`` (logged)."""
+    if args.host is not None:
+        return (args.host, args.port)
+    if args.socket is not None:
+        return args.socket
+    _LOG.error(
+        "repro %s: need --socket PATH or --host/--port", command
+    )
+    return None
+
+
+def _render_stats(report: dict) -> str:
+    """A compact human view of one ServiceReport dict."""
+    pool = report.get("pool") or {}
+    journal = report.get("journal") or {}
+    lines = [
+        (
+            f"uptime {report.get('uptime_s', 0.0):.1f}s  "
+            f"queue depth {report.get('queue_depth', 0)}  "
+            f"draining {report.get('draining', False)}"
+        ),
+        (
+            f"jobs: accepted {report.get('accepted', 0)}, "
+            f"completed {report.get('completed', 0)}, "
+            f"failed {report.get('failed', 0)}, "
+            f"dropped {report.get('dropped', 0)}, "
+            f"shed {report.get('shed', 0)}, "
+            f"duplicates {report.get('duplicates', 0)}, "
+            f"cached {report.get('cached_hits', 0)}"
+        ),
+        (
+            f"kills: deadline {report.get('deadline_kills', 0)}, "
+            f"watchdog {report.get('watchdog_kills', 0)}; "
+            f"replayed {report.get('journal_replayed', 0)}"
+        ),
+        (
+            f"journal: {journal.get('segments', 0)} segment(s), "
+            f"{journal.get('bytes', 0)} B, "
+            f"{report.get('records_since_rotate', 0)} record(s) since "
+            f"rotation"
+        ),
+        (
+            f"pool: attempts {pool.get('attempts', 0)}, "
+            f"retries {pool.get('retries', 0)}, "
+            f"timeouts {pool.get('timeouts', 0)}, "
+            f"respawns {pool.get('respawns', 0)}, "
+            f"spawns {pool.get('spawns', 0)}"
+        ),
+        (
+            f"backends: kernel {report.get('kernel_backend', '?')}, "
+            f"fft {report.get('fft_backend', '?')}"
+        ),
+    ]
+    snap = report.get("obs")
+    if snap:
+        n_counters = len(snap.get("counters", ()))
+        n_hists = len(snap.get("histograms", ()))
+        lines.append(
+            f"obs: {n_counters} counter(s), {n_hists} histogram(s) "
+            f"(repro stats --prometheus for the full exposition)"
+        )
+    return "\n".join(lines)
+
+
+def _stats_main(args) -> int:
+    """The ``stats`` subcommand: one-shot or ``--watch`` telemetry view.
+
+    Talks to a running daemon over the same socket ``submit`` uses:
+    the ``stats`` op for the report view, the ``metrics`` op for
+    ``--prometheus``.  ``--watch`` redraws every ``--interval``
+    seconds until interrupted (exit 0 on Ctrl-C — stopping a watch is
+    not an error).
+    """
+    from repro.service import ServiceClient
+    from repro.service.client import ServiceConnectionError
+
+    address = _service_address(args, "stats")
+    if address is None:
+        return 2
+    interval = max(0.2, float(args.interval))
+    first = True
+    try:
+        while True:
+            try:
+                with ServiceClient(
+                    address, timeout_s=args.timeout
+                ) as client:
+                    if args.prometheus:
+                        body = client.metrics().get("prometheus", "")
+                    elif args.as_json:
+                        body = _dump_json(client.stats())
+                    else:
+                        body = _render_stats(client.stats())
+            except ServiceConnectionError as exc:
+                _LOG.error("repro stats: %s", exc)
+                return 1
+            if args.watch and not first and not args.as_json:
+                # Home + clear-to-end redraw keeps the view in place.
+                sys.stdout.write("\x1b[H\x1b[2J")
+            print(body, flush=True)
+            if not args.watch:
+                return 0
+            first = False
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+
+
 def _submit_main(args) -> int:
     """The ``submit`` subcommand: one job to a running daemon.
 
@@ -1197,36 +1382,28 @@ def _submit_main(args) -> int:
         try:
             params = json.loads(args.params)
         except json.JSONDecodeError as exc:
-            print(f"repro submit: bad --params JSON: {exc}", file=sys.stderr)
+            _LOG.error("repro submit: bad --params JSON: %s", exc)
             return 2
     for pair in args.param or []:
         key, sep, value = pair.partition("=")
         if not sep:
-            print(
-                f"repro submit: --param needs KEY=VALUE, got {pair!r}",
-                file=sys.stderr,
+            _LOG.error(
+                "repro submit: --param needs KEY=VALUE, got %r", pair
             )
             return 2
         try:
             params[key] = json.loads(value)
         except json.JSONDecodeError:
             params[key] = value
-    if args.host is not None:
-        address = (args.host, args.port)
-    elif args.socket is not None:
-        address = args.socket
-    else:
-        print(
-            "repro submit: need --socket PATH or --host/--port",
-            file=sys.stderr,
-        )
+    address = _service_address(args, "submit")
+    if address is None:
         return 2
     try:
         spec = JobSpec(
             kind=args.kind, params=params, deadline_s=args.deadline
         )
     except ConfigurationError as exc:
-        print(f"repro submit: {exc}", file=sys.stderr)
+        _LOG.error("repro submit: %s", exc)
         return 2
     try:
         with ServiceClient(address, timeout_s=args.timeout) as client:
@@ -1234,7 +1411,9 @@ def _submit_main(args) -> int:
                 spec, wait=args.wait, wait_timeout_s=args.timeout
             )
     except ServiceConnectionError as exc:
-        print(f"repro submit: {exc}", file=sys.stderr)
+        _LOG.error(
+            "repro submit: %s", exc, extra={"key": spec.key()[:12]}
+        )
         return 1
     if args.as_json:
         print(_dump_json(ack))
@@ -1267,11 +1446,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     """
     parser = build_parser()
     args = parser.parse_args(argv)
+    from repro.obs.logs import setup_logging
+
+    setup_logging(level=args.log_level, as_json=args.log_json)
     if args.command == "serve":
         _apply_backend_flags(parser, args)
         return _serve_main(args)
     if args.command == "submit":
         return _submit_main(args)
+    if args.command == "stats":
+        return _stats_main(args)
     from repro.service.lifecycle import (
         EXIT_INTERRUPTED,
         ServiceInterrupt,
@@ -1282,10 +1466,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         with trap_signals():
             return _dispatch(parser, args)
     except ServiceInterrupt as exc:
-        print(
-            f"repro: interrupted by signal {exc.signum}; worker pool "
-            "drained, committed results persisted",
-            file=sys.stderr,
+        _LOG.warning(
+            "interrupted by signal %s; worker pool drained, committed "
+            "results persisted",
+            exc.signum,
         )
         return EXIT_INTERRUPTED
 

@@ -38,6 +38,7 @@ from __future__ import annotations
 
 import functools
 import inspect
+import time
 from dataclasses import dataclass
 from typing import (
     Callable,
@@ -65,6 +66,7 @@ from repro.dsp.windows import get_window
 from repro.errors import ConfigurationError, MeasurementError
 from repro.faults.injector import active_injector
 from repro.kernels import get_kernel_backend
+from repro import obs
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike, make_rng, spawn_rngs
 from repro.store.io import put_result_direct
@@ -377,11 +379,13 @@ class MeasurementEngine:
             and active_injector() is None
         ):
             written = sum(map(bool, pool.map(put_result_direct, items)))
+            obs.inc("engine.persist_direct", len(items))
         else:
             written = sum(
                 bool(self.store.put_result(key, result))
                 for key, result in items
             )
+            obs.inc("engine.persist_parent", len(items))
         self._budget_writes += written
         self._maybe_enforce_budget(force=True)
         return written
@@ -473,6 +477,7 @@ class MeasurementEngine:
         pool spawn costs more than a hot/cold pair's FFTs).
         """
         config = estimator.config
+        obs_t0 = time.monotonic() if obs.enabled() else 0.0
         if (
             self.backend == "process"
             and isinstance(records, PackedRecordBatch)
@@ -499,8 +504,13 @@ class MeasurementEngine:
             freqs, enbw_hz = _welch_grid(
                 win, config.nperseg, records.sample_rate
             )
+            if obs_t0:
+                obs.observe(
+                    "engine.welch_seconds", time.monotonic() - obs_t0,
+                    {"path": "shared"},
+                )
             return SpectrumBatch(freqs, psd, enbw_hz=enbw_hz)
-        return welch_batch(
+        out = welch_batch(
             records,
             nperseg=config.nperseg,
             sample_rate=sample_rate,
@@ -510,6 +520,12 @@ class MeasurementEngine:
             block_segments=self.block_segments,
             bit_domain=self.bit_domain,
         )
+        if obs_t0:
+            obs.observe(
+                "engine.welch_seconds", time.monotonic() - obs_t0,
+                {"path": "inprocess"},
+            )
+        return out
 
     # ------------------------------------------------------------------
     # Measurements
@@ -539,6 +555,7 @@ class MeasurementEngine:
         # the generator it resolves to has a readable state.
         key = self.task_key(source, estimator, rng)
         gen = make_rng(rng)
+        obs.inc("engine.measurements")
         if key is not None and self.cache_reads:
             cached = self.store.get_result(key)
             if cached is not None:
@@ -546,9 +563,12 @@ class MeasurementEngine:
                 # caller reusing this generator must see identical
                 # spawn counts whether the store hit or not.
                 spawn_rngs(gen, 2)
+                obs.inc("engine.store_hits")
                 return cached
+            obs.inc("engine.store_misses")
             pooled = self.store.get_records(key)
             if pooled is not None:
+                obs.inc("engine.record_hits")
                 # Provenance-matched pooled records: the acquisition
                 # already happened in some earlier run — re-analyze
                 # only (same batched Welch pass as a live measure).
@@ -624,7 +644,8 @@ class MeasurementEngine:
             kwargs["packed"] = True
         if self.rng_mode != "compat" and _accepts_kwarg(acquire, "rng_mode"):
             kwargs["rng_mode"] = self.rng_mode
-        return acquire(states, rngs, **kwargs)
+        with obs.timed("engine.acquire_seconds"):
+            return acquire(states, rngs, **kwargs)
 
     def _measure_pairs(
         self,
@@ -784,6 +805,7 @@ class MeasurementEngine:
 
         device_records: List = []
         out_rate: Optional[float] = None
+        obs_t0 = time.monotonic() if obs.enabled() else 0.0
         for source, device_rng in zip(sources, rngs):
             gen = make_rng(device_rng)
             rng_hot, rng_cold = spawn_rngs(gen, 2)
@@ -882,6 +904,12 @@ class MeasurementEngine:
                 f"configured {config.sample_rate_hz} Hz"
             )
         check_bitstream_samples(records, "multi-device")
+        if obs_t0:
+            obs.observe(
+                "engine.acquire_devices_seconds",
+                time.monotonic() - obs_t0,
+            )
+            obs.inc("engine.devices_acquired", len(sources))
         return DeviceBatch(
             records=records,
             sample_rate=out_rate,
@@ -897,12 +925,13 @@ class MeasurementEngine:
         the worker pool on the process backend) followed by per-device
         Y-factor estimation, results in device order.
         """
-        spectra = self.spectra_of(
-            batch.records, batch.sample_rate, batch.estimators[0]
-        )
-        return self._estimate_pairs(
-            spectra, batch.estimators, allow_failures
-        )
+        with obs.timed("engine.analyze_devices_seconds"):
+            spectra = self.spectra_of(
+                batch.records, batch.sample_rate, batch.estimators[0]
+            )
+            return self._estimate_pairs(
+                spectra, batch.estimators, allow_failures
+            )
 
     # ------------------------------------------------------------------
     # Sweeps

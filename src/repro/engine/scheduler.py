@@ -52,6 +52,8 @@ from repro.dsp.fft_backend import get_fft_backend, set_fft_backend
 from repro.errors import ConfigurationError, ExecutionError, MeasurementError
 from repro.faults.injector import active_injector, faulted_call, task_fault
 from repro.kernels import get_kernel_backend, set_kernel_backend
+from repro import obs
+from repro.obs.registry import MetricsRegistry, diff_snapshots
 from repro.signals.batch_rng import validate_rng_mode
 from repro.signals.random import GeneratorLike
 
@@ -81,6 +83,7 @@ def _worker_init(
     kernel_backend: str,
     fft_name: str,
     store_root: Optional[str] = None,
+    obs_enabled: bool = False,
 ) -> None:
     """Pool initializer: inherit the parent's backend selections.
 
@@ -98,15 +101,41 @@ def _worker_init(
     publish result payloads straight into their shard (see
     :mod:`repro.store.io`), eliminating the parent serialization
     round-trip on warm-write paths.
+
+    ``obs_enabled`` carries the parent's observability switch into the
+    child at spawn; a pool spawned *before* the parent enabled
+    observability still catches up lazily — :func:`_obs_task` enables
+    the worker-side registry on first instrumented dispatch.
     """
     try:
         set_kernel_backend(kernel_backend)
         set_fft_backend(fft_name, workers=1)
     except ConfigurationError:  # pragma: no cover - env drift at spawn
         pass
+    if obs_enabled:
+        obs.enable()
     from repro.store.io import configure_worker_store
 
     configure_worker_store(store_root)
+
+
+def _obs_task(payload) -> Tuple[object, Optional[dict]]:
+    """Worker-side dispatch wrapper when observability is on.
+
+    Runs the real task, then drains the worker's process-global
+    registry (counters/histograms the task's kernels, shm publishes
+    and store writes recorded) and ships the snapshot home with the
+    result — the parent merges it, so per-worker telemetry composes
+    with the process backend without shared-memory coordination.
+    Disabled runs never dispatch through here, keeping the default
+    path byte-identical to an un-instrumented build.
+    """
+    call, arg = payload
+    obs.enable()  # idempotent; covers pools spawned before enable()
+    t0 = time.monotonic()
+    result = call(arg)
+    obs.observe("worker.task_seconds", time.monotonic() - t0)
+    return result, obs.snapshot_and_reset()
 
 
 @dataclass(frozen=True)
@@ -224,7 +253,9 @@ class MapOutcome:
     ``timeouts`` the hung-worker detections, ``respawns`` the pool
     rebuilds this call consumed.  ``kernel_backend`` / ``fft_backend``
     record which compute tiers were active when the call ran (workers
-    inherit them through the pool initializer).
+    inherit them through the pool initializer).  With observability on
+    (:mod:`repro.obs`), ``obs`` carries the merged worker-side metrics
+    snapshot this call produced (``None`` otherwise).
     """
 
     results: List
@@ -235,6 +266,7 @@ class MapOutcome:
     dead: List[TaskFailure] = field(default_factory=list)
     kernel_backend: str = ""
     fft_backend: str = ""
+    obs: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -319,6 +351,7 @@ class WorkerPool:
                     get_kernel_backend(),
                     get_fft_backend()[0],
                     self.store_root,
+                    obs.enabled(),
                 ),
             )
             self._size = wanted
@@ -393,6 +426,11 @@ class WorkerPool:
             return outcome
         run_seq = self._run_seq
         self._run_seq += 1
+        # Snapshot the switch once per call: every dispatch in this run
+        # agrees on whether results come back (value, snapshot)-wrapped.
+        obs_on = obs.enabled()
+        obs_acc = MetricsRegistry() if obs_on else None
+        obs.trace_event("pool.dispatch", run=run_seq, tasks=len(payloads))
         dead: Dict[int, TaskFailure] = {}
         pending: List[Tuple[int, int]] = [(i, 1) for i in range(len(payloads))]
         respawns_used = 0
@@ -403,11 +441,17 @@ class WorkerPool:
             retryable = kind != "exception" or policy.is_retryable(exc)
             if retryable and attempt <= policy.max_retries:
                 outcome.retries += 1
+                obs.trace_event(
+                    "pool.retry", index=i, attempt=attempt, kind=kind
+                )
                 sleep_before_round = max(
                     sleep_before_round, policy.backoff_s(i, attempt)
                 )
                 next_pending.append((i, attempt + 1))
             else:
+                obs.trace_event(
+                    "pool.dead_letter", index=i, attempt=attempt, kind=kind
+                )
                 dead[i] = TaskFailure(
                     index=i,
                     attempts=attempt,
@@ -432,6 +476,10 @@ class WorkerPool:
                 directive = task_fault(run_seq, i, attempt)
                 if directive is not None:
                     call, arg = faulted_call, (directive, fn, payloads[i])
+                if obs_on:
+                    # Outermost wrap: the worker-side snapshot covers
+                    # the faulted dispatch too.
+                    call, arg = _obs_task, (call, arg)
                 try:
                     futures.append((i, attempt, executor.submit(call, arg)))
                     outcome.attempts += 1
@@ -445,7 +493,13 @@ class WorkerPool:
                     _SETTLE_TIMEOUT_S if broken else policy.task_timeout_s
                 )
                 try:
-                    outcome.results[i] = future.result(timeout=timeout)
+                    value = future.result(timeout=timeout)
+                    if obs_on:
+                        value, worker_snap = value
+                        if worker_snap:
+                            obs.merge(worker_snap)
+                            obs_acc.merge(worker_snap)
+                    outcome.results[i] = value
                 except FuturesTimeoutError as exc:
                     if not broken:
                         # Hung worker: nothing short of killing the
@@ -463,6 +517,7 @@ class WorkerPool:
                 self._kill_workers()
                 respawns_used += 1
                 outcome.respawns += 1
+                obs.trace_event("pool.respawn", run=run_seq)
                 if respawns_used > policy.max_respawns:
                     for i, attempt in next_pending:
                         dead[i] = TaskFailure(
@@ -478,6 +533,17 @@ class WorkerPool:
                     next_pending = []
             pending = next_pending
         outcome.dead = [dead[i] for i in sorted(dead)]
+        if obs_on:
+            outcome.obs = obs_acc.snapshot()
+            obs.inc("scheduler.dispatches", outcome.attempts)
+            if outcome.retries:
+                obs.inc("scheduler.retries", outcome.retries)
+            if outcome.timeouts:
+                obs.inc("scheduler.timeouts", outcome.timeouts)
+            if outcome.respawns:
+                obs.inc("scheduler.respawns", outcome.respawns)
+            if outcome.dead:
+                obs.inc("scheduler.dead_letters", len(outcome.dead))
         self.telemetry.attempts += outcome.attempts
         self.telemetry.retries += outcome.retries
         self.telemetry.timeouts += outcome.timeouts
@@ -629,9 +695,15 @@ class RunReport:
     dead: List[TaskFailure] = field(default_factory=list)
     injections: Dict[str, int] = field(default_factory=dict)
     cached_tasks: int = 0
+    #: Total duration on ``time.monotonic()`` (survives clock steps);
+    #: the wall clock appears only in the start/end stamps below.
     wall_s: float = 0.0
+    started_at: float = 0.0
+    finished_at: float = 0.0
     kernel_backend: str = ""
     fft_backend: str = ""
+    #: Metrics delta this run produced (``None`` with obs disabled).
+    obs: Optional[dict] = None
 
     @property
     def ok(self) -> bool:
@@ -656,8 +728,11 @@ class RunReport:
             "dead": [f.describe() for f in self.dead],
             "injections": dict(self.injections),
             "wall_s": self.wall_s,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
             "kernel_backend": self.kernel_backend,
             "fft_backend": self.fft_backend,
+            "obs": self.obs,
             "groups": [g.describe() for g in self.groups],
         }
 
@@ -863,11 +938,16 @@ class MeasurementPlan:
         everything already committed (unlike a group *failure*, which
         is recorded and skipped over).
         """
-        start = time.perf_counter()
+        started_wall = time.time()
+        start = time.monotonic()
         pool = getattr(engine, "worker_pool", None)
         before = _pool_snapshot(pool)
         injector = active_injector()
         injected_before = len(injector.log) if injector is not None else 0
+        obs_before = obs.snapshot()
+        obs.trace_event(
+            "plan.run", groups=len(self.groups), tasks=len(self.tasks)
+        )
 
         if resume:
             report = self._run_report_resumed(
@@ -878,31 +958,39 @@ class MeasurementPlan:
             group_reports: List[GroupReport] = []
             keys = self._task_keys(engine)
             for gi, group in enumerate(self.groups):
-                t0 = time.perf_counter()
+                t0 = time.monotonic()
                 tasks = [self.tasks[i] for i in group.indices]
-                try:
-                    if group.batched:
-                        out = engine.measure_devices(
-                            [t.source for t in tasks],
-                            [t.estimator for t in tasks],
-                            rngs=[t.rng for t in tasks],
-                            allow_failures=allow_failures,
-                        )
-                    else:
-                        out = self._measure_fallback(
-                            engine, tasks, allow_failures
-                        )
-                    self._commit(engine, keys, group, out, results)
-                    status, error = "ok", ""
-                except Exception as exc:
-                    status, error = "failed", repr(exc)
+                with obs.trace_span(
+                    "plan.group",
+                    index=gi,
+                    n_tasks=group.n_tasks,
+                    batched=group.batched,
+                ):
+                    try:
+                        if group.batched:
+                            out = engine.measure_devices(
+                                [t.source for t in tasks],
+                                [t.estimator for t in tasks],
+                                rngs=[t.rng for t in tasks],
+                                allow_failures=allow_failures,
+                            )
+                        else:
+                            out = self._measure_fallback(
+                                engine, tasks, allow_failures
+                            )
+                        self._commit(engine, keys, group, out, results)
+                        status, error = "ok", ""
+                    except Exception as exc:
+                        status, error = "failed", repr(exc)
+                wall = time.monotonic() - t0
+                obs.observe("scheduler.group_seconds", wall)
                 group_reports.append(
                     GroupReport(
                         index=gi,
                         n_tasks=group.n_tasks,
                         batched=group.batched,
                         status=status,
-                        wall_s=time.perf_counter() - t0,
+                        wall_s=wall,
                         error=error,
                     )
                 )
@@ -924,7 +1012,12 @@ class MeasurementPlan:
                 )
         report.kernel_backend = get_kernel_backend()
         report.fft_backend = get_fft_backend()[0]
-        report.wall_s = time.perf_counter() - start
+        report.wall_s = time.monotonic() - start
+        report.started_at = started_wall
+        report.finished_at = time.time()
+        obs_after = obs.snapshot()
+        if obs_after is not None:
+            report.obs = diff_snapshots(obs_before, obs_after)
         return report
 
     def _run_report_resumed(
@@ -1116,6 +1209,9 @@ def plan_measurements(
         groups.append(
             PlanGroup(_group_key(coerced[i]), (i,), batched=False)
         )
+    obs.trace_event(
+        "plan.created", tasks=len(coerced), groups=len(groups)
+    )
     return MeasurementPlan(
         tasks=coerced,
         groups=tuple(groups),

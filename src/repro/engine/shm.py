@@ -46,6 +46,7 @@ import numpy as np
 from repro.bitstream import PackedBitstream, PackedRecordBatch
 from repro.errors import ConfigurationError
 from repro.faults.injector import shm_fault
+from repro import obs
 
 
 @dataclass(frozen=True)
@@ -278,15 +279,17 @@ def _psd_rows(
     rows = np.empty((len(indices), params.nperseg // 2 + 1))
     with select:
         for k, i in enumerate(indices):
-            rows[k] = welch(
-                batch[i],
-                nperseg=params.nperseg,
-                window=params.window,
-                overlap=params.overlap,
-                detrend=params.detrend,
-                block_segments=params.block_segments,
-                bit_domain=params.bit_domain,
-            ).psd
+            with obs.timed("worker.welch_row_seconds"):
+                rows[k] = welch(
+                    batch[i],
+                    nperseg=params.nperseg,
+                    window=params.window,
+                    overlap=params.overlap,
+                    detrend=params.detrend,
+                    block_segments=params.block_segments,
+                    bit_domain=params.bit_domain,
+                ).psd
+    obs.inc("worker.welch_rows", len(indices))
     return rows
 
 
@@ -297,7 +300,9 @@ def _return_rows(
 ) -> Tuple[List[int], Optional[np.ndarray]]:
     """Ship rows via the shared result block, falling back to pickle."""
     if result_ref is not None and publish_results(result_ref, indices, rows):
+        obs.inc("shm.rows_published", len(indices))
         return list(indices), None
+    obs.inc("shm.rows_pickled", len(indices))
     return list(indices), rows
 
 
@@ -379,9 +384,11 @@ def welch_batch_shared(
     psd = np.empty((batch.n_records, n_bins))
     chunks = _chunk_indices(batch.n_records, workers)
     try:
-        shared: Optional[SharedPackedBatch] = SharedPackedBatch(batch)
+        with obs.timed("shm.publish_seconds"):
+            shared: Optional[SharedPackedBatch] = SharedPackedBatch(batch)
     except (OSError, ValueError):  # no POSIX shm, or an injected fault
         shared = None
+        obs.inc("shm.publish_fallbacks")
     try:
         result_block: Optional[SharedResultBlock] = SharedResultBlock(
             batch.n_records, n_bins
@@ -413,7 +420,8 @@ def welch_batch_shared(
             outcomes = map_over_workers(
                 _pickled_welch_worker, payloads, workers, pool
             )
-        collect_results(outcomes, result_block, psd)
+        with obs.timed("shm.collect_seconds"):
+            collect_results(outcomes, result_block, psd)
     finally:
         if shared is not None:
             shared.close()

@@ -34,6 +34,7 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.faults.plan import SITE_IDS, SITES, FaultPlan
+from repro import obs
 
 __all__ = [
     "FaultDirective",
@@ -114,15 +115,20 @@ class FaultInjector:
             cap = self.plan.max_per_site
             if cap is not None and self._counts[site] >= cap:
                 return False
+            sequence = self._counts[site]
             self.log.append(
                 InjectionRecord(
                     site=site,
-                    sequence=self._counts[site],
+                    sequence=sequence,
                     coordinates=coordinates,
                     detail=detail,
                 )
             )
             self._counts[site] += 1
+        obs.inc("faults.injected", tags={"site": site})
+        obs.trace_event(
+            "fault.injected", site=site, sequence=sequence, detail=detail
+        )
         return True
 
     def _sequence(self, site: str) -> int:

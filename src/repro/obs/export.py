@@ -1,0 +1,101 @@
+"""Exposition formats for metrics snapshots.
+
+:func:`render_prometheus` turns a
+:meth:`repro.obs.registry.MetricsRegistry.snapshot` dict into
+Prometheus text exposition format (version 0.0.4): counters become
+``repro_<name>_total``, gauges ``repro_<name>``, and histograms the
+usual ``_bucket{le=...}`` / ``_sum`` / ``_count`` triple with
+cumulative bucket counts.  Metric names are sanitised (dots and dashes
+to underscores) and label values escaped per the format spec; the
+snapshot itself is already JSON-ready, so the JSON side of the daemon's
+``metrics`` op is just the snapshot passed through.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List
+
+__all__ = ["render_prometheus"]
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_RE = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str, suffix: str = "") -> str:
+    base = _NAME_RE.sub("_", name)
+    if not base.startswith("repro_"):
+        base = "repro_" + base
+    return base + suffix
+
+
+def _escape_label_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels(tags: dict, extra: str = "") -> str:
+    parts = [
+        f'{_LABEL_RE.sub("_", str(k))}="{_escape_label_value(str(v))}"'
+        for k, v in sorted(tags.items())
+    ]
+    if extra:
+        parts.append(extra)
+    if not parts:
+        return ""
+    return "{" + ",".join(parts) + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value):
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: dict) -> str:
+    """Render one metrics snapshot as Prometheus text exposition."""
+    lines: List[str] = []
+    typed = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name not in typed:
+            typed.add(name)
+            lines.append(f"# TYPE {name} {kind}")
+
+    for c in snapshot.get("counters", ()):
+        name = _metric_name(c["name"], "_total")
+        _type_line(name, "counter")
+        lines.append(
+            f"{name}{_labels(c.get('tags', {}))} "
+            f"{_format_value(c['value'])}"
+        )
+    for g in snapshot.get("gauges", ()):
+        name = _metric_name(g["name"])
+        _type_line(name, "gauge")
+        lines.append(
+            f"{name}{_labels(g.get('tags', {}))} "
+            f"{_format_value(g['value'])}"
+        )
+    bounds = snapshot.get("bucket_bounds", ())
+    for h in snapshot.get("histograms", ()):
+        name = _metric_name(h["name"])
+        _type_line(name, "histogram")
+        tags = h.get("tags", {})
+        cumulative = 0
+        for bound, cell in zip(bounds, h["buckets"]):
+            cumulative += cell
+            le = 'le="%s"' % bound
+            lines.append(
+                f"{name}_bucket{_labels(tags, le)} {cumulative}"
+            )
+        cumulative += h["buckets"][len(bounds)]
+        inf = 'le="+Inf"'
+        lines.append(
+            f"{name}_bucket{_labels(tags, inf)} {cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_labels(tags)} {_format_value(h['sum'])}"
+        )
+        lines.append(f"{name}_count{_labels(tags)} {h['count']}")
+    return "\n".join(lines) + ("\n" if lines else "")

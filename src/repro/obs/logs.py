@@ -1,0 +1,81 @@
+"""Structured logging glue: one formatter, one setup call.
+
+The daemon and CLI already speak :mod:`logging`; this module decides
+what those records *look like*.  :func:`setup_logging` installs a
+single stderr handler on the root logger — human-readable by default,
+one JSON object per line with ``--log-json`` — so daemon diagnostics
+can be grepped or shipped to a log pipeline without a wrapper script.
+
+``JsonLogFormatter`` enriches every record with the observability
+context available at emit time: the innermost active trace span id
+(:func:`repro.obs.current_span_id`) plus any ``job``/``key``/``op``
+attributes the caller attached via ``extra={...}`` — so a journal
+failure line can be joined against the job span timeline that
+produced it.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import sys
+
+from repro import obs
+
+__all__ = ["JsonLogFormatter", "setup_logging"]
+
+#: ``extra={...}`` attributes the JSON formatter promotes to fields.
+_EXTRA_FIELDS = ("job", "key", "op", "kind", "status")
+
+
+class JsonLogFormatter(logging.Formatter):
+    """One JSON object per record, carrying span and job context."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        payload = {
+            "t": round(record.created, 3),
+            "level": record.levelname,
+            "logger": record.name,
+            "message": record.getMessage(),
+        }
+        span = obs.current_span_id()
+        if span is not None:
+            payload["span"] = span
+        for name in _EXTRA_FIELDS:
+            value = record.__dict__.get(name)
+            if value is not None:
+                payload[name] = value
+        if record.exc_info:
+            payload["exc"] = self.formatException(record.exc_info)
+        return json.dumps(payload, sort_keys=True)
+
+
+def setup_logging(
+    level: str = "warning",
+    as_json: bool = False,
+    stream=None,
+) -> logging.Handler:
+    """Install one stderr handler on the root logger and return it.
+
+    Idempotent in effect: the root logger's handlers are replaced, not
+    appended, so repeated calls (tests, re-entrant mains) never stack
+    duplicate lines.
+    """
+    resolved = getattr(logging, str(level).upper(), None)
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    handler = logging.StreamHandler(
+        stream if stream is not None else sys.stderr
+    )
+    if as_json:
+        handler.setFormatter(JsonLogFormatter())
+    else:
+        handler.setFormatter(
+            logging.Formatter(
+                "%(asctime)s %(levelname)s %(name)s: %(message)s"
+            )
+        )
+    root = logging.getLogger()
+    root.handlers[:] = [handler]
+    root.setLevel(resolved)
+    return handler

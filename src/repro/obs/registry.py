@@ -1,0 +1,251 @@
+"""Thread-safe metrics registry: counters, gauges, latency histograms.
+
+One lock guards three flat dicts keyed by ``(name, tags)`` where
+``tags`` is a sorted tuple of ``(key, value)`` string pairs.  The
+operations are deliberately tiny — a dict lookup plus a float add under
+a short-held :class:`threading.Lock` — so an enabled registry stays
+cheap inside hot loops, and the disabled path (see :mod:`repro.obs`)
+never reaches this module at all.
+
+Histograms use fixed cumulative-style buckets (seconds) shared across
+every metric so snapshots from different processes merge by plain
+element-wise addition.  :meth:`MetricsRegistry.snapshot` returns a
+JSON-ready dict and :meth:`MetricsRegistry.merge` folds one snapshot
+into another registry — the worker→parent accumulation path used by
+:class:`repro.engine.scheduler.WorkerPool`.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Iterable, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "MetricsRegistry",
+    "diff_snapshots",
+    "merge_snapshots",
+]
+
+#: Histogram bucket upper bounds in seconds (an implicit +Inf bucket
+#: follows).  Spanning 100us..60s covers everything from a single
+#: kernel call to a full lot screen.
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+_Key = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+def _key(name: str, tags: Optional[dict]) -> _Key:
+    if not tags:
+        return (name, ())
+    return (
+        name,
+        tuple(sorted((str(k), str(v)) for k, v in tags.items())),
+    )
+
+
+class MetricsRegistry:
+    """Counters, gauges and fixed-bucket histograms behind one lock."""
+
+    def __init__(self, buckets: Iterable[float] = DEFAULT_BUCKETS):
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self._lock = threading.Lock()
+        self._counters: Dict[_Key, float] = {}
+        self._gauges: Dict[_Key, float] = {}
+        # name/tags -> [bucket_counts..., +inf_count, sum, count]
+        self._hists: Dict[_Key, list] = {}
+
+    # ------------------------------------------------------------------
+    def inc(self, name: str, value: float = 1.0,
+            tags: Optional[dict] = None) -> None:
+        key = _key(name, tags)
+        with self._lock:
+            self._counters[key] = self._counters.get(key, 0.0) + value
+
+    def gauge(self, name: str, value: float,
+              tags: Optional[dict] = None) -> None:
+        key = _key(name, tags)
+        with self._lock:
+            self._gauges[key] = float(value)
+
+    def observe(self, name: str, value: float,
+                tags: Optional[dict] = None) -> None:
+        """Record one sample (seconds) into ``name``'s histogram."""
+        key = _key(name, tags)
+        with self._lock:
+            hist = self._hists.get(key)
+            if hist is None:
+                hist = [0] * (len(self.buckets) + 1) + [0.0, 0]
+                self._hists[key] = hist
+            idx = len(self.buckets)  # +Inf by default
+            for i, bound in enumerate(self.buckets):
+                if value <= bound:
+                    idx = i
+                    break
+            hist[idx] += 1
+            hist[-2] += value
+            hist[-1] += 1
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """JSON-ready copy of every series (safe to pickle/merge)."""
+        with self._lock:
+            counters = [
+                {"name": n, "tags": dict(t), "value": v}
+                for (n, t), v in sorted(self._counters.items())
+            ]
+            gauges = [
+                {"name": n, "tags": dict(t), "value": v}
+                for (n, t), v in sorted(self._gauges.items())
+            ]
+            hists = [
+                {
+                    "name": n,
+                    "tags": dict(t),
+                    "buckets": list(h[: len(self.buckets) + 1]),
+                    "sum": h[-2],
+                    "count": h[-1],
+                }
+                for (n, t), h in sorted(self._hists.items())
+            ]
+        return {
+            "bucket_bounds": list(self.buckets),
+            "counters": counters,
+            "gauges": gauges,
+            "histograms": hists,
+        }
+
+    def merge(self, snap: Optional[dict]) -> None:
+        """Fold one :meth:`snapshot` into this registry.
+
+        Counters and histogram cells add; gauges take the incoming
+        value (last-writer-wins, matching Prometheus semantics for a
+        remote gauge).  Snapshots with foreign bucket bounds are
+        rejected rather than silently mis-binned.
+        """
+        if not snap:
+            return
+        bounds = tuple(snap.get("bucket_bounds", ()))
+        if snap.get("histograms") and bounds != self.buckets:
+            raise ValueError(
+                "cannot merge snapshot with different histogram buckets"
+            )
+        with self._lock:
+            for c in snap.get("counters", ()):
+                key = _key(c["name"], c.get("tags"))
+                self._counters[key] = (
+                    self._counters.get(key, 0.0) + c["value"]
+                )
+            for g in snap.get("gauges", ()):
+                key = _key(g["name"], g.get("tags"))
+                self._gauges[key] = float(g["value"])
+            for h in snap.get("histograms", ()):
+                key = _key(h["name"], h.get("tags"))
+                hist = self._hists.get(key)
+                if hist is None:
+                    hist = [0] * (len(self.buckets) + 1) + [0.0, 0]
+                    self._hists[key] = hist
+                for i, cell in enumerate(h["buckets"]):
+                    hist[i] += cell
+                hist[-2] += h["sum"]
+                hist[-1] += h["count"]
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._hists.clear()
+
+    def snapshot_and_reset(self) -> dict:
+        """Atomic snapshot+clear (the worker-side merge primitive)."""
+        with self._lock:
+            counters, self._counters = self._counters, {}
+            gauges, self._gauges = self._gauges, {}
+            hists, self._hists = self._hists, {}
+        return {
+            "bucket_bounds": list(self.buckets),
+            "counters": [
+                {"name": n, "tags": dict(t), "value": v}
+                for (n, t), v in sorted(counters.items())
+            ],
+            "gauges": [
+                {"name": n, "tags": dict(t), "value": v}
+                for (n, t), v in sorted(gauges.items())
+            ],
+            "histograms": [
+                {
+                    "name": n,
+                    "tags": dict(t),
+                    "buckets": list(h[: len(self.buckets) + 1]),
+                    "sum": h[-2],
+                    "count": h[-1],
+                }
+                for (n, t), h in sorted(hists.items())
+            ],
+        }
+
+
+def merge_snapshots(*snaps: Optional[dict]) -> dict:
+    """Merge any number of snapshots into one fresh snapshot."""
+    acc = MetricsRegistry()
+    for snap in snaps:
+        if snap:
+            acc.merge(snap)
+    return acc.snapshot()
+
+
+def diff_snapshots(before: Optional[dict], after: dict) -> dict:
+    """``after - before``: the telemetry one window of work produced.
+
+    Counters and histogram cells subtract (series absent from
+    ``before`` pass through; zero-delta counters are dropped); gauges
+    are instantaneous, so the ``after`` values stand.  ``before`` may
+    be ``None`` (observability enabled mid-window) — the delta is then
+    ``after`` itself.
+    """
+    if not before:
+        return after
+    prev_counters = {
+        _key(c["name"], c.get("tags")): c["value"]
+        for c in before.get("counters", ())
+    }
+    prev_hists = {
+        _key(h["name"], h.get("tags")): h
+        for h in before.get("histograms", ())
+    }
+    counters = []
+    for c in after.get("counters", ()):
+        delta = c["value"] - prev_counters.get(
+            _key(c["name"], c.get("tags")), 0.0
+        )
+        if delta:
+            counters.append({**c, "value": delta})
+    hists = []
+    for h in after.get("histograms", ()):
+        prev = prev_hists.get(_key(h["name"], h.get("tags")))
+        if prev is None:
+            if h["count"]:
+                hists.append(h)
+            continue
+        count = h["count"] - prev["count"]
+        if not count:
+            continue
+        hists.append(
+            {
+                **h,
+                "buckets": [
+                    a - b for a, b in zip(h["buckets"], prev["buckets"])
+                ],
+                "sum": h["sum"] - prev["sum"],
+                "count": count,
+            }
+        )
+    return {
+        "bucket_bounds": list(after.get("bucket_bounds", ())),
+        "counters": counters,
+        "gauges": list(after.get("gauges", ())),
+        "histograms": hists,
+    }

@@ -1,0 +1,95 @@
+"""Span-based tracing into a bounded in-memory ring buffer.
+
+A trace event is a small dict — monotonic timestamp, span id, name,
+phase (``begin``/``end``/``event``), pid, and free-form string tags —
+appended to a ``deque(maxlen=capacity)``: the ring silently drops the
+oldest events instead of growing, so a long-lived daemon can trace
+every job forever in bounded memory.  ``n_recorded`` keeps the true
+total so readers can tell how much history the ring has shed.
+
+Timestamps come from ``time.monotonic()`` (durations survive clock
+steps); one wall-clock anchor pair is captured at buffer creation so
+exporters can reconstruct approximate wall times if they need them.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from collections import deque
+from typing import List, Optional
+
+__all__ = ["TraceBuffer", "DEFAULT_CAPACITY"]
+
+DEFAULT_CAPACITY = 4096
+
+
+class TraceBuffer:
+    """Bounded ring of trace events plus a process-local span counter."""
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY):
+        self.capacity = int(capacity)
+        self._lock = threading.Lock()
+        self._events: deque = deque(maxlen=self.capacity)
+        self._span_ids = itertools.count(1)
+        self.n_recorded = 0
+        # Wall/monotonic anchor for offline reconstruction.
+        self.anchor_wall = time.time()
+        self.anchor_mono = time.monotonic()
+
+    def next_span_id(self) -> str:
+        return f"{os.getpid()}-{next(self._span_ids)}"
+
+    def record(
+        self,
+        name: str,
+        phase: str,
+        span_id: Optional[str] = None,
+        t: Optional[float] = None,
+        tags: Optional[dict] = None,
+    ) -> None:
+        event = {
+            "t": time.monotonic() if t is None else t,
+            "name": name,
+            "phase": phase,
+            "span": span_id,
+            "pid": os.getpid(),
+        }
+        if tags:
+            event["tags"] = {str(k): str(v) for k, v in tags.items()}
+        with self._lock:
+            self._events.append(event)
+            self.n_recorded += 1
+
+    def events(self) -> List[dict]:
+        """Oldest-first copy of the ring's current contents."""
+        with self._lock:
+            return list(self._events)
+
+    def describe(self, limit: Optional[int] = None) -> dict:
+        """JSON-ready view: events + ring accounting + clock anchor.
+
+        ``limit`` keeps only the newest ``limit`` events — wire
+        responses (the daemon's ``metrics`` op) bound their payload
+        with it so a full ring cannot blow the protocol's line limit.
+        """
+        with self._lock:
+            events = list(self._events)
+            recorded = self.n_recorded
+        if limit is not None and limit >= 0:
+            events = events[len(events) - min(limit, len(events)):]
+        return {
+            "capacity": self.capacity,
+            "recorded": recorded,
+            "dropped": max(0, recorded - len(events)),
+            "anchor_wall": self.anchor_wall,
+            "anchor_mono": self.anchor_mono,
+            "events": events,
+        }
+
+    def clear(self) -> None:
+        with self._lock:
+            self._events.clear()
+            self.n_recorded = 0

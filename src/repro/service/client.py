@@ -122,6 +122,16 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"}).get("report", {})
 
+    def metrics(self, trace_limit: int = 256) -> dict:
+        """The daemon's telemetry: Prometheus text + JSON snapshot.
+
+        Returns the full ``metrics`` response — ``prometheus`` (text
+        exposition), ``metrics`` (the JSON registry snapshot, ``None``
+        if the daemon has observability off), and ``trace`` (ring
+        summary with the newest ``trace_limit`` events).
+        """
+        return self.request({"op": "metrics", "trace_limit": trace_limit})
+
     def status(self, key: str) -> Optional[dict]:
         return self.request({"op": "status", "key": key}).get("job")
 

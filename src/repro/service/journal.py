@@ -54,6 +54,7 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Union
 
+from repro import obs
 from repro.errors import ConfigurationError
 from repro.faults.injector import journal_torn_fault
 from repro.service.protocol import JobSpec, parse_job_spec
@@ -220,6 +221,11 @@ class JobJournal:
 
     def _append(self, payload: dict) -> None:
         """One locked, torn-tail-repairing, optionally fsynced append."""
+        with obs.timed("journal.append_seconds"):
+            self._append_inner(payload)
+        obs.inc("journal.appends", tags={"rec": payload.get("rec", "?")})
+
+    def _append_inner(self, payload: dict) -> None:
         active = self.initialize()
         encoded = _frame(
             json.dumps(
@@ -402,6 +408,12 @@ class JobJournal:
                 except OSError:  # pragma: no cover - raced unlink
                     pass
             self._tail = None
+            obs.inc("journal.rotations")
+            obs.trace_event(
+                "journal.rotate",
+                removed=removed,
+                incomplete=len(state.incomplete),
+            )
             return removed
 
     def stats(self) -> dict:
@@ -415,3 +427,19 @@ class JobJournal:
             "incomplete": len(state.incomplete),
             "bytes": sum(p.stat().st_size for p in self._segments()),
         }
+
+    def quick_stats(self) -> dict:
+        """Segment count and on-disk bytes without a replay.
+
+        :meth:`stats` re-reads and re-parses every segment, which is
+        too heavy for a per-``stats``-op call on a hot daemon; this is
+        just a directory listing plus ``stat()`` calls.
+        """
+        n_bytes = 0
+        segments = self._segments()
+        for path in segments:
+            try:
+                n_bytes += path.stat().st_size
+            except OSError:  # pragma: no cover - raced rotation
+                pass
+        return {"segments": len(segments), "bytes": n_bytes}

@@ -18,6 +18,10 @@ Requests carry an ``op``:
     one job's lifecycle state by key.
 ``stats``
     the daemon's :class:`~repro.service.supervisor.ServiceReport`.
+``metrics``
+    the daemon's :mod:`repro.obs` telemetry — the JSON metrics
+    snapshot, its Prometheus text rendering, and a trace-buffer
+    summary (empty when observability is disabled in the daemon).
 ``drain``
     ask the daemon to drain and exit (what SIGTERM does, remotely).
 ``ping``
@@ -59,7 +63,7 @@ __all__ = [
 PRIORITIES: Dict[str, int] = {"measure": 0, "retest": 1, "lot": 2}
 JOB_KINDS = tuple(PRIORITIES)
 
-_OPS = ("submit", "status", "stats", "drain", "ping")
+_OPS = ("submit", "status", "stats", "metrics", "drain", "ping")
 
 #: Upper bound on one request line; a client writing an unbounded blob
 #: must not be able to balloon the daemon's memory.

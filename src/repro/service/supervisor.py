@@ -43,12 +43,14 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro import obs
 from repro.engine.scheduler import (
     MeasurementScheduler,
     MeasurementTask,
     RetryPolicy,
 )
 from repro.errors import ConfigurationError
+from repro.obs.export import render_prometheus
 from repro.faults.injector import client_disconnect_fault, job_deadline_fault
 from repro.service.journal import JobJournal
 from repro.service.lifecycle import (
@@ -170,6 +172,12 @@ class ServiceReport:
     pool: Dict[str, int] = field(default_factory=dict)
     kernel_backend: str = ""
     fft_backend: str = ""
+    #: Journal disk accounting (``quick_stats``: segments + bytes).
+    journal: Dict[str, int] = field(default_factory=dict)
+    #: Terminal records journaled since the last mid-run rotation.
+    records_since_rotate: int = 0
+    #: ``repro.obs`` metrics snapshot, or ``None`` while disabled.
+    obs: Optional[dict] = None
 
     def describe(self) -> dict:
         """JSON-ready view (the ``stats`` op and ``--json`` emit it)."""
@@ -192,6 +200,9 @@ class ServiceReport:
             "pool": dict(self.pool),
             "kernel_backend": self.kernel_backend,
             "fft_backend": self.fft_backend,
+            "journal": dict(self.journal),
+            "records_since_rotate": self.records_since_rotate,
+            "obs": self.obs,
         }
 
 
@@ -248,6 +259,10 @@ class MeasurementService:
         held): journal the terminal state and wake its waiters — the
         budget was spent waiting, which is still spent."""
         self.n_deadline_kills += 1
+        obs.inc("service.jobs", tags={"status": "deadline"})
+        obs.trace_event(
+            "job.expired_queued", key=job.key[:12], kind=job.spec.kind
+        )
         try:
             self.journal.record_done(job.key, "deadline", error=job.error)
             self._done_since_rotate += 1
@@ -285,6 +300,7 @@ class MeasurementService:
         from repro.kernels import get_kernel_backend
 
         queue_stats = self.queue.stats()
+        obs.gauge("service.queue_depth", queue_stats["depth"])
         pool = self.sched.pool
         pool_counters: Dict[str, int] = {}
         if pool is not None:
@@ -316,6 +332,9 @@ class MeasurementService:
             pool=pool_counters,
             kernel_backend=get_kernel_backend(),
             fft_backend=get_fft_backend()[0],
+            journal=self.journal.quick_stats(),
+            records_since_rotate=self._done_since_rotate,
+            obs=obs.snapshot(),
         )
 
     # ------------------------------------------------------------------
@@ -433,22 +452,36 @@ class MeasurementService:
         self._touch()
         if not nested:
             self._current_job = job
+        if job.started_at is not None:
+            obs.observe(
+                "service.queue_wait_seconds",
+                max(0.0, job.started_at - job.submitted_at),
+                tags={"kind": job.spec.kind},
+            )
+        obs.gauge("service.queue_depth", self.queue.depth)
         try:
-            if job.expired(self.clock()):
-                raise JobDeadlineExceeded(
-                    f"job {job.key[:12]} budget expired before it ran"
-                )
-            if job.spec.kind == "lot":
-                result = self._run_lot(job)
-            elif job.spec.kind == "retest":
-                result = self._run_retest(job)
-            else:
-                result = self._run_measure(job)
+            with obs.trace_span(
+                "job.execute",
+                key=job.key[:12],
+                kind=job.spec.kind,
+                nested=nested,
+            ):
+                if job.expired(self.clock()):
+                    raise JobDeadlineExceeded(
+                        f"job {job.key[:12]} budget expired before it ran"
+                    )
+                if job.spec.kind == "lot":
+                    result = self._run_lot(job)
+                elif job.spec.kind == "retest":
+                    result = self._run_retest(job)
+                else:
+                    result = self._run_measure(job)
         except ServiceDrain:
             # Interrupted at a sub-batch boundary: finished sub-batches
             # are persisted, the journal keeps the accept record, and a
             # restarted daemon resumes the job.  No ``done`` record.
             self.n_dropped += 1
+            obs.inc("service.jobs", tags={"status": "dropped"})
             self.queue.finish(
                 job, "dropped",
                 error="daemon drained mid-run; job resumable via journal",
@@ -476,6 +509,10 @@ class MeasurementService:
 
     def _finish(self, job: Job, status: str, result=None, error=""):
         """Terminal transition: journal first, then queue, then waiters."""
+        obs.inc("service.jobs", tags={"status": status})
+        obs.trace_event(
+            "job.done", key=job.key[:12], kind=job.spec.kind, status=status
+        )
         try:
             self.journal.record_done(
                 job.key, status, result=result, error=error
@@ -549,6 +586,11 @@ class MeasurementService:
                 )
                 pool._kill_workers()
                 self.n_watchdog_kills += 1
+                obs.inc("service.watchdog_kills")
+                obs.trace_event(
+                    "service.watchdog_kill",
+                    stalled_s=round(self.clock() - last_progress_t, 3),
+                )
             last_progress_t = self.clock()
             last_attempts = self._pool_progress()
 
@@ -613,6 +655,10 @@ class MeasurementService:
             # Completed this process: answer from the in-memory cache
             # without touching the queue or journal.
             self.n_cached_hits += 1
+            obs.inc("service.submits", tags={"verdict": "cached"})
+            obs.trace_event(
+                "job.submitted", key=key[:12], verdict="cached"
+            )
             await self._send(
                 writer,
                 {
@@ -658,6 +704,13 @@ class MeasurementService:
                 return
             if not self._release_held(job):
                 verdict = "rejected"
+        obs.inc("service.submits", tags={"verdict": verdict})
+        obs.trace_event(
+            "job.submitted",
+            key=key[:12],
+            kind=spec.kind,
+            verdict=verdict,
+        )
         payload = {
             "ok": verdict != "rejected",
             "op": "submit",
@@ -720,6 +773,10 @@ class MeasurementService:
                     )
                     continue
                 op = request["op"]
+                # Request-to-response latency per op (a waited submit
+                # includes its job's run time — that *is* the latency
+                # the client saw).
+                op_t0 = time.monotonic() if obs.enabled() else 0.0
                 if op == "ping":
                     await self._send(
                         writer, {"ok": True, "op": "ping", "pong": True}
@@ -731,6 +788,30 @@ class MeasurementService:
                             "ok": True,
                             "op": "stats",
                             "report": self.report().describe(),
+                        },
+                    )
+                elif op == "metrics":
+                    snap = obs.snapshot()
+                    trace = obs.trace_buffer()
+                    try:
+                        trace_limit = int(request.get("trace_limit", 256))
+                    except (TypeError, ValueError):
+                        trace_limit = 256
+                    await self._send(
+                        writer,
+                        {
+                            "ok": True,
+                            "op": "metrics",
+                            "enabled": snap is not None,
+                            "prometheus": (
+                                "" if snap is None
+                                else render_prometheus(snap)
+                            ),
+                            "metrics": snap,
+                            "trace": (
+                                None if trace is None
+                                else trace.describe(limit=trace_limit)
+                            ),
                         },
                     )
                 elif op == "status":
@@ -751,6 +832,12 @@ class MeasurementService:
                     self.request_drain()
                 elif op == "submit":
                     await self._handle_submit(request, writer)
+                if op_t0:
+                    obs.observe(
+                        "service.op_seconds",
+                        time.monotonic() - op_t0,
+                        tags={"op": op},
+                    )
         except (
             ConnectionResetError,
             BrokenPipeError,
@@ -770,6 +857,7 @@ class MeasurementService:
         if self._drain_requested.is_set():
             return
         self._drain_requested.set()
+        obs.trace_event("service.drain_requested")
         dropped = self.queue.drain()
         self.n_dropped += len(dropped)
         for job in dropped:
@@ -788,6 +876,12 @@ class MeasurementService:
 
         self._loop = asyncio.get_running_loop()
         self._shutdown_async = asyncio.Event()
+        # A daemon always observes itself: the metrics op, the stats
+        # op's embedded snapshot and the span timelines all hang off
+        # the process-global registry this turns on.  Worker pools
+        # spawned later inherit it via the scheduler's initializer.
+        obs.enable()
+        obs.trace_event("service.start")
         self.journal.initialize()
         self.replay_journal()
         self._executor_thread = threading.Thread(

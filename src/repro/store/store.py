@@ -66,6 +66,7 @@ from repro.bitstream import PackedRecordBatch
 from repro.core.bist import BISTResult
 from repro.errors import ConfigurationError
 from repro.faults.injector import store_fault
+from repro import obs
 
 from repro.store import serialize
 from repro.store.index import OP_ADD, OP_REMOVE, PersistentIndex
@@ -554,7 +555,9 @@ class ResultStore:
         (content-addressed ⇒ identical bytes, nothing to do)."""
         path = self._path(kind, _check_key(key))
         if self._exists(kind, key):
+            obs.inc("store.put_existing", tags={"kind": kind})
             return False
+        obs_t0 = time.monotonic() if obs.enabled() else 0.0
         buffer = io.BytesIO()
         np.savez(
             buffer,
@@ -574,6 +577,13 @@ class ResultStore:
             data = bytes(damaged)
         self._write_atomic(path, data)
         self._index_add(kind, key, path)
+        if obs_t0:
+            obs.observe(
+                "store.put_seconds", time.monotonic() - obs_t0,
+                {"kind": kind},
+            )
+            obs.inc("store.puts", tags={"kind": kind})
+            obs.inc("store.put_bytes", len(data), tags={"kind": kind})
         return True
 
     def _quarantine(self, path: pathlib.Path, kind: str, key: str,
@@ -593,6 +603,10 @@ class ResultStore:
         }
         self.quarantine_log.append(record)
         self._index_remove(kind, key)
+        obs.inc("store.quarantined", tags={"kind": kind})
+        obs.trace_event(
+            "store.quarantine", kind=kind, key=key[:12], reason=reason
+        )
         _LOG.warning(
             "quarantined store entry %s/%s: %s", kind, key[:12], reason
         )
@@ -612,6 +626,11 @@ class ResultStore:
             }
         )
         self._index_remove(kind, key)
+        obs.inc("store.quarantined", tags={"kind": kind})
+        obs.trace_event(
+            "store.quarantine", kind=kind, key=key[:12], reason=reason,
+            packed=True,
+        )
         _LOG.warning(
             "quarantined packed store entry %s/%s: %s", kind, key[:12],
             reason,
@@ -620,11 +639,13 @@ class ResultStore:
     def _get_payload(self, kind: str, key: str):
         path = self._path(kind, _check_key(key))
         packed = None
+        obs_t0 = time.monotonic() if obs.enabled() else 0.0
         try:
             raw = path.read_bytes()
         except FileNotFoundError:
             packed = self._pack_lookup(kind, key)
             if packed is None:
+                obs.inc("store.get_misses", tags={"kind": kind})
                 return None
             pack, offset, length, _ = packed
             try:
@@ -652,6 +673,13 @@ class ResultStore:
                         os.utime(path)
                     except OSError:  # pragma: no cover - raced
                         pass
+                if obs_t0:
+                    obs.observe(
+                        "store.get_seconds",
+                        time.monotonic() - obs_t0,
+                        {"kind": kind},
+                    )
+                    obs.inc("store.get_hits", tags={"kind": kind})
                 return meta, arrays
             except (OSError, ValueError, KeyError, zipfile.BadZipFile):
                 # Trailer-less (legacy or truncated) bytes land here:
@@ -955,19 +983,26 @@ class ResultStore:
             "n_members": 0,
             "bytes_packed": 0,
         }
-        for kind in kinds if kinds is not None else KINDS:
-            base = self.root / kind
-            if not base.is_dir():
-                continue
-            for shard_dir in sorted(base.iterdir()):
-                if (
-                    not shard_dir.is_dir()
-                    or _SHARD_RE.fullmatch(shard_dir.name) is None
-                ):
+        with obs.timed("store.compact_seconds"):
+            for kind in kinds if kinds is not None else KINDS:
+                base = self.root / kind
+                if not base.is_dir():
                     continue
-                if shards is not None and shard_dir.name not in shards:
-                    continue
-                self._compact_shard(kind, shard_dir, min_files, stats)
+                for shard_dir in sorted(base.iterdir()):
+                    if (
+                        not shard_dir.is_dir()
+                        or _SHARD_RE.fullmatch(shard_dir.name) is None
+                    ):
+                        continue
+                    if shards is not None and shard_dir.name not in shards:
+                        continue
+                    self._compact_shard(kind, shard_dir, min_files, stats)
+        obs.inc("store.compactions")
+        obs.trace_event(
+            "store.compact",
+            shards=stats["n_shards_compacted"],
+            members=stats["n_members"],
+        )
         return stats
 
     def _compact_shard(
@@ -1096,6 +1131,14 @@ class ResultStore:
         for pack, keys in packed_victims.items():
             self._remove_pack_members(pack, keys)
         stats["total_bytes_after"] = total
+        if stats["n_evicted"]:
+            obs.inc("store.evicted", stats["n_evicted"])
+            obs.inc("store.evicted_bytes", stats["bytes_evicted"])
+            obs.trace_event(
+                "store.evict",
+                n=stats["n_evicted"],
+                bytes=stats["bytes_evicted"],
+            )
         return stats
 
     # ------------------------------------------------------------------

@@ -167,6 +167,39 @@ class TestRoundTrip:
             assert view["state"] == "ok"
             assert client.status("ab" * 32) is None
 
+    def test_metrics_op_exposes_telemetry(self, daemon):
+        # Runs after the submit tests above, so job-lifecycle counters
+        # are already non-zero.
+        _, address = daemon
+        with ServiceClient(address) as client:
+            response = client.metrics(trace_limit=16)
+        assert response["ok"] is True
+        assert response["enabled"] is True
+        assert "repro_service_jobs_total" in response["prometheus"]
+        snap = response["metrics"]
+        assert any(
+            c["name"] == "service.submits" for c in snap["counters"]
+        )
+        trace = response["trace"]
+        assert trace["recorded"] >= 1
+        assert len(trace["events"]) <= 16
+        assert any(
+            e["name"] == "job.done" for e in trace["events"]
+        )
+
+    def test_stats_report_carries_journal_and_obs(self, daemon):
+        _, address = daemon
+        with ServiceClient(address) as client:
+            report = client.stats()
+        assert report["journal"]["segments"] >= 1
+        assert report["journal"]["bytes"] > 0
+        assert report["records_since_rotate"] >= 1
+        assert report["obs"] is not None
+        assert any(
+            g["name"] == "service.queue_depth"
+            for g in report["obs"]["gauges"]
+        )
+
     def test_malformed_requests_get_error_lines(self, daemon):
         _, address = daemon
         with ServiceClient(address) as client:
